@@ -1,0 +1,37 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every bench renders its artifact as fixed-width text, prints it (visible
+with ``pytest -s``), and saves it under ``benchmarks/out/`` so results
+persist across runs and can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: The paper's Table I protocol set.  Benches that regenerate paper
+#: artifacts iterate this fixed list, so extension protocols added to the
+#: registry later never silently change the reproduced tables.
+PAPER_PROTOCOLS = [
+    "add-v1", "add-v2", "add-v3", "algorand",
+    "async-ba", "hotstuff-ns", "librabft", "pbft",
+]
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Print ``text`` and persist it as ``benchmarks/out/<name>.txt``."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once under pytest-benchmark.
+
+    Experiment benches measure simulated systems, not the harness, so one
+    round is the honest measurement (repetition happens inside via seeds).
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,91 @@
+"""Ablation — pacemaker policies on an identical chained-HotStuff core.
+
+DESIGN.md design decision #5: the Fig. 5/6/7 contrasts are pure pacemaker
+ablations.  This bench pits the three policies against each other on the
+same protocol core, across the paper's three stress regimes:
+
+* ``per-node``      — HotStuff+NS default: per-replica exponential back-off
+                      with uncoordinated reset on progress (the paper's
+                      naive synchronizer);
+* ``view-indexed``  — Naor et al.'s view-doubling: duration is a function
+                      of the view number anchored at the last commit;
+                      self-stabilizing;
+* ``tc``            — LibraBFT: certificate-driven round advancement with
+                      an adaptive timeout.
+
+Regimes: underestimated timeout (lambda=150, N(250,50)); five fail-stop
+nodes (lambda=1000, N(1000,300)); a 60 s partition (lambda=1000, N(250,50)).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentCell, render_table, run_cell
+from repro.core.config import AttackConfig
+
+from _common import run_once, save_artifact
+
+VARIANTS = {
+    "per-node": ("hotstuff-ns", {"synchronizer": "per-node"}),
+    "view-indexed": ("hotstuff-ns", {"synchronizer": "view-indexed"}),
+    "tc (librabft)": ("librabft", {}),
+}
+
+REGIMES = {
+    "lam=150 N(250,50)": dict(lam=150.0, mean=250.0, std=50.0, attack=AttackConfig()),
+    "5 fail-stop N(1000,300)": dict(
+        lam=1000.0, mean=1000.0, std=300.0,
+        attack=AttackConfig(name="failstop", params={"count": 5}),
+    ),
+    "60s partition N(250,50)": dict(
+        lam=1000.0, mean=250.0, std=50.0,
+        attack=AttackConfig(name="partition", params={"end": 60_000.0}),
+    ),
+}
+
+
+def test_ablation_pacemakers(benchmark) -> None:
+    def experiment():
+        table = {}
+        for variant, (protocol, params) in VARIANTS.items():
+            for regime, kwargs in REGIMES.items():
+                cell = ExperimentCell(
+                    protocol=protocol,
+                    protocol_params=params,
+                    max_time=10_800_000.0,
+                    **kwargs,
+                )
+                table[(variant, regime)] = run_cell(cell, repetitions=3)
+        return table
+
+    table = run_once(benchmark, experiment)
+
+    def fmt(summary) -> str:
+        if summary.terminated_fraction < 1.0:
+            return ">horizon"
+        return summary.latency.format(1 / 1000, "s")
+
+    rows = [
+        (variant, *(fmt(table[(variant, regime)]) for regime in REGIMES))
+        for variant in VARIANTS
+    ]
+    save_artifact(
+        "ablation_pacemakers",
+        render_table(
+            "Ablation: pacemaker policy vs stress regime (total latency, 10 decisions)",
+            ["pacemaker", *REGIMES.keys()],
+            rows,
+            note="same chained-HotStuff core under all three policies; the "
+            "policy alone explains the paper's HotStuff+NS pathologies.",
+        ),
+    )
+
+    # The naive per-node policy must be the worst in every regime...
+    for regime in REGIMES:
+        naive = table[("per-node", regime)]
+        tc = table[("tc (librabft)", regime)]
+        assert tc.terminated_fraction == 1.0
+        if naive.terminated_fraction == 1.0:
+            assert naive.latency.mean >= tc.latency.mean * 0.95
+    # ...and the view-indexed repair must terminate everywhere.
+    for regime in REGIMES:
+        assert table[("view-indexed", regime)].terminated_fraction == 1.0

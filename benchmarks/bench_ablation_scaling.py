@@ -1,0 +1,66 @@
+"""Ablation — communication complexity vs cluster size.
+
+The mechanism behind the paper's Fig. 3b: chained HotStuff's communication
+is *linear* in n (one proposal broadcast + votes to a single collector per
+view), while PBFT and Tendermint are *quadratic* (all-to-all prepare/commit
+rounds).  This bench measures messages per decision as n grows and asserts
+the asymptotic split — the property that makes HotStuff-family protocols
+"better suited to larger sets of nodes" (paper §IV).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentCell, render_series, run_cell
+
+from _common import run_once, save_artifact
+
+NODE_COUNTS = [8, 16, 32, 64]
+PROTOCOLS = ["pbft", "tendermint", "hotstuff-ns", "librabft"]
+
+
+def test_ablation_message_scaling(benchmark) -> None:
+    def experiment():
+        return {
+            (protocol, n): run_cell(
+                ExperimentCell(
+                    protocol=protocol, n=n, lam=1000.0, mean=100.0, std=20.0
+                ),
+                repetitions=2,
+            )
+            for protocol in PROTOCOLS
+            for n in NODE_COUNTS
+        }
+
+    table = run_once(benchmark, experiment)
+
+    series = {
+        protocol: [
+            f"{table[(protocol, n)].messages_per_decision.mean:.0f}"
+            for n in NODE_COUNTS
+        ]
+        for protocol in PROTOCOLS
+    }
+    save_artifact(
+        "ablation_message_scaling",
+        render_series(
+            "Ablation: messages per decision vs n (benign network)",
+            "n", NODE_COUNTS, series,
+            note="quadratic (PBFT, Tendermint) vs linear (HotStuff family) "
+            "communication — the Fig. 3b mechanism.",
+        ),
+    )
+
+    def messages(protocol, n):
+        return table[(protocol, n)].messages_per_decision.mean
+
+    for protocol in PROTOCOLS:
+        assert table[(protocol, max(NODE_COUNTS))].terminated_fraction == 1.0
+
+    # Quadratic protocols: 8x the nodes => ~64x the messages.
+    for protocol in ("pbft", "tendermint"):
+        growth = messages(protocol, 64) / messages(protocol, 8)
+        assert growth > 30, f"{protocol} should scale quadratically ({growth:.1f}x)"
+    # Linear protocols: 8x the nodes => ~8x the messages.
+    for protocol in ("hotstuff-ns", "librabft"):
+        growth = messages(protocol, 64) / messages(protocol, 8)
+        assert growth < 16, f"{protocol} should scale linearly ({growth:.1f}x)"

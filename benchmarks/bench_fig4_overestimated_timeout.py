@@ -1,0 +1,65 @@
+"""Fig. 4 — latency when the timeout is *over*estimated (responsiveness).
+
+Paper setup (§IV-B1): network fixed at N(250, 50); lambda swept from
+1000 ms up to 3000 ms.  Claim: "increasing lambda only affects synchronous
+protocols" — the responsive protocols (PBFT, HotStuff+NS, LibraBFT, and
+async BA, which has no timers at all) sit right of the dotted line and are
+flat, while the synchronous protocols' latency grows with lambda because
+their phase schedules are clocked off it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentCell, render_series, run_cell
+from repro.protocols import get_protocol
+
+from _common import PAPER_PROTOCOLS, run_once, save_artifact
+
+LAMBDAS = [1000.0, 1500.0, 2000.0, 2500.0, 3000.0]
+MEAN, STD = 250.0, 50.0
+
+
+def test_fig4_overestimated_timeout(benchmark) -> None:
+    protocols = PAPER_PROTOCOLS
+
+    def experiment():
+        return {
+            (protocol, lam): run_cell(
+                ExperimentCell(protocol=protocol, lam=lam, mean=MEAN, std=STD)
+            )
+            for protocol in protocols
+            for lam in LAMBDAS
+        }
+
+    table = run_once(benchmark, experiment)
+
+    series = {}
+    for protocol in protocols:
+        marker = "(responsive)" if get_protocol(protocol).responsive else "(sync)"
+        series[f"{protocol} {marker}"] = [
+            table[(protocol, lam)].latency_per_decision.format(1 / 1000, "s")
+            for lam in LAMBDAS
+        ]
+    save_artifact(
+        "fig4_overestimated_timeout",
+        render_series(
+            "Fig 4: latency per decision vs lambda (network fixed at N(250,50))",
+            "lambda", [int(x) for x in LAMBDAS], series,
+            note="paper: increasing lambda only affects synchronous protocols; "
+            "responsive ones are flat.",
+        ),
+    )
+
+    for protocol in protocols:
+        low = table[(protocol, LAMBDAS[0])].latency_per_decision.mean
+        high = table[(protocol, LAMBDAS[-1])].latency_per_decision.mean
+        if get_protocol(protocol).responsive:
+            assert high < low * 1.25, (
+                f"{protocol} is responsive: tripling lambda must not change latency "
+                f"(got {low:.0f} -> {high:.0f} ms)"
+            )
+        else:
+            assert high > low * 2.0, (
+                f"{protocol} is lambda-clocked: tripling lambda must inflate latency "
+                f"(got {low:.0f} -> {high:.0f} ms)"
+            )

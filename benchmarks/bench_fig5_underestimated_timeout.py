@@ -1,0 +1,86 @@
+"""Fig. 5 — latency when the timeout is *under*estimated.
+
+Paper setup (§IV-B2): network fixed at N(250, 50); lambda swept down to
+150 ms; only the partially-synchronous protocols participate (an
+underestimated delay violates the synchronous protocols' assumption, and
+async BA has no lambda at all).
+
+Paper claims:
+* LibraBFT is unaffected (timeout certificates keep rounds synchronized);
+* PBFT does better as lambda approaches the true delay;
+* HotStuff+NS becomes very unstable — its naive synchronizer cannot solve
+  view synchronization efficiently; the paper reports a 5.3x mean latency
+  blow-up and extreme cases around 80 s (§IV-D).
+
+Our reproduction captures the ordering and the instability (std and
+worst-case blow up for HotStuff+NS only); the absolute blow-up factor is
+implementation-sensitive — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ExperimentCell, render_series, run_cell
+from repro.protocols import PARTIALLY_SYNCHRONOUS, get_protocol
+
+from _common import PAPER_PROTOCOLS, run_once, save_artifact
+
+LAMBDAS = [150.0, 250.0, 500.0, 1000.0]
+MEAN, STD = 250.0, 50.0
+
+
+def test_fig5_underestimated_timeout(benchmark) -> None:
+    protocols = [
+        p for p in PAPER_PROTOCOLS
+        if get_protocol(p).network_model == PARTIALLY_SYNCHRONOUS
+    ]
+
+    def experiment():
+        return {
+            (protocol, lam): run_cell(
+                ExperimentCell(
+                    protocol=protocol, lam=lam, mean=MEAN, std=STD,
+                    max_time=7_200_000.0,
+                )
+            )
+            for protocol in protocols
+            for lam in LAMBDAS
+        }
+
+    table = run_once(benchmark, experiment)
+
+    series = {
+        protocol: [
+            table[(protocol, lam)].latency_per_decision.format(1 / 1000, "s")
+            for lam in LAMBDAS
+        ]
+        for protocol in protocols
+    }
+    save_artifact(
+        "fig5_underestimated_timeout",
+        render_series(
+            "Fig 5: latency per decision vs lambda, p-sync protocols (N(250,50))",
+            "lambda", [int(x) for x in LAMBDAS], series,
+            note="paper: LibraBFT flat; PBFT improves as lambda approaches the "
+            "true delay; HotStuff+NS unstable at lambda=150 (5.3x mean, ~80s "
+            "extremes in theirs).",
+        ),
+    )
+
+    def cell(protocol, lam):
+        return table[(protocol, lam)]
+
+    # LibraBFT flat.
+    libra_low = cell("librabft", 150.0).latency_per_decision.mean
+    libra_ref = cell("librabft", 1000.0).latency_per_decision.mean
+    assert libra_low < libra_ref * 1.3, "LibraBFT must be unaffected by small lambda"
+    # PBFT monotone improvement toward the true delay.
+    pbft = [cell("pbft", lam).latency_per_decision.mean for lam in LAMBDAS]
+    assert pbft[0] > pbft[-1], "PBFT should improve as lambda approaches the delay"
+    # HotStuff+NS degrades at lambda=150 and is the least stable protocol there.
+    hs_low = cell("hotstuff-ns", 150.0)
+    hs_ref = cell("hotstuff-ns", 1000.0)
+    assert hs_low.latency_per_decision.mean > hs_ref.latency_per_decision.mean * 1.5
+    assert (
+        hs_low.latency_per_decision.std
+        > cell("librabft", 150.0).latency_per_decision.std
+    ), "HotStuff+NS must be less stable than LibraBFT at lambda=150"

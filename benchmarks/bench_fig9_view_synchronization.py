@@ -1,0 +1,88 @@
+"""Fig. 9 — each node's view during a HotStuff+NS execution.
+
+Paper setup (§IV-D): lambda = 150, network N(250, 50).  The paper's chart
+shows the nodes separating into groups holding different views about five
+seconds in, staying desynchronized for ~75 seconds, then finally merging —
+the view-synchronization problem made visible.
+
+This bench runs HotStuff+NS with trace recording, extracts each node's
+view timeline, renders the ASCII analogue of the paper's chart, and
+asserts the phenomenon: multiple simultaneous view groups whose
+desynchronized period dwarfs anything LibraBFT exhibits under identical
+conditions.
+"""
+
+from __future__ import annotations
+
+from repro import SimulationConfig, run_simulation
+from repro.analysis import (
+    desync_statistics,
+    extract_view_timelines,
+    network_for,
+    render_view_chart,
+)
+
+from _common import run_once, save_artifact
+
+LAMBDA, MEAN, STD = 150.0, 250.0, 50.0
+N = 16
+SEEDS = range(8)
+
+
+def _config(protocol: str, seed: int) -> SimulationConfig:
+    return SimulationConfig(
+        protocol=protocol,
+        n=N,
+        lam=LAMBDA,
+        network=network_for(protocol, MEAN, STD, LAMBDA),
+        num_decisions=10,
+        seed=seed,
+        record_trace=True,
+        max_time=7_200_000.0,
+        allow_horizon=True,
+    )
+
+
+def test_fig9_view_synchronization(benchmark) -> None:
+    def experiment():
+        runs = []
+        for seed in SEEDS:
+            result = run_simulation(_config("hotstuff-ns", seed))
+            timelines = extract_view_timelines(result.trace, N)
+            stats = desync_statistics(timelines, horizon=result.latency)
+            runs.append((seed, result, timelines, stats))
+        libra = run_simulation(_config("librabft", SEEDS[0]))
+        libra_stats = desync_statistics(
+            extract_view_timelines(libra.trace, N), horizon=libra.latency
+        )
+        return runs, libra_stats
+
+    runs, libra_stats = run_once(benchmark, experiment)
+
+    # Chart the most desynchronized run (Fig. 9 shows a worst case).
+    seed, result, timelines, stats = max(runs, key=lambda r: r[3].longest_desync)
+    chart = render_view_chart(timelines, horizon=result.latency, width=96)
+    summary = "\n".join(
+        f"seed {s}: latency={r.latency / 1000:.1f}s, "
+        f"max simultaneous view groups={st.max_groups}, "
+        f"longest desync={st.longest_desync / 1000:.1f}s "
+        f"({100 * st.desync_time / max(st.horizon, 1):.0f}% of run desynchronized)"
+        for s, r, _t, st in runs
+    )
+    save_artifact(
+        "fig9_view_synchronization",
+        "Fig 9: per-node views, HotStuff+NS (lambda=150, N(250,50)), "
+        f"worst seed {seed}\n\n{chart}\n\n{summary}\n\n"
+        f"LibraBFT reference (same conditions, seed {SEEDS[0]}): "
+        f"max groups={libra_stats.max_groups}, "
+        f"longest desync={libra_stats.longest_desync / 1000:.1f}s\n\n"
+        "Note: the paper observes groups persisting ~75s in an extreme run; "
+        "group structure and HotStuff-vs-LibraBFT contrast are the "
+        "reproduced shape.",
+    )
+
+    assert stats.max_groups >= 3, "nodes must split into multiple view groups"
+    assert stats.longest_desync > 500.0, "desync must persist visibly"
+    assert stats.longest_desync > libra_stats.longest_desync, (
+        "HotStuff+NS must desynchronize worse than LibraBFT"
+    )

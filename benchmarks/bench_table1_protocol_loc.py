@@ -1,0 +1,65 @@
+"""Table I — lines of code of the implemented BFT protocols.
+
+The paper's Table I supports the flexibility claim: on top of the
+simulator's shared infrastructure, each protocol is only a few hundred
+lines (265-606 in their JavaScript).  This bench regenerates the table for
+our implementations (blank/comment/docstring-free physical lines) and
+asserts the same order of magnitude — protocol logic stays small because
+networking, attacks, metrics, and scheduling live in the framework.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import protocol_loc_table, render_table
+from repro.protocols import available_protocols, get_protocol
+
+from _common import run_once, save_artifact
+
+#: The paper's Table I (protocol -> LoC), for the side-by-side.
+PAPER_TABLE1 = {
+    "add-v1": 304,
+    "add-v2": 307,
+    "add-v3": 376,
+    "algorand": 387,
+    "async-ba": 265,
+    "pbft": 606,
+    "hotstuff-ns": 502,
+    "librabft": 568,
+}
+
+
+def test_table1_protocol_loc(benchmark) -> None:
+    entries = run_once(benchmark, protocol_loc_table)
+
+    rows = [
+        (
+            entry.name,
+            get_protocol(entry.name).network_model,
+            entry.own,
+            entry.shared,
+            entry.total,
+            PAPER_TABLE1.get(entry.name, "-"),
+        )
+        for entry in entries
+    ]
+    save_artifact(
+        "table1_protocol_loc",
+        render_table(
+            "Table I: implemented BFT protocols (lines of code)",
+            ["protocol", "network model", "own", "shared", "total", "paper (JS)"],
+            rows,
+            note="own = variant-specific module; shared = family base "
+            "(ADD+ common / chained-HotStuff core) counted once per variant. "
+            "LoC excludes blanks, comments, docstrings. tendermint is an "
+            "extension beyond the paper's eight.",
+        ),
+    )
+
+    assert {entry.name for entry in entries} >= set(PAPER_TABLE1)
+    assert {entry.name for entry in entries} <= set(available_protocols())
+    for entry in entries:
+        assert entry.total >= 40, f"{entry.name}: implausibly small"
+        assert entry.total <= 700, (
+            f"{entry.name}: {entry.total} LoC — protocol logic should stay "
+            "a few hundred lines on top of the framework (paper's claim)"
+        )

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Run the paper's attack scenarios and see their effect.
+
+Run:
+    python examples/attack_scenarios.py
+
+Exercises the global-attacker module end to end:
+
+1. a network partition against PBFT / LibraBFT / HotStuff+NS (Fig. 6);
+2. fail-stop nodes against PBFT (Fig. 7);
+3. the static and rushing-adaptive attacks against the ADD+ family
+   (Fig. 8), showing how the v2 -> v3 prepare round defeats the adaptive
+   attacker.
+"""
+
+from repro import AttackConfig, SimulationConfig, run_simulation
+from repro.analysis import network_for, render_table
+
+
+def run(protocol, attack=None, lam=1000.0, mean=250.0, std=50.0, decisions=1, seed=7):
+    config = SimulationConfig(
+        protocol=protocol,
+        n=16,
+        lam=lam,
+        network=network_for(protocol, mean, std, lam),
+        attack=attack or AttackConfig(),
+        num_decisions=decisions,
+        seed=seed,
+        max_time=7_200_000.0,
+    )
+    return run_simulation(config)
+
+
+def partition_scenario() -> None:
+    heal = 30_000.0
+    attack = AttackConfig(name="partition", params={"end": heal})
+    rows = []
+    for protocol in ("pbft", "librabft", "hotstuff-ns"):
+        decisions = 10 if protocol in ("hotstuff-ns", "librabft") else 1
+        result = run(protocol, attack, decisions=decisions)
+        rows.append(
+            (protocol, f"{result.latency / 1000:.1f}s",
+             f"{(result.latency - heal) / 1000:.1f}s")
+        )
+    print(render_table(
+        "Network partition (two subnets, heals at 30s)",
+        ["protocol", "total", "after heal"], rows,
+        note="HotStuff+NS pays for the back-off accumulated during the outage.",
+    ))
+
+
+def failstop_scenario() -> None:
+    rows = []
+    for count in (0, 2, 5):
+        attack = AttackConfig(name="failstop", params={"count": count})
+        result = run("pbft", attack, mean=1000.0, std=300.0)
+        rows.append((count, f"{result.latency / 1000:.2f}s", result.messages))
+    print()
+    print(render_table(
+        "PBFT under fail-stop nodes (N(1000,300))",
+        ["crashed", "latency", "messages"], rows,
+        note="crashed scheduled leaders force timeout-driven view changes.",
+    ))
+
+
+def add_attack_scenario() -> None:
+    rows = []
+    static = AttackConfig(name="add-static", params={"count": 5})
+    adaptive = AttackConfig(name="add-adaptive", params={"budget": 5})
+    for protocol in ("add-v1", "add-v2", "add-v3"):
+        benign = run(protocol)
+        static_result = run(protocol, static)
+        row = [protocol, f"{benign.latency / 1000:.0f}s", f"{static_result.latency / 1000:.0f}s"]
+        if protocol == "add-v1":
+            row.append("-")
+        else:
+            adaptive_result = run(protocol, adaptive)
+            row.append(f"{adaptive_result.latency / 1000:.0f}s")
+        rows.append(tuple(row))
+    print()
+    print(render_table(
+        "ADD+ variants under attack (f=5, lambda=1000ms)",
+        ["variant", "benign", "static", "adaptive"], rows,
+        note="static wastes v1's scheduled leaders; rushing-adaptive burns "
+        "v2's budget one leader at a time; v3's prepare round binds the "
+        "proposal to the credential reveal, so corruption comes too late.",
+    ))
+
+
+if __name__ == "__main__":
+    partition_scenario()
+    failstop_scenario()
+    add_attack_scenario()

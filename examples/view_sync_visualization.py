@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Visualize view synchronization during a HotStuff+NS run (Fig. 9).
+
+Run:
+    python examples/view_sync_visualization.py [lambda_ms]
+
+Records a full trace of HotStuff+NS under an underestimated timeout
+(default lambda = 150 ms against N(250, 50) delays), extracts each node's
+view timeline, and renders the ASCII analogue of the paper's Fig. 9 — each
+glyph is the node's current view, so vertical misalignment *is* the
+view-synchronization problem.
+"""
+
+import sys
+
+from repro import NetworkConfig, SimulationConfig, run_simulation
+from repro.analysis import desync_statistics, extract_view_timelines, render_view_chart
+
+N = 16
+
+
+def main() -> None:
+    lam = float(sys.argv[1]) if len(sys.argv) > 1 else 150.0
+    config = SimulationConfig(
+        protocol="hotstuff-ns",
+        n=N,
+        lam=lam,
+        network=NetworkConfig(mean=250.0, std=50.0),
+        num_decisions=10,
+        seed=2,
+        record_trace=True,
+        max_time=7_200_000.0,
+    )
+    result = run_simulation(config)
+    timelines = extract_view_timelines(result.trace, N)
+    stats = desync_statistics(timelines, horizon=result.latency)
+
+    print(f"HotStuff+NS, lambda={lam:.0f}ms, delays N(250,50), 10 decisions")
+    print(f"total latency: {result.latency / 1000:.1f}s "
+          f"({result.latency_per_decision:.0f} ms/decision)")
+    print(f"max simultaneous view groups: {stats.max_groups}")
+    print(f"longest desynchronized stretch: {stats.longest_desync / 1000:.1f}s")
+    print(f"fraction of run desynchronized: "
+          f"{100 * stats.desync_time / max(result.latency, 1):.0f}%")
+    print()
+    print(render_view_chart(timelines, horizon=result.latency, width=100))
+    print()
+    print("Try a well-estimated timeout for contrast: "
+          "python examples/view_sync_visualization.py 1000")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, which PEP 660 editable
+installs (``pip install -e .``) need; ``python setup.py develop`` installs
+the package in editable mode without it.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""repro — an efficient and flexible simulator for BFT protocols.
+
+A Python reproduction of the DSN 2022 tool paper "An Efficient and Flexible
+Simulator for Byzantine Fault-Tolerant Protocols" (Wang, Chao, Wu, Hsiao).
+
+The package provides:
+
+* a deterministic discrete-event simulator (controller, event queue,
+  simulated clock) — :mod:`repro.core`;
+* a configurable peer-to-peer network model with pluggable delay
+  distributions and partition support — :mod:`repro.network`;
+* an abstracted *global attacker* with capability-enforced threat models —
+  :mod:`repro.attacks`;
+* eight reference BFT protocols (ADD+ v1/v2/v3, Algorand Agreement,
+  Bracha's async BA, PBFT, HotStuff+NS, LibraBFT) — :mod:`repro.protocols`;
+* a validator module for trace cross-checking — :mod:`repro.validator`;
+* a BFTSim-style packet-level baseline simulator — :mod:`repro.baseline`;
+* the experiment harness regenerating the paper's tables and figures —
+  :mod:`repro.analysis`.
+
+Quickstart::
+
+    from repro import SimulationConfig, run_simulation
+
+    config = SimulationConfig(protocol="pbft", n=16, lam=1000.0)
+    result = run_simulation(config)
+    print(result.summary())
+"""
+
+from .core.config import AttackConfig, NetworkConfig, SimulationConfig
+from .core.controller import Controller
+from .core.message import Message
+from .core.node import Node
+from .core.results import SimulationResult
+from .core.runner import repeat_simulation, run_simulation
+from .protocols.registry import available_protocols, get_protocol, register_protocol
+from .attacks.registry import available_attacks, get_attack, register_attack
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttackConfig",
+    "Controller",
+    "Message",
+    "NetworkConfig",
+    "Node",
+    "SimulationConfig",
+    "SimulationResult",
+    "available_attacks",
+    "available_protocols",
+    "get_attack",
+    "get_protocol",
+    "register_attack",
+    "register_protocol",
+    "repeat_simulation",
+    "run_simulation",
+    "__version__",
+]

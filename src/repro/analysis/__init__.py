@@ -1,0 +1,41 @@
+"""Experiment harness, aggregation, and paper-artifact regeneration."""
+
+from .aggregate import RunSummary, SummaryStats, summarize, summarize_metric
+from .compute import ComputationModel, ComputeEstimate, estimate_computation
+from .experiments import (
+    DEFAULT_N,
+    ExperimentCell,
+    PIPELINED_DECISIONS,
+    bench_repetitions,
+    decisions_for,
+    network_for,
+    run_cell,
+    run_cell_raw,
+)
+from .loc import (
+    ATTACK_MODULES,
+    LocEntry,
+    PROTOCOL_MODULES,
+    attack_loc_table,
+    count_code_lines,
+    protocol_loc_table,
+)
+from .report import format_ms, render_series, render_table
+from .viewtrace import (
+    DesyncStats,
+    ViewTimeline,
+    desync_statistics,
+    extract_view_timelines,
+    render_view_chart,
+)
+
+__all__ = [
+    "ATTACK_MODULES", "ComputationModel", "ComputeEstimate",
+    "DEFAULT_N", "DesyncStats", "ExperimentCell", "estimate_computation",
+    "LocEntry", "PIPELINED_DECISIONS", "PROTOCOL_MODULES", "RunSummary",
+    "SummaryStats", "ViewTimeline", "attack_loc_table", "bench_repetitions",
+    "count_code_lines", "decisions_for", "desync_statistics",
+    "extract_view_timelines", "format_ms", "network_for",
+    "protocol_loc_table", "render_series", "render_table", "render_view_chart",
+    "run_cell", "run_cell_raw", "summarize", "summarize_metric",
+]

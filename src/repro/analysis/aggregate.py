@@ -1,0 +1,87 @@
+"""Aggregation of repeated simulation runs.
+
+The paper reports the mean and standard deviation of each metric over 100
+repetitions (§IV); this module computes those summaries from
+:class:`~repro.core.results.SimulationResult` lists.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..core.results import SimulationResult
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean / standard deviation / extrema of one metric across runs."""
+
+    mean: float
+    std: float
+    min: float
+    max: float
+    count: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "SummaryStats":
+        if not values:
+            raise ValueError("cannot summarize zero values")
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        return cls(
+            mean=mean,
+            std=math.sqrt(variance),
+            min=min(values),
+            max=max(values),
+            count=len(values),
+        )
+
+    def format(self, scale: float = 1.0, unit: str = "") -> str:
+        """``"mean +- std unit"`` with the given scaling (e.g. 1/1000 for
+        seconds)."""
+        return f"{self.mean * scale:.2f} +- {self.std * scale:.2f}{unit}"
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Aggregated metrics of one experimental cell.
+
+    Attributes:
+        latency: total time usage (ms) across runs.
+        latency_per_decision: per-decision time usage (ms).
+        messages: honest message usage across runs.
+        messages_per_decision: per-decision message usage.
+        terminated_fraction: fraction of runs that terminated before the
+            horizon (1.0 in healthy regimes; below 1.0 flags a liveness
+            pathology, reported explicitly rather than hidden).
+    """
+
+    latency: SummaryStats
+    latency_per_decision: SummaryStats
+    messages: SummaryStats
+    messages_per_decision: SummaryStats
+    terminated_fraction: float
+
+
+def summarize(results: Iterable[SimulationResult]) -> RunSummary:
+    """Aggregate a list of results into a :class:`RunSummary`."""
+    results = list(results)
+    if not results:
+        raise ValueError("cannot summarize zero results")
+    return RunSummary(
+        latency=SummaryStats.of([r.latency for r in results]),
+        latency_per_decision=SummaryStats.of([r.latency_per_decision for r in results]),
+        messages=SummaryStats.of([float(r.messages) for r in results]),
+        messages_per_decision=SummaryStats.of([r.messages_per_decision for r in results]),
+        terminated_fraction=sum(r.terminated for r in results) / len(results),
+    )
+
+
+def summarize_metric(
+    results: Iterable[SimulationResult],
+    metric: Callable[[SimulationResult], float],
+) -> SummaryStats:
+    """Aggregate an arbitrary per-run metric."""
+    return SummaryStats.of([metric(r) for r in results])

@@ -1,0 +1,106 @@
+"""Computational-cost estimation (the paper's stated future work).
+
+The simulator does not model CPU time, so it cannot measure throughput
+directly; the paper notes (§III-A3) that "one way to add this feature is to
+estimate the computation time through calculating the number of
+computational[ly] extensive operations, such as cryptography operations".
+This module implements exactly that post-hoc model:
+
+* every transmitted message is signed once by its sender;
+* every delivered message is verified once by its receiver;
+* per-decision aggregation operations (certificate assembly) are charged
+  per decided slot.
+
+Costs are supplied per operation (defaults are Ed25519-class numbers) and
+combined with the simulated latency into a throughput estimate.  The model
+is deliberately simple and fully documented — it refines the simulator's
+"latency only" answer into a first-order "latency + CPU" answer without
+pretending to cycle accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.results import SimulationResult
+
+
+@dataclass(frozen=True)
+class ComputationModel:
+    """Per-operation CPU costs, in milliseconds.
+
+    Defaults approximate Ed25519 on a modern core: ~0.05 ms to sign,
+    ~0.15 ms to verify, ~0.2 ms per certificate aggregation.
+    """
+
+    sign_ms: float = 0.05
+    verify_ms: float = 0.15
+    aggregate_ms: float = 0.20
+
+    def validate(self) -> None:
+        if min(self.sign_ms, self.verify_ms, self.aggregate_ms) < 0:
+            raise ValueError("operation costs must be non-negative")
+
+
+@dataclass(frozen=True)
+class ComputeEstimate:
+    """Estimated computational profile of a run.
+
+    Attributes:
+        sign_ops / verify_ops / aggregate_ops: operation counts.
+        cpu_ms_total: total modelled CPU time across the cluster.
+        cpu_ms_per_node: mean modelled CPU time per node.
+        adjusted_latency_ms: simulated latency plus the critical-path CPU
+            share (per-node CPU, serialized with the network time).
+        throughput_dps: decisions per second including CPU — the metric the
+            paper says its tool cannot produce without this model.
+    """
+
+    sign_ops: int
+    verify_ops: int
+    aggregate_ops: int
+    cpu_ms_total: float
+    cpu_ms_per_node: float
+    adjusted_latency_ms: float
+    throughput_dps: float
+
+
+def estimate_computation(
+    result: SimulationResult, model: ComputationModel | None = None
+) -> ComputeEstimate:
+    """Apply ``model`` to a finished run.
+
+    Operation counts are reconstructed from the traffic counters: one
+    signature per transmitted message, one verification per delivery, one
+    aggregation per (decided slot x node).
+    """
+    model = model or ComputationModel()
+    model.validate()
+    n = max(1, result.config.n)
+    decisions = len(result.decided_values)
+
+    sign_ops = result.counts.sent + result.counts.byzantine
+    verify_ops = result.counts.delivered
+    aggregate_ops = decisions * n
+
+    cpu_total = (
+        sign_ops * model.sign_ms
+        + verify_ops * model.verify_ms
+        + aggregate_ops * model.aggregate_ms
+    )
+    cpu_per_node = cpu_total / n
+    adjusted_latency = result.latency + cpu_per_node
+    throughput = (
+        result.config.num_decisions / (adjusted_latency / 1000.0)
+        if adjusted_latency > 0
+        else 0.0
+    )
+    return ComputeEstimate(
+        sign_ops=sign_ops,
+        verify_ops=verify_ops,
+        aggregate_ops=aggregate_ops,
+        cpu_ms_total=cpu_total,
+        cpu_ms_per_node=cpu_per_node,
+        adjusted_latency_ms=adjusted_latency,
+        throughput_dps=throughput,
+    )

@@ -1,0 +1,9 @@
+"""Attack scenarios built on the abstracted global attacker framework."""
+
+from .base import Attacker, AttackerContext, Capability
+from .registry import available_attacks, get_attack, make_attacker, register_attack
+
+__all__ = [
+    "Attacker", "AttackerContext", "Capability",
+    "available_attacks", "get_attack", "make_attacker", "register_attack",
+]

@@ -1,0 +1,48 @@
+"""Static fail-stop attack on ADD+ (paper §IV-C3, Fig. 8 left).
+
+A *static* attacker must pick its victims before the protocol starts.
+Against ADD+v1 the leader schedule is public (``k mod n``), so the optimal
+static strategy is to fail-stop the first ``f`` scheduled leaders — every
+one of their iterations is wasted and termination is delayed by ``f`` full
+iterations.
+
+Against ADD+v2/v3 the same attacker is toothless: leaders are drawn by VRF,
+whose outputs the attacker cannot evaluate for honest nodes, so each
+corrupted node leads only with probability ``f/n`` per iteration and the
+protocols keep their expected-constant-round termination.
+
+Note the capability declaration: ``BYZANTINE`` only.  Corrupting a node
+after time zero would raise — the framework is what *makes* this attacker
+static.
+
+Parameters (``AttackConfig.params``):
+    count: how many nodes to corrupt (default ``f``).
+    victims: explicit node ids (default ``0..count-1``, which for ADD+v1 is
+        exactly the first ``count`` scheduled leaders).
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ConfigurationError
+from .base import Attacker, Capability
+from .registry import register_attack
+
+
+@register_attack("add-static")
+class ADDStaticAttacker(Attacker):
+    """Fail-stops a pre-selected set of nodes at time zero."""
+
+    capabilities = Capability.BYZANTINE
+
+    def setup(self) -> None:
+        ctx = self.ctx
+        victims = self.params.get("victims")
+        if victims is None:
+            count = int(self.params.get("count", ctx.f))
+            victims = list(range(count))
+        if len(victims) > ctx.f:
+            raise ConfigurationError(
+                f"static attack on {len(victims)} nodes exceeds the budget f={ctx.f}"
+            )
+        for node in victims:
+            ctx.crash(int(node))

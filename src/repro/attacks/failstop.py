@@ -1,0 +1,53 @@
+"""Fail-stop attack: a set of nodes silently stops participating.
+
+The paper calls this "the weakest form of Byzantine behavior" (§III-C) and
+models it by running ``n - f`` honest nodes out of ``n``.  We express it
+through the global attacker: the chosen nodes are corrupted at configurable
+times and the attacker never speaks for them, so they simply go dark.
+
+Parameters (``AttackConfig.params``):
+    count: number of nodes to fail (default: the configured ``f``).
+    nodes: explicit list of node ids to fail (overrides ``count``).
+    at: simulation time (ms) at which the nodes crash.  ``0`` (default)
+        crashes them before the protocol starts — the paper's setting for
+        Fig. 7.  Non-zero values require no extra configuration: the
+        attacker declares the ADAPTIVE capability so mid-run crashes are
+        legal under the enforcement rules.
+"""
+
+from __future__ import annotations
+
+from ..core.events import TimeEvent
+from ..core.errors import ConfigurationError
+from .base import Attacker, Capability
+from .registry import register_attack
+
+
+@register_attack("failstop")
+class FailStopAttacker(Attacker):
+    """Crashes a fixed set of nodes at a fixed time."""
+
+    capabilities = Capability.BYZANTINE | Capability.ADAPTIVE
+
+    def setup(self) -> None:
+        ctx = self.ctx
+        nodes = self.params.get("nodes")
+        if nodes is None:
+            count = int(self.params.get("count", ctx.f))
+            nodes = list(range(count))
+        self._victims = [int(node) for node in nodes]
+        if len(self._victims) > ctx.f:
+            raise ConfigurationError(
+                f"failstop attack on {len(self._victims)} nodes exceeds f={ctx.f}"
+            )
+        at = float(self.params.get("at", 0.0))
+        if at <= 0:
+            for node in self._victims:
+                ctx.crash(node)
+        else:
+            ctx.set_timer(at, "failstop-crash")
+
+    def on_timer(self, timer: TimeEvent) -> None:
+        if timer.name == "failstop-crash":
+            for node in self._victims:
+                self.ctx.crash(node)

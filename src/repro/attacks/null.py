@@ -1,0 +1,22 @@
+"""The benign pass-through attacker (no attack)."""
+
+from __future__ import annotations
+
+from ..core.message import Message
+from .base import Attacker, Capability
+from .registry import register_attack
+
+
+@register_attack("null")
+class NullAttacker(Attacker):
+    """Does nothing: every message passes through untouched.
+
+    Used for all benign-network experiments; also the reference point for
+    the capability-enforcement tests (a ``NONE``-capability attacker cannot
+    do anything else without raising).
+    """
+
+    capabilities = Capability.NONE
+
+    def attack(self, message: Message):  # noqa: D102 - inherited contract
+        return None

@@ -1,0 +1,62 @@
+"""Network partition attack (paper §III-C, Fig. 6).
+
+Splits the network into subnets for a time window.  Because every message
+passes through the attacker module, the partition is a pure packet-filter
+rule: cross-subnet messages are dropped — or, in ``delay`` mode, held back
+and delivered just after the partition heals (both behaviours the paper
+grants its partition attacker).
+
+This attacker needs only the ``NETWORK`` capability: it routes on source,
+destination, and time, never on message contents, so it operates on
+redacted envelopes.
+
+Parameters (``AttackConfig.params``):
+    groups: list of node-id lists defining the subnets (default: even/odd
+        halves).
+    start: partition start time in ms (default 0).
+    end: healing time in ms (default 60000, the paper's Fig. 6 setting).
+    mode: ``"drop"`` (default) or ``"delay"``.
+    heal_slack: extra ms added when re-timing held messages in ``delay``
+        mode (default 10).
+"""
+
+from __future__ import annotations
+
+from ..core.message import Message
+from ..network.partition import PartitionSpec
+from .base import Attacker, Capability
+from .registry import register_attack
+
+
+@register_attack("partition")
+class PartitionAttacker(Attacker):
+    """Drops or delays cross-subnet traffic during a time window."""
+
+    capabilities = Capability.NETWORK
+
+    def setup(self) -> None:
+        params = self.params
+        groups = params.get("groups")
+        start = float(params.get("start", 0.0))
+        end = float(params.get("end", 60_000.0))
+        mode = str(params.get("mode", "drop"))
+        if groups is None:
+            self.spec = PartitionSpec.halves(self.ctx.n, start=start, end=end, mode=mode)
+        else:
+            self.spec = PartitionSpec.split(
+                [list(g) for g in groups], start=start, end=end, mode=mode
+            )
+        self.heal_slack = float(params.get("heal_slack", 10.0))
+
+    def attack(self, message: Message):
+        spec = self.spec
+        if not spec.active_at(message.sent_at):
+            return None
+        if not spec.separated(message.source, message.dest):
+            return None
+        if spec.mode == "drop":
+            return []
+        # Hold the message until just after the partition heals, keeping its
+        # original transit delay on top of the outage.
+        message.delay = (spec.end - message.sent_at) + self.heal_slack + (message.delay or 0.0)
+        return [message]

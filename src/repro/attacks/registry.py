@@ -1,0 +1,64 @@
+"""Attack registry.
+
+Attacks register under a stable name used by ``AttackConfig``.  Importing
+:mod:`repro.attacks` registers the reference attacks (the paper's three,
+plus the extensions)."""
+
+from __future__ import annotations
+
+from typing import Callable, Type, TypeVar
+
+from ..core.config import AttackConfig
+from ..core.errors import ConfigurationError
+from .base import Attacker
+
+_REGISTRY: dict[str, Type[Attacker]] = {}
+
+A = TypeVar("A", bound=Type[Attacker])
+
+
+def register_attack(name: str) -> Callable[[A], A]:
+    """Class decorator: register an attacker under ``name``."""
+
+    def decorator(cls: A) -> A:
+        if name in _REGISTRY:
+            raise ConfigurationError(f"attack {name!r} already registered")
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def get_attack(name: str) -> Type[Attacker]:
+    """Look up an attacker class by registry name."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown attack {name!r}; available: {available_attacks()}"
+        ) from None
+
+
+def make_attacker(config: AttackConfig) -> Attacker:
+    """Instantiate the attacker described by ``config``."""
+    return get_attack(config.name)(config.params)
+
+
+def available_attacks() -> list[str]:
+    """Sorted names of every registered attack."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def _ensure_builtins() -> None:
+    from . import (  # noqa: F401
+        add_adaptive,
+        add_static,
+        equivocation,
+        failstop,
+        null,
+        partition,
+        targeted_delay,
+    )

@@ -1,0 +1,63 @@
+"""Targeted delay-injection attack (extension beyond the paper's three).
+
+A pure network-level adversary that slows traffic involving chosen victims
+(or chosen message kinds) by a constant or a multiplier.  Useful for
+studying responsiveness claims: a responsive protocol's latency should
+track the inflated delays smoothly, while timeout-bound protocols fall off
+a cliff once the injected delay crosses ``lambda``.
+
+Reading message *types* requires the ``OBSERVE`` capability, which this
+attacker declares only when a type filter is configured — a worked example
+of least-privilege attack modelling.
+
+Parameters (``AttackConfig.params``):
+    targets: node ids whose traffic (either direction) is slowed
+        (default: all nodes).
+    extra_delay: milliseconds added to each matching message (default 0).
+    factor: multiplier applied to each matching message's delay
+        (default 1.0).
+    match_type: only slow messages of this payload type (requires
+        observation; enabled automatically when set).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.message import Message
+from .base import Attacker, Capability
+from .registry import register_attack
+
+
+@register_attack("targeted-delay")
+class TargetedDelayAttacker(Attacker):
+    """Inflates the delay of matching messages."""
+
+    capabilities = Capability.NETWORK
+
+    def __init__(self, params: dict[str, Any] | None = None) -> None:
+        super().__init__(params)
+        if self.params.get("match_type") is not None:
+            # Filtering on contents needs eyes; declare them up front.
+            self.capabilities = Capability.NETWORK | Capability.OBSERVE
+
+    def setup(self) -> None:
+        targets = self.params.get("targets")
+        self.targets = None if targets is None else {int(t) for t in targets}
+        self.extra_delay = float(self.params.get("extra_delay", 0.0))
+        self.factor = float(self.params.get("factor", 1.0))
+        self.match_type = self.params.get("match_type")
+
+    def _matches(self, message: Message) -> bool:
+        if self.targets is not None:
+            if message.source not in self.targets and message.dest not in self.targets:
+                return False
+        if self.match_type is not None and message.type != self.match_type:
+            return False
+        return True
+
+    def attack(self, message: Message):
+        if not self._matches(message):
+            return None
+        message.delay = (message.delay or 0.0) * self.factor + self.extra_delay
+        return [message]

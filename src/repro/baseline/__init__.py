@@ -1,0 +1,15 @@
+"""The BFTSim-style packet-level baseline simulator (Fig. 2 comparison)."""
+
+from .links import Link, MTU_BYTES, PacketTiming, packetize
+from .packetsim import (
+    BaselineController,
+    DEFAULT_BUDGET_BYTES,
+    PacketLevelNetwork,
+    run_baseline_simulation,
+)
+
+__all__ = [
+    "BaselineController", "DEFAULT_BUDGET_BYTES", "Link", "MTU_BYTES",
+    "PacketLevelNetwork", "PacketTiming", "packetize",
+    "run_baseline_simulation",
+]

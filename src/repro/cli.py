@@ -1,0 +1,221 @@
+"""Command-line interface.
+
+The paper's workflow is "write a configuration file specifying the network
+model and parameters, the BFT protocol, and, optionally, the attack
+scenario" (§III-A); the CLI makes that workflow shell-scriptable:
+
+    python -m repro list
+    python -m repro run --protocol pbft -n 16 --lam 1000 --mean 250 --std 50
+    python -m repro run --config experiment.json --json
+    python -m repro sweep --protocol pbft --param lam --values 150,250,500 --reps 5
+    python -m repro validate --protocol pbft -n 8
+
+Every command is a thin shell over the library; anything it can do, the
+Python API can do too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .analysis.aggregate import summarize
+from .analysis.report import render_table
+from .attacks.registry import available_attacks
+from .core.config import AttackConfig, NetworkConfig, SimulationConfig
+from .core.errors import SimulationError
+from .core.runner import repeat_simulation, run_simulation
+from .protocols.registry import available_protocols, get_protocol
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--config", help="JSON SimulationConfig file (overrides flags)")
+    parser.add_argument("--protocol", default="pbft", help="protocol registry name")
+    parser.add_argument("-n", type=int, default=16, help="number of nodes")
+    parser.add_argument("-f", type=int, default=None, dest="faults",
+                        help="tolerated faults (default: protocol maximum)")
+    parser.add_argument("--lam", type=float, default=1000.0,
+                        help="timeout parameter lambda, ms")
+    parser.add_argument("--mean", type=float, default=250.0, help="mean delay, ms")
+    parser.add_argument("--std", type=float, default=50.0, help="delay std, ms")
+    parser.add_argument("--distribution", default="normal",
+                        help="delay distribution name")
+    parser.add_argument("--max-delay", type=float, default=None,
+                        help="hard delay bound b (synchronous network)")
+    parser.add_argument("--decisions", type=int, default=None,
+                        help="values to decide (default: paper convention)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--attack", default="null", help="attack registry name")
+    parser.add_argument("--attack-params", default="{}",
+                        help="attack parameters as JSON")
+    parser.add_argument("--max-time", type=float, default=3_600_000.0,
+                        help="simulation horizon, ms")
+
+
+def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
+    if args.config:
+        with open(args.config, encoding="utf-8") as handle:
+            return SimulationConfig.from_dict(json.load(handle))
+    decisions = args.decisions
+    if decisions is None:
+        decisions = 10 if get_protocol(args.protocol).pipelined else 1
+    return SimulationConfig(
+        protocol=args.protocol,
+        n=args.n,
+        f=args.faults,
+        lam=args.lam,
+        network=NetworkConfig(
+            distribution=args.distribution,
+            mean=args.mean,
+            std=args.std,
+            max_delay=args.max_delay,
+        ),
+        attack=AttackConfig(name=args.attack, params=json.loads(args.attack_params)),
+        num_decisions=decisions,
+        seed=args.seed,
+        max_time=args.max_time,
+        allow_horizon=True,
+    )
+
+
+def _result_dict(result) -> dict:
+    return {
+        "protocol": result.config.protocol,
+        "terminated": result.terminated,
+        "latency_ms": result.latency,
+        "latency_per_decision_ms": result.latency_per_decision,
+        "messages": result.messages,
+        "messages_per_decision": result.messages_per_decision,
+        "bytes_sent": result.bytes_sent,
+        "max_view": result.max_view,
+        "faulty": sorted(result.faulty),
+        "events_processed": result.events_processed,
+        "wall_clock_seconds": result.wall_clock_seconds,
+        "decided_values": {str(k): v for k, v in result.decided_values.items()},
+    }
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("protocols:")
+    for name in available_protocols():
+        cls = get_protocol(name)
+        traits = []
+        if cls.responsive:
+            traits.append("responsive")
+        if cls.pipelined:
+            traits.append("pipelined")
+        suffix = f" ({', '.join(traits)})" if traits else ""
+        print(f"  {name:<12} {cls.network_model}{suffix}")
+    print("attacks:")
+    for name in available_attacks():
+        print(f"  {name}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    result = run_simulation(config)
+    if args.json:
+        print(json.dumps(_result_dict(result), indent=2, sort_keys=True))
+    else:
+        print(result.summary())
+    return 0 if result.terminated else 2
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    values = [float(v) for v in args.values.split(",")]
+    rows = []
+    for value in values:
+        config = _config_from_args(args)
+        if args.param == "lam":
+            config = config.replace(lam=value)
+        elif args.param in ("mean", "std", "max_delay"):
+            config = config.replace(network={args.param: value})
+        elif args.param == "n":
+            config = config.replace(n=int(value))
+        else:
+            print(f"unsupported sweep parameter: {args.param}", file=sys.stderr)
+            return 1
+        summary = summarize(repeat_simulation(config, args.reps))
+        rows.append(
+            (
+                value,
+                summary.latency_per_decision.format(1 / 1000, "s"),
+                f"{summary.messages_per_decision.mean:.0f}",
+                f"{summary.terminated_fraction:.0%}",
+            )
+        )
+    print(
+        render_table(
+            f"{args.protocol}: sweep over {args.param} ({args.reps} runs per point)",
+            [args.param, "latency/decision", "msgs/decision", "terminated"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from .baseline import run_baseline_simulation
+    from .validator import compare_decisions, replay_simulation
+
+    config = _config_from_args(args).replace(record_trace=True)
+    ground_truth = run_baseline_simulation(config)
+    replayed = replay_simulation(config, ground_truth.trace)
+    report = compare_decisions(ground_truth.trace, replayed.trace)
+    print(report.summary())
+    for mismatch in report.mismatches:
+        print(f"  {mismatch}")
+    return 0 if report.matches else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Discrete-event simulator for BFT protocols (DSN'22 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available protocols and attacks")
+
+    run_parser = sub.add_parser("run", help="run one simulation")
+    _add_run_options(run_parser)
+    run_parser.add_argument("--json", action="store_true", help="JSON output")
+
+    sweep_parser = sub.add_parser("sweep", help="sweep one parameter")
+    _add_run_options(sweep_parser)
+    sweep_parser.add_argument("--param", required=True,
+                              help="lam | mean | std | max_delay | n")
+    sweep_parser.add_argument("--values", required=True,
+                              help="comma-separated values")
+    sweep_parser.add_argument("--reps", type=int, default=3)
+
+    validate_parser = sub.add_parser(
+        "validate", help="cross-check against the packet-level baseline engine"
+    )
+    _add_run_options(validate_parser)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "sweep": cmd_sweep,
+        "validate": cmd_validate,
+    }[args.command]
+    try:
+        return handler(args)
+    except SimulationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

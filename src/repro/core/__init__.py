@@ -1,0 +1,19 @@
+"""Core simulator machinery: events, clock, controller, config, metrics."""
+
+from .config import AttackConfig, NetworkConfig, SimulationConfig
+from .controller import Controller
+from .events import EventQueue, MessageEvent, TimeEvent
+from .message import BROADCAST, Message
+from .metrics import Decision, MessageCounts, MetricsCollector
+from .node import Node, NodeEnvironment, TimerHandle
+from .results import SimulationResult
+from .runner import repeat_simulation, run_simulation
+from .tracing import Trace, TraceEvent
+
+__all__ = [
+    "AttackConfig", "BROADCAST", "Controller", "Decision", "EventQueue",
+    "Message", "MessageCounts", "MessageEvent", "MetricsCollector",
+    "NetworkConfig", "Node", "NodeEnvironment", "SimulationConfig",
+    "SimulationResult", "TimeEvent", "TimerHandle", "Trace", "TraceEvent",
+    "repeat_simulation", "run_simulation",
+]

@@ -1,0 +1,45 @@
+"""The simulation clock.
+
+Following the standard discrete-event technique the paper adopts (§III-A2),
+time is purely virtual: the clock only moves when the controller pops an
+event, jumping directly to that event's timestamp.  All times are in
+milliseconds, matching the paper's units for delays and timeouts.
+"""
+
+from __future__ import annotations
+
+from .errors import SchedulingError
+
+
+class SimulationClock:
+    """Monotonic virtual clock advanced by the controller.
+
+    The clock refuses to move backwards; the event queue's total order makes
+    a backwards move impossible in a correct run, so an attempt indicates a
+    scheduling bug and raises :class:`~repro.core.errors.SchedulingError`.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in milliseconds."""
+        return self._now
+
+    def advance_to(self, time: float) -> None:
+        """Jump the clock forward to ``time``.
+
+        Raises:
+            SchedulingError: if ``time`` precedes the current time.
+        """
+        if time < self._now:
+            raise SchedulingError(
+                f"clock cannot move backwards: {time:.3f} < {self._now:.3f}"
+            )
+        self._now = float(time)
+
+    def __repr__(self) -> str:
+        return f"SimulationClock(now={self._now:.3f})"

@@ -1,0 +1,201 @@
+"""Simulation configuration.
+
+A :class:`SimulationConfig` is the single input to a run, mirroring the
+paper's "configuration file specifying the network model and parameters, the
+BFT protocol, and, optionally, the attack scenario" (§III-A).  Configurations
+are plain dataclasses with dict/JSON round-tripping so experiments can be
+scripted, stored, and replayed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from .errors import ConfigurationError
+
+
+@dataclass
+class NetworkConfig:
+    """Parameters of the simulated peer-to-peer network.
+
+    Attributes:
+        distribution: name of the delay distribution registered in
+            :mod:`repro.network.delays` (``"normal"``, ``"uniform"``,
+            ``"exponential"``, ``"lognormal"``, ``"poisson"``, ``"constant"``).
+        mean: distribution mean in milliseconds (the paper's ``mu``).
+        std: standard deviation in milliseconds (the paper's ``sigma``);
+            ignored by distributions without a spread parameter.
+        min_delay: hard lower bound applied after sampling; physical links
+            never deliver instantaneously, and a strictly positive floor also
+            guarantees simulation progress.
+        max_delay: optional hard upper bound ``b``.  Setting it simulates a
+            synchronous (``b <= lambda``) or partially-synchronous network
+            (bound exists but the protocol's ``lambda`` underestimates it);
+            leaving it ``None`` simulates an asynchronous network.
+        gst: global stabilization time (ms).  Before GST, sampled delays are
+            multiplied by :attr:`pre_gst_factor` and :attr:`max_delay` is not
+            enforced, modelling the unstable period of a partially-synchronous
+            network.  ``0`` means the network is stable from the start.
+        pre_gst_factor: delay multiplier applied before GST.
+    """
+
+    distribution: str = "normal"
+    mean: float = 250.0
+    std: float = 50.0
+    min_delay: float = 1.0
+    max_delay: float | None = None
+    gst: float = 0.0
+    pre_gst_factor: float = 10.0
+
+    def validate(self) -> None:
+        if self.mean <= 0:
+            raise ConfigurationError(f"network mean delay must be > 0, got {self.mean}")
+        if self.std < 0:
+            raise ConfigurationError(f"network std must be >= 0, got {self.std}")
+        if self.min_delay <= 0:
+            raise ConfigurationError(
+                f"min_delay must be > 0 to guarantee progress, got {self.min_delay}"
+            )
+        if self.max_delay is not None and self.max_delay < self.min_delay:
+            raise ConfigurationError("max_delay must be >= min_delay")
+        if self.gst < 0:
+            raise ConfigurationError("gst must be >= 0")
+        if self.pre_gst_factor < 1.0:
+            raise ConfigurationError("pre_gst_factor must be >= 1")
+
+
+@dataclass
+class AttackConfig:
+    """Selects and parameterizes an attack from :mod:`repro.attacks`.
+
+    Attributes:
+        name: registry name of the attacker (e.g. ``"failstop"``,
+            ``"partition"``, ``"add-static"``, ``"add-adaptive"``).
+        params: attacker-specific parameters, passed through verbatim.
+    """
+
+    name: str = "null"
+    params: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class SimulationConfig:
+    """Complete description of one simulation run.
+
+    Attributes:
+        protocol: registry name of the BFT protocol (see
+            :mod:`repro.protocols.registry`), e.g. ``"pbft"``,
+            ``"hotstuff-ns"``, ``"librabft"``, ``"algorand"``, ``"async-ba"``,
+            ``"add-v1"``, ``"add-v2"``, ``"add-v3"``.
+        n: total number of nodes (honest + Byzantine).
+        f: number of tolerated faulty nodes.  ``None`` resolves to the
+            protocol's maximum resilience (``floor((n-1)/3)`` for partially
+            synchronous and asynchronous protocols, ``floor((n-1)/2)`` for
+            synchronous ones).
+        lam: the protocol's timeout parameter lambda in milliseconds — the
+            *estimated* upper bound of network delay that synchronous and
+            partially-synchronous protocols are configured with (§IV).
+        network: network model parameters.
+        attack: optional attack scenario.
+        num_decisions: how many values must be decided before the run
+            terminates.  The paper uses 10 for the pipelined protocols
+            (HotStuff+NS, LibraBFT) and 1 for the rest (§IV).
+        seed: root random seed; every run is a deterministic function of the
+            full configuration including this seed.
+        max_time: simulation horizon in ms; exceeding it raises
+            :class:`~repro.core.errors.LivenessTimeoutError` unless
+            ``allow_horizon`` is set.
+        max_events: hard cap on processed events (runaway protection).
+        allow_horizon: when True, hitting ``max_time`` ends the run with
+            ``terminated=False`` instead of raising; used by experiments that
+            deliberately explore non-terminating regimes.
+        record_trace: record a full event trace (needed by the validator
+            module and the Fig. 9 view-timeline analysis).
+        protocol_params: protocol-specific overrides (documented per
+            protocol), passed through verbatim.
+    """
+
+    protocol: str
+    n: int = 16
+    f: int | None = None
+    lam: float = 1000.0
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    attack: AttackConfig = field(default_factory=AttackConfig)
+    num_decisions: int = 1
+    seed: int = 0
+    max_time: float = 3_600_000.0
+    max_events: int = 20_000_000
+    allow_horizon: bool = False
+    record_trace: bool = False
+    protocol_params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Check internal consistency; raises ``ConfigurationError``."""
+        if not self.protocol:
+            raise ConfigurationError("protocol name must be non-empty")
+        if self.n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {self.n}")
+        if self.f is not None and not 0 <= self.f < self.n:
+            raise ConfigurationError(f"f must satisfy 0 <= f < n, got f={self.f} n={self.n}")
+        if self.lam <= 0:
+            raise ConfigurationError(f"lambda must be > 0, got {self.lam}")
+        if self.num_decisions < 1:
+            raise ConfigurationError("num_decisions must be >= 1")
+        if self.max_time <= 0:
+            raise ConfigurationError("max_time must be > 0")
+        if self.max_events < 1:
+            raise ConfigurationError("max_events must be >= 1")
+        self.network.validate()
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form, suitable for JSON."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SimulationConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        data = dict(data)
+        network = data.pop("network", None)
+        attack = data.pop("attack", None)
+        known = {f_.name for f_ in cls.__dataclass_fields__.values()}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(f"unknown config keys: {sorted(unknown)}")
+        config = cls(
+            network=NetworkConfig(**network) if isinstance(network, dict) else NetworkConfig(),
+            attack=AttackConfig(**attack) if isinstance(attack, dict) else AttackConfig(),
+            **data,
+        )
+        return config
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimulationConfig":
+        return cls.from_dict(json.loads(text))
+
+    def replace(self, **changes: Any) -> "SimulationConfig":
+        """A copy with ``changes`` applied (nested keys via new objects)."""
+        data = self.to_dict()
+        network = data.pop("network")
+        attack = data.pop("attack")
+        network_changes = changes.pop("network", None)
+        attack_changes = changes.pop("attack", None)
+        data.update(changes)
+        if isinstance(network_changes, NetworkConfig):
+            network = asdict(network_changes)
+        elif isinstance(network_changes, dict):
+            network.update(network_changes)
+        if isinstance(attack_changes, AttackConfig):
+            attack = asdict(attack_changes)
+        elif isinstance(attack_changes, dict):
+            attack.update(attack_changes)
+        return SimulationConfig.from_dict({**data, "network": network, "attack": attack})

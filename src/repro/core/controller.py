@@ -1,0 +1,264 @@
+"""The controller: initialization, event dispatch, termination.
+
+The controller is the paper's §III-A1 component: it builds every other
+module from the configuration, owns the event queue and simulation clock,
+dispatches message and time events to the consensus and attacker modules,
+and produces the final :class:`~repro.core.results.SimulationResult` from
+the metrics collector.
+
+It also implements the :class:`~repro.core.node.NodeEnvironment` facade —
+the only surface protocol code can touch.
+"""
+
+from __future__ import annotations
+
+import random
+import time as _time
+from typing import Any
+
+from ..attacks.base import Attacker, AttackerContext
+from ..attacks.registry import make_attacker
+from ..network.module import NetworkModule
+from ..protocols.registry import get_protocol
+from .clock import SimulationClock
+from .config import SimulationConfig
+from .errors import ConfigurationError, LivenessTimeoutError
+from .events import (
+    ATTACKER_OWNER,
+    EventQueue,
+    MessageEvent,
+    TimeEvent,
+)
+from .message import Message
+from .metrics import MetricsCollector
+from .node import Node, TimerHandle
+from .results import SimulationResult
+from .rng import RandomSource
+from .tracing import Trace
+
+
+class Controller:
+    """Builds and runs one simulation.
+
+    Typical use goes through :func:`repro.core.runner.run_simulation`; the
+    controller is public for tests and for embedding the simulator in other
+    harnesses (the validator module drives it directly).
+    """
+
+    def __init__(self, config: SimulationConfig) -> None:
+        config.validate()
+        self.config = config
+        protocol_cls = get_protocol(config.protocol)
+        self.n = config.n
+        self.f = config.f if config.f is not None else protocol_cls.max_resilience(config.n)
+        if self.f >= config.n:
+            raise ConfigurationError(f"f={self.f} must be < n={config.n}")
+        protocol_cls.check_resilience(self.n, self.f)
+
+        self.clock = SimulationClock()
+        self.queue = EventQueue()
+        self.random_source = RandomSource(config.seed)
+        self._shared_rngs: dict[str, random.Random] = {}
+        self.metrics = MetricsCollector(self.n, config.num_decisions)
+        self.trace = Trace(enabled=config.record_trace)
+
+        self.attacker: Attacker = make_attacker(config.attack)
+        self.attacker_ctx = AttackerContext(self, self.attacker.capabilities)
+        self.attacker.bind(self.attacker_ctx)
+
+        self.network = NetworkModule(
+            self,
+            config.network,
+            self.random_source.numpy("network.delay"),
+            self.attacker,
+            self.attacker_ctx,
+        )
+
+        self.nodes: list[Node] = [protocol_cls(i, self) for i in range(self.n)]
+        self._halted: set[int] = set()
+        self._timer_ids = iter(range(1, 1 << 62))
+        self._message_ids = iter(range(1, 1 << 62))
+        self._events_processed = 0
+        self._max_view = 0
+        self._stop_reason: str | None = None
+
+    # ------------------------------------------------------------------
+    # NodeEnvironment facade
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def lam(self) -> float:
+        return self.config.lam
+
+    @property
+    def seed(self) -> int:
+        return self.config.seed
+
+    def protocol_param(self, name: str, default: Any = None) -> Any:
+        return self.config.protocol_params.get(name, default)
+
+    def send_message(self, message: Message) -> None:
+        if message.source in self._halted and not message.forged:
+            return  # a halted replica's late sends vanish silently
+        self.network.submit(message)
+
+    def register_timer(self, owner: int, delay: float, name: str, data: Any) -> TimerHandle:
+        if delay < 0:
+            raise ConfigurationError(f"timer delay must be >= 0, got {delay}")
+        timer_id = next(self._timer_ids)
+        event = TimeEvent(
+            time=self.clock.now + delay,
+            owner=owner,
+            name=name,
+            data=data,
+            timer_id=timer_id,
+        )
+        handle = self.queue.push(event)
+        return TimerHandle(timer_id=timer_id, queue_handle=handle)
+
+    def cancel_timer(self, handle: TimerHandle) -> None:
+        self.queue.cancel(handle.queue_handle)
+
+    def report_decision(self, node_id: int, slot: int, value: Any) -> None:
+        self.metrics.on_decision(node_id, slot, value, self.clock.now)
+        self.trace.record(self.clock.now, "decide", node_id, slot=slot, value=value)
+
+    def report_to_system(self, node_id: int, kind: str, **fields: Any) -> None:
+        if kind == "view" and "view" in fields:
+            # Round-complexity accounting (§II-C): the highest view/round/
+            # iteration any honest node entered, tracked even when full
+            # tracing is disabled.
+            view = int(fields["view"])
+            if view > self._max_view:
+                self._max_view = view
+        self.trace.record(self.clock.now, kind, node_id, **fields)
+
+    def rng(self, name: str) -> random.Random:
+        return self.shared_rng(name)
+
+    def shared_rng(self, name: str) -> random.Random:
+        """Cached named random stream (stable across calls)."""
+        if name not in self._shared_rngs:
+            self._shared_rngs[name] = self.random_source.python(name)
+        return self._shared_rngs[name]
+
+    # ------------------------------------------------------------------
+    # Scheduling / attacker callbacks
+    # ------------------------------------------------------------------
+
+    def next_message_id(self) -> int:
+        """Per-run message id (deterministic across identical runs)."""
+        return next(self._message_ids)
+
+    def schedule_delivery(self, message: Message) -> None:
+        """Register a message event at the message's delivery time."""
+        self.queue.push(MessageEvent(time=message.deliver_at, message=message))
+
+    def on_node_corrupted(self, node: int) -> None:
+        """Attacker corrupted ``node``: halt its replica from now on."""
+        self._halted.add(node)
+        self.metrics.mark_faulty(node)
+        self.trace.record(self.clock.now, "corrupt", node)
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation to termination (or horizon).
+
+        Returns:
+            The complete :class:`SimulationResult`.
+
+        Raises:
+            LivenessTimeoutError: the run hit ``max_time``/``max_events`` or
+                ran out of events before termination, and ``allow_horizon``
+                is False.
+            SafetyViolationError: two honest nodes disagreed.
+        """
+        started = _time.perf_counter()
+        config = self.config
+
+        self.attacker.setup()
+        for node in self.nodes:
+            if node.id not in self._halted:
+                node.on_start()
+
+        while not self.metrics.terminated():
+            if not self.queue:
+                self._stop_reason = "event queue empty before termination"
+                break
+            next_time = self.queue.peek_time()
+            if next_time is not None and next_time > config.max_time:
+                self._stop_reason = f"horizon max_time={config.max_time} reached"
+                self.clock.advance_to(config.max_time)
+                break
+            if self._events_processed >= config.max_events:
+                self._stop_reason = f"max_events={config.max_events} reached"
+                break
+            event = self.queue.pop()
+            self.clock.advance_to(event.time)
+            self._events_processed += 1
+            self._dispatch(event)
+
+        terminated = self.metrics.terminated()
+        if not terminated and not config.allow_horizon:
+            raise LivenessTimeoutError(
+                f"{config.protocol} did not terminate: {self._stop_reason} "
+                f"(decisions: { {i: self.metrics.decisions_of(i) for i in range(self.n)} })"
+            )
+        self.metrics.finish(self.clock.now)
+        wall = _time.perf_counter() - started
+        return self._build_result(terminated, wall)
+
+    def _dispatch(self, event: Any) -> None:
+        if isinstance(event, MessageEvent):
+            message = event.message
+            if message.dest in self._halted:
+                self.trace.record(
+                    event.time, "suppress", message.dest,
+                    msg_type=message.type, msg_id=message.msg_id,
+                )
+                return
+            self.metrics.on_delivered()
+            self.trace.record(
+                event.time, "deliver", message.dest,
+                source=message.source, msg_type=message.type, msg_id=message.msg_id,
+            )
+            self.nodes[message.dest].on_message(message)
+        elif isinstance(event, TimeEvent):
+            if event.owner == ATTACKER_OWNER:
+                self.attacker.on_timer(event)
+                return
+            if event.owner in self._halted:
+                return
+            self.trace.record(event.time, "timer", event.owner, name=event.name)
+            self.nodes[event.owner].on_timer(event)
+        else:  # pragma: no cover - no other event kinds exist
+            raise ConfigurationError(f"unknown event type {type(event).__name__}")
+
+    def _build_result(self, terminated: bool, wall: float) -> SimulationResult:
+        metrics = self.metrics
+        decided_values = {
+            slot: metrics.decided_value(slot) for slot in metrics.decided_slots()
+        }
+        return SimulationResult(
+            config=self.config,
+            terminated=terminated,
+            latency=metrics.latency(),
+            latency_per_decision=metrics.latency_per_decision(),
+            messages=metrics.counts.sent,
+            messages_per_decision=metrics.messages_per_decision(),
+            counts=metrics.counts,
+            decisions=list(metrics.decisions),
+            decided_values=decided_values,
+            faulty=metrics.faulty,
+            events_processed=self._events_processed,
+            max_view=self._max_view,
+            wall_clock_seconds=wall,
+            trace=self.trace,
+        )

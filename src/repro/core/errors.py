@@ -1,0 +1,71 @@
+"""Exception hierarchy for the simulator.
+
+Every error raised by :mod:`repro` derives from :class:`SimulationError` so
+that callers can catch simulator failures without swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by the simulator."""
+
+
+class ConfigurationError(SimulationError):
+    """A simulation configuration is invalid or internally inconsistent."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or the queue was misused."""
+
+
+class CapabilityError(SimulationError):
+    """An attacker attempted an action its capabilities do not permit.
+
+    The attacker framework enforces the threat model centrally: for example,
+    dropping an honest node's message requires the ``NETWORK`` capability,
+    and corrupting a node mid-run requires ``ADAPTIVE``.  Violations are
+    programming errors in the attack implementation, not simulated events,
+    so they raise instead of being silently ignored.
+    """
+
+
+class CorruptionBudgetError(CapabilityError):
+    """An attacker attempted to corrupt more than ``f`` nodes."""
+
+
+class SafetyViolationError(SimulationError):
+    """Two honest nodes decided different values for the same slot.
+
+    A correctly implemented BFT protocol must never trigger this under the
+    threat model it was designed for; the metrics collector raises it as
+    soon as conflicting decisions are reported so the failing execution is
+    caught at the earliest possible point.
+    """
+
+
+class LivenessTimeoutError(SimulationError):
+    """The simulation exceeded its horizon without reaching termination."""
+
+
+class ValidationError(SimulationError):
+    """The validator module found a mismatch against the ground truth."""
+
+
+class ProtocolViolationError(SimulationError):
+    """An honest node observed a message that violates protocol invariants.
+
+    Honest replicas use this for conditions that indicate a bug in the
+    *simulator or protocol implementation* (for example, a forged signature
+    from an honest signer, which the crypto layer guarantees impossible).
+    Byzantine misbehaviour that the protocol is designed to tolerate must be
+    handled gracefully, never via this exception.
+    """
+
+
+class BaselineCapacityError(SimulationError):
+    """The baseline (BFTSim-style) simulator exceeded its memory budget.
+
+    Models the out-of-memory failures the paper reports for BFTSim beyond
+    32 nodes (Fig. 2).
+    """

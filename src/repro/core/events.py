@@ -1,0 +1,131 @@
+"""Discrete-event machinery: events and the priority event queue.
+
+The paper's simulator (§III-A2) advances a simulation clock from a priority
+queue ordered by event timestamps, with two event kinds: *message events*
+(a node receives a message) and *time events* (a registered timer fires).
+This module implements both, plus the queue.
+
+Determinism: ties on the timestamp are broken by a monotonically increasing
+sequence number assigned at scheduling time, giving a total order on events.
+Together with seeded randomness (:mod:`repro.core.rng`) this makes every
+simulation run a pure function of its configuration.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from .errors import SchedulingError
+from .message import Message
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class for queue entries.
+
+    Attributes:
+        time: simulation time (ms) at which the event fires.
+    """
+
+    time: float
+
+
+@dataclass(frozen=True)
+class MessageEvent(Event):
+    """Delivery of a message to its destination node."""
+
+    message: Message = field(default=None)  # type: ignore[assignment]
+
+    def describe(self) -> str:
+        return f"msg[{self.message.describe()}] deliver@{self.time:.1f}"
+
+
+@dataclass(frozen=True)
+class TimeEvent(Event):
+    """A timer registered by a node, the attacker, or the controller.
+
+    Attributes:
+        owner: node id for protocol timers, ``ATTACKER_OWNER`` for attacker
+            timers, ``CONTROLLER_OWNER`` for controller-internal deadlines.
+        name: protocol-defined label (e.g. ``"view-timeout"``).
+        data: arbitrary context the owner attached when registering.
+        timer_id: unique id so owners can cancel specific timers.
+    """
+
+    owner: int = 0
+    name: str = ""
+    data: Any = None
+    timer_id: int = -1
+
+    def describe(self) -> str:
+        return f"timer[{self.name}#{self.timer_id} owner={self.owner}] @{self.time:.1f}"
+
+
+#: Pseudo-owner ids for non-node timers.
+ATTACKER_OWNER: int = -2
+CONTROLLER_OWNER: int = -3
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects.
+
+    Events pop in ``(time, insertion order)`` order.  Cancellation is lazy:
+    cancelled entries stay in the heap and are skipped on pop, which keeps
+    both operations O(log n).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self._pending: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __bool__(self) -> bool:
+        return bool(self._pending)
+
+    def push(self, event: Event) -> int:
+        """Schedule ``event``; returns a handle usable with :meth:`cancel`."""
+        if event.time < 0:
+            raise SchedulingError(f"event scheduled at negative time {event.time}")
+        handle = next(self._seq)
+        heapq.heappush(self._heap, (event.time, handle, event))
+        self._pending.add(handle)
+        return handle
+
+    def cancel(self, handle: int) -> None:
+        """Cancel a previously pushed event.
+
+        Cancelling twice, or cancelling an already-popped handle, is a no-op:
+        protocols routinely cancel timers that may have just fired.
+        """
+        self._pending.discard(handle)
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event."""
+        while self._heap:
+            _time, handle, event = heapq.heappop(self._heap)
+            if handle not in self._pending:
+                continue
+            self._pending.discard(handle)
+            return event
+        raise SchedulingError("pop from an empty event queue")
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next live event, or ``None`` when empty."""
+        while self._heap:
+            time_, handle, _event = self._heap[0]
+            if handle not in self._pending:
+                heapq.heappop(self._heap)
+                continue
+            return time_
+        return None
+
+    def drain(self) -> Iterator[Event]:
+        """Pop every remaining live event, in order (mainly for tests)."""
+        while self:
+            yield self.pop()

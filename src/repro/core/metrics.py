@@ -1,0 +1,191 @@
+"""Performance metrics and online safety checking.
+
+The paper evaluates protocols with two low-level metrics (§II-C): **time
+usage** (simulated time between protocol start and termination) and
+**message usage** (number of transmitted messages).  This module collects
+both, tracks per-slot decisions, detects termination, and verifies safety
+(agreement between honest nodes) as decisions arrive.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any
+
+from .errors import SafetyViolationError
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A single ``decide`` report from an honest node."""
+
+    node: int
+    slot: int
+    value: Any
+    time: float
+
+
+@dataclass
+class MessageCounts:
+    """Breakdown of network traffic during a run.
+
+    Attributes:
+        sent: messages transmitted over the network by honest nodes
+            (broadcast expanded; loopback self-deliveries excluded).  This is
+            the paper's "message usage".
+        byzantine: messages transmitted by corrupted nodes or forged by the
+            attacker.
+        dropped: messages removed in flight (by the attacker or because the
+            destination crashed).
+        delivered: messages actually dispatched to a destination node.
+    """
+
+    sent: int = 0
+    byzantine: int = 0
+    dropped: int = 0
+    delivered: int = 0
+    bytes_sent: int = 0
+
+
+class MetricsCollector:
+    """Accumulates metrics for a single simulation run.
+
+    Safety is enforced online: the first pair of honest decisions that
+    disagree on a slot raises
+    :class:`~repro.core.errors.SafetyViolationError` immediately (carrying
+    both decisions), so violating executions fail fast and loudly.
+    """
+
+    def __init__(self, n: int, num_decisions: int) -> None:
+        self.n = n
+        self.num_decisions = num_decisions
+        self.counts = MessageCounts()
+        self.decisions: list[Decision] = []
+        self._by_slot: dict[int, dict[int, Decision]] = defaultdict(dict)
+        self._per_node: dict[int, int] = defaultdict(int)
+        self._faulty: set[int] = set()
+        self.start_time = 0.0
+        self.end_time: float | None = None
+
+    # -- faults --------------------------------------------------------------
+
+    def mark_faulty(self, node: int) -> None:
+        """Exclude ``node`` from honest-node accounting from now on.
+
+        Called by the controller when the attacker crashes or corrupts a
+        node.  Decisions the node made while honest remain valid.
+        """
+        self._faulty.add(node)
+
+    @property
+    def faulty(self) -> frozenset[int]:
+        return frozenset(self._faulty)
+
+    def honest_nodes(self) -> list[int]:
+        """Ids of nodes currently considered honest."""
+        return [i for i in range(self.n) if i not in self._faulty]
+
+    # -- traffic ---------------------------------------------------------------
+
+    def on_sent(self, byzantine: bool = False) -> None:
+        if byzantine:
+            self.counts.byzantine += 1
+        else:
+            self.counts.sent += 1
+
+    def on_bytes(self, size: int) -> None:
+        """Account estimated wire bytes for one transmitted message."""
+        self.counts.bytes_sent += size
+
+    def on_dropped(self) -> None:
+        self.counts.dropped += 1
+
+    def on_delivered(self) -> None:
+        self.counts.delivered += 1
+
+    # -- decisions ---------------------------------------------------------------
+
+    def on_decision(self, node: int, slot: int, value: Any, time: float) -> None:
+        """Record a decision; checks agreement and duplicate reports."""
+        if node in self._faulty:
+            return  # faulty nodes' reports are ignored entirely
+        slot_decisions = self._by_slot[slot]
+        if node in slot_decisions:
+            existing = slot_decisions[node]
+            if existing.value != value:
+                raise SafetyViolationError(
+                    f"node {node} decided twice for slot {slot}: "
+                    f"{existing.value!r} then {value!r}"
+                )
+            return  # idempotent duplicate
+        for other in slot_decisions.values():
+            if other.value != value and other.node not in self._faulty:
+                raise SafetyViolationError(
+                    f"slot {slot}: node {node} decided {value!r} at {time:.1f} "
+                    f"but node {other.node} decided {other.value!r} at {other.time:.1f}"
+                )
+        decision = Decision(node=node, slot=slot, value=value, time=time)
+        slot_decisions[node] = decision
+        self.decisions.append(decision)
+        self._per_node[node] += 1
+
+    def decisions_of(self, node: int) -> int:
+        """How many slots ``node`` has decided."""
+        return self._per_node[node]
+
+    def decided_value(self, slot: int) -> Any:
+        """The agreed value for ``slot`` (any honest decision; they agree)."""
+        for decision in self._by_slot.get(slot, {}).values():
+            if decision.node not in self._faulty:
+                return decision.value
+        raise KeyError(f"no honest decision recorded for slot {slot}")
+
+    def decided_slots(self) -> list[int]:
+        """Slots with at least one honest decision, sorted."""
+        return sorted(
+            slot
+            for slot, per_node in self._by_slot.items()
+            if any(d.node not in self._faulty for d in per_node.values())
+        )
+
+    # -- termination ---------------------------------------------------------------
+
+    def terminated(self) -> bool:
+        """True once every honest node has decided ``num_decisions`` slots."""
+        honest = self.honest_nodes()
+        if not honest:
+            return False
+        return all(self._per_node[node] >= self.num_decisions for node in honest)
+
+    def finish(self, time: float) -> None:
+        self.end_time = time
+
+    # -- derived results ---------------------------------------------------------------
+
+    def latency(self) -> float:
+        """Total time usage: start to termination (or to horizon)."""
+        end = self.end_time if self.end_time is not None else 0.0
+        return end - self.start_time
+
+    def latency_per_decision(self) -> float:
+        """Average latency per decided value — the paper's per-decision
+        metric for pipelined protocols (§IV)."""
+        return self.latency() / max(1, self.num_decisions)
+
+    def messages_per_decision(self) -> float:
+        """Average honest message count per decided value."""
+        return self.counts.sent / max(1, self.num_decisions)
+
+    def slot_completion_times(self) -> dict[int, float]:
+        """For each decided slot, the time the *last* honest node decided it
+        (only slots every honest node has decided are included)."""
+        honest = set(self.honest_nodes())
+        out: dict[int, float] = {}
+        for slot, per_node in self._by_slot.items():
+            deciders = {d.node for d in per_node.values() if d.node in honest}
+            if honest <= deciders:
+                out[slot] = max(
+                    d.time for d in per_node.values() if d.node in honest
+                )
+        return out

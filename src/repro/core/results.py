@@ -1,0 +1,69 @@
+"""Result objects returned by a simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .config import SimulationConfig
+from .metrics import Decision, MessageCounts
+from .tracing import Trace
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced.
+
+    Attributes:
+        config: the configuration that produced this result.
+        terminated: True if every honest node decided the configured number
+            of values before the horizon; False means the run was cut off at
+            ``max_time`` (only possible with ``allow_horizon=True``).
+        latency: total simulated time usage in ms (start to termination, or
+            to the horizon when not terminated).
+        latency_per_decision: ``latency / num_decisions`` — the per-decision
+            metric the paper reports for pipelined protocols.
+        messages: honest message usage (network transmissions).
+        messages_per_decision: ``messages / num_decisions``.
+        counts: full traffic breakdown (honest/byzantine/dropped/delivered).
+        decisions: every recorded honest decision, in report order.
+        decided_values: slot -> agreed value.
+        faulty: nodes that ended the run crashed or corrupted.
+        events_processed: number of events the controller dispatched.
+        max_view: the highest view/round/iteration any honest node reported
+            entering — the run's round complexity (§II-C).
+        wall_clock_seconds: real time the run took — the quantity compared
+            against the baseline simulator in the paper's Fig. 2.
+        trace: full event trace when ``record_trace`` was enabled, else an
+            empty disabled trace.
+    """
+
+    config: SimulationConfig
+    terminated: bool
+    latency: float
+    latency_per_decision: float
+    messages: int
+    messages_per_decision: float
+    counts: MessageCounts
+    decisions: list[Decision]
+    decided_values: dict[int, Any]
+    faulty: frozenset[int]
+    events_processed: int
+    max_view: int
+    wall_clock_seconds: float
+    trace: Trace = field(default_factory=lambda: Trace(enabled=False))
+
+    @property
+    def bytes_sent(self) -> int:
+        """Estimated honest wire bytes (reconstructed per §II-C)."""
+        return self.counts.bytes_sent
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        status = "terminated" if self.terminated else "HORIZON"
+        return (
+            f"{self.config.protocol}: {status} latency={self.latency:.1f}ms "
+            f"({self.latency_per_decision:.1f}ms/decision) "
+            f"msgs={self.messages} ({self.messages_per_decision:.1f}/decision) "
+            f"events={self.events_processed}"
+        )

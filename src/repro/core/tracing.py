@@ -1,0 +1,119 @@
+"""Execution tracing.
+
+A trace is an ordered record of everything observable about a run: message
+sends and deliveries, timer firings, protocol-reported events (view changes,
+phase transitions), corruptions, and decisions.  Traces feed three consumers:
+
+* the **validator module** (:mod:`repro.validator`), which replays and
+  cross-checks traces against ground truth;
+* the **view-synchronization analysis** behind the paper's Fig. 9
+  (:mod:`repro.analysis.viewtrace`);
+* debugging, via :meth:`Trace.format`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observable occurrence during a simulation.
+
+    Attributes:
+        time: simulation time in ms.
+        kind: category string.  Core kinds emitted by the controller/network:
+            ``"send"``, ``"deliver"``, ``"drop"``, ``"timer"``, ``"corrupt"``,
+            ``"decide"``.  Protocols add their own kinds through
+            ``Node.report`` (e.g. ``"view-change"``, ``"commit"``).
+        node: primary node involved (destination for deliveries, reporter
+            for protocol events); ``-1`` when not node-specific.
+        fields: kind-specific details (message type, view number, value...).
+    """
+
+    time: float
+    kind: str
+    node: int = -1
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"time": self.time, "kind": self.kind, "node": self.node, **self.fields}
+
+    def matches(self, **expected: Any) -> bool:
+        """True if every expected key equals the event's value for it."""
+        own = self.to_dict()
+        return all(own.get(key) == value for key, value in expected.items())
+
+
+class Trace:
+    """An append-only sequence of :class:`TraceEvent` objects.
+
+    Recording can be disabled wholesale (``enabled=False``) so the hot path
+    of large simulations pays a single branch per event.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._events: list[TraceEvent] = []
+
+    def record(self, time: float, kind: str, node: int = -1, **fields: Any) -> None:
+        """Append an event (no-op while disabled)."""
+        if self.enabled:
+            self._events.append(TraceEvent(time=time, kind=kind, node=node, fields=fields))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> TraceEvent:
+        return self._events[index]
+
+    def events(self, kind: str | None = None, node: int | None = None) -> list[TraceEvent]:
+        """Events filtered by ``kind`` and/or ``node``."""
+        out: Iterable[TraceEvent] = self._events
+        if kind is not None:
+            out = (e for e in out if e.kind == kind)
+        if node is not None:
+            out = (e for e in out if e.node == node)
+        return list(out)
+
+    def where(self, predicate: Callable[[TraceEvent], bool]) -> list[TraceEvent]:
+        """Events satisfying an arbitrary predicate."""
+        return [e for e in self._events if predicate(e)]
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line — the interchange format the validator
+        accepts as ground truth."""
+        return "\n".join(json.dumps(e.to_dict(), sort_keys=True) for e in self._events)
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "Trace":
+        """Parse a trace previously produced by :meth:`to_jsonl` (or by an
+        external tool emitting the same schema)."""
+        trace = cls(enabled=True)
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            time = data.pop("time")
+            kind = data.pop("kind")
+            node = data.pop("node", -1)
+            trace.record(time, kind, node, **data)
+        return trace
+
+    def format(self, limit: int | None = 50) -> str:
+        """Human-readable rendering of (the first ``limit``) events."""
+        shown = self._events if limit is None else self._events[:limit]
+        lines = [
+            f"{e.time:12.3f}  {e.kind:<12} node={e.node:<4} "
+            + " ".join(f"{k}={v}" for k, v in sorted(e.fields.items()))
+            for e in shown
+        ]
+        if limit is not None and len(self._events) > limit:
+            lines.append(f"... ({len(self._events) - limit} more events)")
+        return "\n".join(lines)

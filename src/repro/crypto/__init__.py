@@ -1,0 +1,12 @@
+"""Simulated cryptographic primitives (information-flow faithful stand-ins)."""
+
+from .common_coin import CommonCoin
+from .quorum import GENESIS_QC, QuorumCertificate, make_qc, make_tc
+from .signatures import Signature, SignatureScheme, canonical
+from .vrf import VRF_RANGE, VRFOracle, VRFOutput, VRFSecretKey
+
+__all__ = [
+    "CommonCoin", "GENESIS_QC", "QuorumCertificate", "Signature",
+    "SignatureScheme", "VRFOracle", "VRFOutput", "VRFSecretKey",
+    "VRF_RANGE", "canonical", "make_qc", "make_tc",
+]

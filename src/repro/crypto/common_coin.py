@@ -1,0 +1,43 @@
+"""Simulated common coin.
+
+Asynchronous BFT protocols escape the FLP impossibility with shared
+randomness: a *common coin* all honest nodes observe identically per round,
+unpredictable in advance.  Real systems build it from threshold signatures
+(e.g. Cachin et al.'s "Random oracles in Constantinople"); the simulation
+only needs the interface properties — per-round agreement, uniformity, and
+determinism under the run's seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+class CommonCoin:
+    """A per-simulation shared coin.
+
+    Every replica constructs the coin from the same simulation seed, so all
+    observe identical flips — the "trusted dealer" setup assumption of
+    coin-based asynchronous BA.
+    """
+
+    def __init__(self, seed: int = 0, instance: str = "coin") -> None:
+        self._seed = int(seed)
+        self._instance = instance
+
+    def flip(self, round_: int) -> int:
+        """The round's coin value, a fair bit in ``{0, 1}``."""
+        digest = hashlib.sha256(
+            f"{self._instance}|{self._seed}|{round_}".encode()
+        ).digest()
+        return digest[0] & 1
+
+    def value(self, round_: int, modulus: int) -> int:
+        """A shared uniform value in ``range(modulus)`` for ``round_``
+        (used e.g. for fallback leader election)."""
+        if modulus <= 0:
+            raise ValueError("modulus must be positive")
+        digest = hashlib.sha256(
+            f"{self._instance}|{self._seed}|{round_}|wide".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") % modulus

@@ -1,0 +1,70 @@
+"""Quorum certificates.
+
+HotStuff-family protocols carry *quorum certificates* (QCs): transferable
+evidence that a quorum of replicas voted for a statement.  LibraBFT adds
+*timeout certificates* (TCs) with the same structure.  The simulator's QC is
+a frozen value object — once built from a vote set, it can be embedded in
+payloads, compared, and validated by any replica.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class QuorumCertificate:
+    """Evidence that ``signers`` (a quorum) endorsed ``(kind, view, ref)``.
+
+    Attributes:
+        kind: certificate family — ``"qc"`` for vote certificates,
+            ``"tc"`` for timeout certificates.
+        view: the view/round the votes belong to.
+        ref: what was endorsed (a block digest for QCs; ``None`` for TCs).
+        signers: distinct voter ids.
+    """
+
+    kind: str
+    view: int
+    ref: str | None
+    signers: frozenset[int]
+
+    def valid(self, threshold: int) -> bool:
+        """True when the certificate carries at least ``threshold`` distinct
+        signers."""
+        return len(self.signers) >= threshold
+
+    def to_payload(self) -> dict[str, Any]:
+        """Wire form for embedding in message payloads."""
+        return {
+            "kind": self.kind,
+            "view": self.view,
+            "ref": self.ref,
+            "signers": sorted(self.signers),
+        }
+
+    @classmethod
+    def from_payload(cls, data: dict[str, Any] | None) -> "QuorumCertificate | None":
+        if data is None:
+            return None
+        return cls(
+            kind=str(data["kind"]),
+            view=int(data["view"]),
+            ref=data["ref"],
+            signers=frozenset(int(s) for s in data["signers"]),
+        )
+
+
+#: The genesis QC every HotStuff-family replica starts from.
+GENESIS_QC = QuorumCertificate(kind="qc", view=0, ref="genesis", signers=frozenset())
+
+
+def make_qc(view: int, ref: str, signers: set[int] | frozenset[int]) -> QuorumCertificate:
+    """Build a vote certificate."""
+    return QuorumCertificate(kind="qc", view=view, ref=ref, signers=frozenset(signers))
+
+
+def make_tc(view: int, signers: set[int] | frozenset[int]) -> QuorumCertificate:
+    """Build a timeout certificate (LibraBFT pacemaker)."""
+    return QuorumCertificate(kind="tc", view=view, ref=None, signers=frozenset(signers))

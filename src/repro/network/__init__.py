@@ -1,0 +1,25 @@
+"""The simulated peer-to-peer network: delays, topology, partitions."""
+
+from .delays import (
+    ConstantDelay,
+    DelayModel,
+    DelaySampler,
+    ExponentialDelay,
+    LogNormalDelay,
+    NormalDelay,
+    PoissonDelay,
+    UniformDelay,
+    available_distributions,
+    make_sampler,
+    register_distribution,
+)
+from .module import NetworkModule
+from .partition import PartitionSpec
+from .topology import Topology
+
+__all__ = [
+    "ConstantDelay", "DelayModel", "DelaySampler", "ExponentialDelay",
+    "LogNormalDelay", "NetworkModule", "NormalDelay", "PartitionSpec",
+    "PoissonDelay", "Topology", "UniformDelay", "available_distributions",
+    "make_sampler", "register_distribution",
+]

@@ -1,0 +1,201 @@
+"""Message-delay distributions.
+
+The paper's network module assigns each message a ``delay`` variable sampled
+from a configurable distribution — "such as a Gaussian distribution or a
+Poisson distribution, which can easily be changed to simulate various types
+of networks" (§III-A4).  This module provides those distributions behind a
+single :class:`DelaySampler` interface plus a :class:`DelayModel` that adds
+the bounding and GST semantics of the three network models (§II-B).
+
+All delays are milliseconds.  Samplers draw from a numpy
+:class:`~numpy.random.Generator` owned by the caller so the whole network is
+one named random substream.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+import numpy as np
+
+from ..core.config import NetworkConfig
+from ..core.errors import ConfigurationError
+
+
+class DelaySampler(ABC):
+    """Draws one transit delay per call."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator) -> float:
+        """Return one delay sample in milliseconds (unbounded, may be <= 0;
+        bounding is the :class:`DelayModel`'s job)."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class ConstantDelay(DelaySampler):
+    """Every message takes exactly ``value`` ms (ideal lab network)."""
+
+    def __init__(self, value: float) -> None:
+        self.value = float(value)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.value
+
+    def describe(self) -> str:
+        return f"constant({self.value})"
+
+
+class UniformDelay(DelaySampler):
+    """Uniform on ``[mean - spread, mean + spread]`` with
+    ``spread = std * sqrt(3)`` so that mean/std match the configuration."""
+
+    def __init__(self, mean: float, std: float) -> None:
+        self.mean = float(mean)
+        self.spread = float(std) * float(np.sqrt(3.0))
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return rng.uniform(self.mean - self.spread, self.mean + self.spread)
+
+    def describe(self) -> str:
+        return f"uniform(mean={self.mean}, spread={self.spread:.1f})"
+
+
+class NormalDelay(DelaySampler):
+    """Gaussian N(mean, std) — the paper's default workload family."""
+
+    def __init__(self, mean: float, std: float) -> None:
+        self.mean = float(mean)
+        self.std = float(std)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return rng.normal(self.mean, self.std)
+
+    def describe(self) -> str:
+        return f"normal({self.mean}, {self.std})"
+
+
+class LogNormalDelay(DelaySampler):
+    """Log-normal with the *target* mean/std (heavy-tailed WAN-like links).
+
+    The underlying normal parameters are solved from the requested moments:
+    ``sigma^2 = ln(1 + (std/mean)^2)``, ``mu = ln(mean) - sigma^2 / 2``.
+    """
+
+    def __init__(self, mean: float, std: float) -> None:
+        if mean <= 0:
+            raise ConfigurationError("lognormal mean must be > 0")
+        ratio = (std / mean) ** 2 if mean else 0.0
+        self.sigma = float(np.sqrt(np.log1p(ratio)))
+        self.mu = float(np.log(mean) - self.sigma**2 / 2.0)
+        self.mean = float(mean)
+        self.std = float(std)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self.mu, self.sigma))
+
+    def describe(self) -> str:
+        return f"lognormal(mean={self.mean}, std={self.std})"
+
+
+class ExponentialDelay(DelaySampler):
+    """Exponential with the given mean (memoryless congestion model)."""
+
+    def __init__(self, mean: float, std: float = 0.0) -> None:
+        if mean <= 0:
+            raise ConfigurationError("exponential mean must be > 0")
+        self.mean = float(mean)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean))
+
+    def describe(self) -> str:
+        return f"exponential(mean={self.mean})"
+
+
+class PoissonDelay(DelaySampler):
+    """Poisson-distributed integer delays with the given mean."""
+
+    def __init__(self, mean: float, std: float = 0.0) -> None:
+        if mean <= 0:
+            raise ConfigurationError("poisson mean must be > 0")
+        self.mean = float(mean)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.poisson(self.mean))
+
+    def describe(self) -> str:
+        return f"poisson(mean={self.mean})"
+
+
+_FACTORIES: dict[str, Callable[[float, float], DelaySampler]] = {
+    "constant": lambda mean, std: ConstantDelay(mean),
+    "uniform": UniformDelay,
+    "normal": NormalDelay,
+    "lognormal": LogNormalDelay,
+    "exponential": ExponentialDelay,
+    "poisson": PoissonDelay,
+}
+
+
+def available_distributions() -> list[str]:
+    """Names accepted by ``NetworkConfig.distribution``."""
+    return sorted(_FACTORIES)
+
+
+def register_distribution(name: str, factory: Callable[[float, float], DelaySampler]) -> None:
+    """Register a custom distribution under ``name``.
+
+    ``factory`` receives ``(mean, std)`` from the network configuration.
+    Re-registering an existing name raises, to protect reproducibility of
+    published configurations.
+    """
+    if name in _FACTORIES:
+        raise ConfigurationError(f"delay distribution {name!r} already registered")
+    _FACTORIES[name] = factory
+
+
+def make_sampler(config: NetworkConfig) -> DelaySampler:
+    """Build the sampler described by ``config``."""
+    try:
+        factory = _FACTORIES[config.distribution]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown delay distribution {config.distribution!r}; "
+            f"available: {available_distributions()}"
+        ) from None
+    return factory(config.mean, config.std)
+
+
+class DelayModel:
+    """Applies network-model semantics on top of a raw sampler.
+
+    * ``min_delay`` floors every sample (progress guarantee);
+    * ``max_delay`` caps samples, yielding the bounded behaviour of
+      synchronous / partially-synchronous networks;
+    * before ``gst``, samples are multiplied by ``pre_gst_factor`` and the
+      cap is *not* applied — the unstable phase of a partially-synchronous
+      network.
+    """
+
+    def __init__(self, config: NetworkConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self.sampler = make_sampler(config)
+        self._rng = rng
+
+    def sample_delay(self, now: float) -> float:
+        """One bounded delay for a message entering the network at ``now``."""
+        raw = self.sampler.sample(self._rng)
+        config = self.config
+        if now < config.gst:
+            raw *= config.pre_gst_factor
+        elif config.max_delay is not None:
+            raw = min(raw, config.max_delay)
+        return max(raw, config.min_delay)
+
+    def describe(self) -> str:
+        bound = self.config.max_delay
+        regime = "async" if bound is None else f"bounded<= {bound}"
+        return f"{self.sampler.describe()} [{regime}, gst={self.config.gst}]"

@@ -1,0 +1,208 @@
+"""The network module: delay assignment, attacker hand-off, delivery.
+
+Mirrors the paper's §III-A4 flow precisely: a sender hands the network a
+message with ``source``/``dest`` set; the network assigns the ``delay``
+variable from the configured distribution; the message then passes through
+the attacker module, which may tamper with it subject to its capabilities;
+surviving messages are registered as message events and dispatched at
+``sent_at + delay``.
+
+The capability rules declared in :mod:`repro.attacks.base` are *enforced*
+here, by diffing what the attacker returns against a snapshot of what it was
+given.  An attack implementation that oversteps its declared threat model
+fails the run with :class:`~repro.core.errors.CapabilityError` instead of
+silently producing results under a stronger adversary than advertised.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from ..attacks.base import Attacker, AttackerContext, Capability, REDACTED_PAYLOAD
+from ..core.config import NetworkConfig
+from ..core.errors import CapabilityError
+from ..core.message import BROADCAST, Message, estimate_message_bytes
+from .delays import DelayModel
+from .topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.controller import Controller
+
+
+class NetworkModule:
+    """Simulates the peer-to-peer network between nodes.
+
+    Args:
+        controller: owning controller (for scheduling and metrics).
+        config: network parameters (distribution, bounds, GST).
+        rng: dedicated numpy generator for delay sampling.
+        attacker: the attack scenario; a pass-through ``NullAttacker`` in
+            benign runs.
+    """
+
+    def __init__(
+        self,
+        controller: "Controller",
+        config: NetworkConfig,
+        rng: np.random.Generator,
+        attacker: Attacker,
+        attacker_ctx: AttackerContext,
+    ) -> None:
+        self._controller = controller
+        self.config = config
+        self.delay_model = DelayModel(config, rng)
+        self.topology = Topology(controller.n)
+        self.attacker = attacker
+        self._attacker_ctx = attacker_ctx
+
+    # -- public entry point -------------------------------------------------
+
+    def submit(self, message: Message) -> None:
+        """Accept a message from a node (or a forged one from the attacker).
+
+        Broadcasts are expanded to one unicast per node; the sender's own
+        copy is delivered loopback (zero network delay, invisible to the
+        attacker, excluded from message usage, as it never crosses the
+        wire).
+        """
+        now = self._controller.clock.now
+        message.sent_at = now
+        if message.dest == BROADCAST:
+            for dest in range(self._controller.n):
+                single = message.copy_for(dest)
+                single.forged = message.forged
+                self._submit_single(single)
+        else:
+            self._submit_single(message)
+
+    # -- internals ----------------------------------------------------------
+
+    def _submit_single(self, message: Message) -> None:
+        controller = self._controller
+        # Re-key the message with a per-run id: global construction counters
+        # would leak across runs and break trace-level determinism.
+        message.msg_id = controller.next_message_id()
+        if message.dest == message.source and not message.forged:
+            message.delay = 0.0
+            controller.schedule_delivery(message)
+            return
+
+        byzantine = message.forged or self._attacker_ctx.controls_message(message)
+        controller.metrics.on_sent(byzantine=byzantine)
+        controller.metrics.on_bytes(estimate_message_bytes(message))
+        controller.trace.record(
+            controller.clock.now, "send", message.source,
+            dest=message.dest, msg_type=message.type, msg_id=message.msg_id,
+            size=estimate_message_bytes(message),
+        )
+        if message.delay is None:
+            message.delay = self.delay_model.sample_delay(message.sent_at)
+        for survivor in self._run_attacker(message):
+            controller.schedule_delivery(survivor)
+
+    def _run_attacker(self, message: Message) -> Iterable[Message]:
+        """Pass one message through the attacker and enforce capabilities."""
+        ctx = self._attacker_ctx
+        observable = (
+            Capability.OBSERVE in ctx.capabilities or ctx.controls_message(message)
+        )
+        if observable:
+            proxy = message
+        else:
+            proxy = Message(
+                source=message.source,
+                dest=message.dest,
+                payload=dict(REDACTED_PAYLOAD),
+                sent_at=message.sent_at,
+                delay=message.delay,
+                msg_id=message.msg_id,
+            )
+        snapshot_payload = copy.deepcopy(message.payload)
+        snapshot_delay = message.delay
+
+        returned = self.attacker.attack(proxy)
+        if returned is None:
+            returned = [proxy]
+        returned = list(returned)
+
+        survivors: list[Message] = []
+        kept = False
+        for item in returned:
+            if item.msg_id == message.msg_id:
+                kept = True
+                survivors.append(
+                    self._apply_kept(message, proxy, item, snapshot_payload, snapshot_delay)
+                )
+            elif item.forged:
+                if item.delay is None:
+                    item.delay = self.delay_model.sample_delay(item.sent_at)
+                survivors.append(item)
+                self._controller.metrics.on_sent(byzantine=True)
+                self._controller.trace.record(
+                    self._controller.clock.now, "send", item.source,
+                    dest=item.dest, msg_type=item.type, msg_id=item.msg_id, forged=True,
+                )
+            else:
+                raise CapabilityError(
+                    "attacker returned a message it neither received nor forged: "
+                    f"{item.describe()}"
+                )
+        if not kept:
+            self._require_drop_rights(message)
+            self._controller.metrics.on_dropped()
+            self._controller.trace.record(
+                self._controller.clock.now, "drop", message.source,
+                dest=message.dest, msg_type=message.type, msg_id=message.msg_id,
+            )
+        return survivors
+
+    def _apply_kept(
+        self,
+        message: Message,
+        proxy: Message,
+        item: Message,
+        snapshot_payload: dict,
+        snapshot_delay: float | None,
+    ) -> Message:
+        """Validate and apply the attacker's changes to a kept message."""
+        ctx = self._attacker_ctx
+        if item.payload != snapshot_payload and proxy is message:
+            if not ctx.controls_message(message):
+                raise CapabilityError(
+                    f"attacker modified payload of honest message {message.describe()}; "
+                    "modification requires control of the source "
+                    "(corruption strictly before the send)"
+                )
+        if proxy is not message:
+            # Redacted view: only the delay may carry information back.
+            if item.payload != REDACTED_PAYLOAD:
+                raise CapabilityError(
+                    "attacker without OBSERVE modified a redacted payload"
+                )
+            message.delay = item.delay
+        if message.delay != snapshot_delay:
+            if (
+                Capability.NETWORK not in ctx.capabilities
+                and not ctx.controls_message(message)
+            ):
+                raise CapabilityError(
+                    f"attacker re-timed message {message.describe()} without the "
+                    "NETWORK capability"
+                )
+            if message.delay is None or message.delay < 0:
+                raise CapabilityError("attacker assigned an invalid delay")
+        return message
+
+    def _require_drop_rights(self, message: Message) -> None:
+        ctx = self._attacker_ctx
+        if Capability.NETWORK in ctx.capabilities:
+            return
+        if ctx.controls_message(message):
+            return
+        raise CapabilityError(
+            f"attacker dropped honest message {message.describe()} without the "
+            "NETWORK capability"
+        )

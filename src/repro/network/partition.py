@@ -1,0 +1,88 @@
+"""Partition specifications.
+
+A :class:`PartitionSpec` describes how to split ``n`` nodes into subnets and
+for how long — the input of the network-partition attack (paper §III-C,
+Fig. 6).  The spec itself is passive data; enforcement lives in
+:class:`repro.attacks.partition.PartitionAttacker`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """A timed partition of the node set.
+
+    Attributes:
+        groups: disjoint subnets; every node must appear in exactly one
+            group.  Messages *within* a group flow normally; messages
+            *between* groups are dropped (or delayed, see ``mode``).
+        start: simulation time (ms) at which the partition begins.
+        end: simulation time (ms) at which it heals.  The paper's Fig. 6
+            heals at 60 s.
+        mode: ``"drop"`` silently discards cross-group messages;
+            ``"delay"`` holds them and delivers them right after healing —
+            both behaviours the paper allows its partition attacker
+            ("either drop or delay the packets between different subnets").
+    """
+
+    groups: tuple[frozenset[int], ...]
+    start: float = 0.0
+    end: float = 60_000.0
+    mode: str = "drop"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("drop", "delay"):
+            raise ConfigurationError(f"partition mode must be drop|delay, got {self.mode!r}")
+        if self.end <= self.start:
+            raise ConfigurationError("partition must end after it starts")
+        seen: set[int] = set()
+        for group in self.groups:
+            overlap = seen & group
+            if overlap:
+                raise ConfigurationError(f"nodes {sorted(overlap)} appear in two groups")
+            seen |= group
+        if len(self.groups) < 2:
+            raise ConfigurationError("a partition needs at least two groups")
+
+    def group_of(self, node: int) -> int:
+        """Index of the group containing ``node``; ``-1`` if unlisted
+        (unlisted nodes are treated as their own singleton subnet)."""
+        for index, group in enumerate(self.groups):
+            if node in group:
+                return index
+        return -1
+
+    def separated(self, a: int, b: int) -> bool:
+        """True when the partition blocks direct traffic ``a -> b``."""
+        ga, gb = self.group_of(a), self.group_of(b)
+        if a == b:
+            return False
+        if ga == -1 and gb == -1:
+            return a != b  # two unlisted nodes are singleton subnets
+        return ga != gb
+
+    def active_at(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+    @staticmethod
+    def halves(n: int, start: float = 0.0, end: float = 60_000.0, mode: str = "drop") -> "PartitionSpec":
+        """Even/odd split into two near-equal halves.
+
+        Splitting by parity rather than by range matters for round-robin
+        leader protocols: both subnets keep seeing scheduled leaders, which
+        is the adversarially interesting case."""
+        left = frozenset(range(0, n, 2))
+        right = frozenset(range(1, n, 2))
+        return PartitionSpec(groups=(left, right), start=start, end=end, mode=mode)
+
+    @staticmethod
+    def split(groups: list[list[int]], start: float, end: float, mode: str = "drop") -> "PartitionSpec":
+        """Build a spec from plain lists (convenience for config files)."""
+        return PartitionSpec(
+            groups=tuple(frozenset(g) for g in groups), start=start, end=end, mode=mode
+        )

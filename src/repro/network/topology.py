@@ -1,0 +1,104 @@
+"""Network topology.
+
+The paper's simulator models a fully connected peer-to-peer overlay; the
+baseline packet simulator and the partition machinery additionally need an
+explicit graph view.  :class:`Topology` wraps a :mod:`networkx` graph and
+answers the two questions the simulator asks: *can A currently reach B?* and
+*what does the route look like?* (the latter only matters to the baseline's
+hop-by-hop model).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+from ..core.errors import ConfigurationError
+
+
+class Topology:
+    """A reachability graph over node ids ``0..n-1``.
+
+    The default is a complete graph (every pair connected by one logical
+    link).  Links can be cut and restored at runtime — the mechanism the
+    partition attacker uses.
+    """
+
+    def __init__(self, n: int, edges: Iterable[tuple[int, int]] | None = None) -> None:
+        if n < 1:
+            raise ConfigurationError("topology needs at least one node")
+        self.n = n
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(range(n))
+        if edges is None:
+            self.graph.add_edges_from(
+                (i, j) for i in range(n) for j in range(i + 1, n)
+            )
+        else:
+            for a, b in edges:
+                self._check(a)
+                self._check(b)
+                self.graph.add_edge(a, b)
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.n:
+            raise ConfigurationError(f"node {node} outside 0..{self.n - 1}")
+
+    # -- queries ---------------------------------------------------------------
+
+    def connected(self, a: int, b: int) -> bool:
+        """True when a direct link ``a -- b`` currently exists."""
+        self._check(a)
+        self._check(b)
+        return a == b or self.graph.has_edge(a, b)
+
+    def neighbors(self, node: int) -> list[int]:
+        self._check(node)
+        return sorted(self.graph.neighbors(node))
+
+    def components(self) -> list[set[int]]:
+        """Connected components, largest first — the "subnets" of §III-C."""
+        return sorted(nx.connected_components(self.graph), key=len, reverse=True)
+
+    def is_fully_connected(self) -> bool:
+        return nx.is_connected(self.graph) and all(
+            self.graph.degree(i) == self.n - 1 for i in range(self.n)
+        )
+
+    # -- mutation ---------------------------------------------------------------
+
+    def cut(self, a: int, b: int) -> None:
+        """Remove the link between ``a`` and ``b`` (idempotent)."""
+        self._check(a)
+        self._check(b)
+        if self.graph.has_edge(a, b):
+            self.graph.remove_edge(a, b)
+
+    def restore(self, a: int, b: int) -> None:
+        """Re-add the link between ``a`` and ``b`` (idempotent)."""
+        self._check(a)
+        self._check(b)
+        if a != b:
+            self.graph.add_edge(a, b)
+
+    def cut_between(self, group_a: Iterable[int], group_b: Iterable[int]) -> int:
+        """Cut every link with one endpoint in each group; returns the number
+        of links removed."""
+        removed = 0
+        group_b = set(group_b)
+        for a in group_a:
+            for b in group_b:
+                if a != b and self.graph.has_edge(a, b):
+                    self.graph.remove_edge(a, b)
+                    removed += 1
+        return removed
+
+    def restore_all(self) -> None:
+        """Return to the complete graph."""
+        self.graph.add_edges_from(
+            (i, j) for i in range(self.n) for j in range(i + 1, self.n)
+        )
+
+    def __repr__(self) -> str:
+        return f"Topology(n={self.n}, edges={self.graph.number_of_edges()})"

@@ -1,0 +1,15 @@
+"""Reference BFT protocol implementations (the paper's Table I)."""
+
+from .base import (
+    ASYNCHRONOUS,
+    BFTProtocol,
+    PARTIALLY_SYNCHRONOUS,
+    SYNCHRONOUS,
+    VoteCounter,
+)
+from .registry import available_protocols, get_protocol, register_protocol
+
+__all__ = [
+    "ASYNCHRONOUS", "BFTProtocol", "PARTIALLY_SYNCHRONOUS", "SYNCHRONOUS",
+    "VoteCounter", "available_protocols", "get_protocol", "register_protocol",
+]

@@ -1,0 +1,48 @@
+"""ADD+ v1: the basic protocol with deterministic round-robin leaders.
+
+Iteration ``k``'s leader is node ``k mod n``.  Because the leader sequence
+is public and fixed, a *static* attacker can decide before the run starts to
+fail-stop exactly the first ``f`` scheduled leaders, forcing ``f`` wasted
+iterations — the paper's Fig. 8 (left) attack, implemented in
+:mod:`repro.attacks.add_static`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.message import Message
+from .add_common import ADDBase
+from .registry import register_protocol
+
+
+@register_protocol("add-v1")
+class ADDv1Node(ADDBase):
+    """One honest ADD+ v1 replica."""
+
+    phases = ("propose", "vote", "commit", "resolve")
+
+    def __init__(self, node_id: int, env: Any) -> None:
+        super().__init__(node_id, env)
+        self.proposals: dict[int, Any] = {}  # iteration -> leader's value
+
+    def leader_of(self, iteration: int) -> int:
+        return iteration % self.n
+
+    def _phase_propose(self, iteration: int) -> None:
+        if self.leader_of(iteration) == self.id:
+            self.broadcast(
+                type="PROPOSE", iteration=iteration, value=self.current_value(iteration)
+            )
+
+    def proposal_for(self, iteration: int):
+        return self.proposals.get(iteration)
+
+    def on_variant_message(self, message: Message) -> None:
+        payload = message.payload
+        if payload.get("type") != "PROPOSE":
+            return
+        iteration = int(payload["iteration"])
+        if message.source != self.leader_of(iteration):
+            return  # only the scheduled leader may propose
+        self.proposals.setdefault(iteration, payload["value"])

@@ -1,0 +1,116 @@
+"""ADD+ v2: VRF-randomized leader election.
+
+Each iteration opens with a *credential* phase: every node broadcasts its
+VRF evaluation on the iteration number.  One ``lambda`` later the node
+holding the lowest credential knows it is the leader and broadcasts its
+proposal.  A *static* attacker gains nothing from corrupting nodes up
+front — leaders are unpredictable, so a corrupted node is the leader only
+with probability ``f/n`` per iteration and termination stays expected
+constant-round (paper Fig. 8, left).
+
+The remaining weakness is the one-phase gap between the credential reveal
+and the proposal: a *rushing adaptive* attacker observes the credentials in
+flight, identifies the iteration's leader, and corrupts it **before** it
+sends its proposal.  The no-retraction rule does not protect a message that
+has not been sent yet, so the iteration burns — repeatedly, until the
+corruption budget ``f`` is exhausted (paper Fig. 8, right; implemented in
+:mod:`repro.attacks.add_adaptive`).  Closing that gap is exactly v3's job.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.message import Message
+from ..crypto.vrf import VRFOracle, VRFOutput
+from .add_common import ADDBase
+from .registry import register_protocol
+
+
+@register_protocol("add-v2")
+class ADDv2Node(ADDBase):
+    """One honest ADD+ v2 replica."""
+
+    phases = ("credential", "propose", "vote", "commit", "resolve")
+
+    def __init__(self, node_id: int, env: Any) -> None:
+        super().__init__(node_id, env)
+        self.vrf = VRFOracle(seed=env.seed)
+        self.key = self.vrf.keygen(node_id)
+        self.credentials: dict[int, list[tuple[int, int]]] = {}  # k -> [(cred, node)]
+        self.proposals: dict[int, list[tuple[int, Any]]] = {}  # k -> [(cred, value)]
+
+    def _credential_input(self, iteration: int) -> str:
+        return f"leader/{iteration}"
+
+    def _phase_credential(self, iteration: int) -> None:
+        output = self.vrf.evaluate(self.key, self._credential_input(iteration))
+        self.broadcast(
+            type="CREDENTIAL", iteration=iteration, credential=output.to_payload()
+        )
+
+    def _phase_propose(self, iteration: int) -> None:
+        """Propose iff our credential is the lowest revealed so far."""
+        known = self.credentials.get(iteration, [])
+        if not known:
+            return
+        lowest_cred, lowest_node = min(known)
+        if lowest_node != self.id:
+            return
+        output = self.vrf.evaluate(self.key, self._credential_input(iteration))
+        self.broadcast(
+            type="PROPOSE",
+            iteration=iteration,
+            value=self.current_value(iteration),
+            credential=output.to_payload(),
+        )
+
+    def proposal_for(self, iteration: int):
+        candidates = self.proposals.get(iteration, [])
+        return min(candidates)[1] if candidates else None
+
+    def on_variant_message(self, message: Message) -> None:
+        payload = message.payload
+        kind = payload.get("type")
+        if kind == "CREDENTIAL":
+            self._on_credential(message)
+        elif kind == "PROPOSE":
+            self._on_propose(message)
+
+    def _verified_credential(self, message: Message) -> VRFOutput | None:
+        payload = message.payload
+        data = payload.get("credential")
+        if not isinstance(data, dict):
+            return None
+        try:
+            output = VRFOutput.from_payload(data)
+        except (KeyError, TypeError, ValueError):
+            return None
+        iteration = int(payload["iteration"])
+        if output.node != message.source:
+            return None
+        if output.input != self._credential_input(iteration):
+            return None
+        if not self.vrf.verify(output):
+            return None
+        return output
+
+    def _on_credential(self, message: Message) -> None:
+        output = self._verified_credential(message)
+        if output is None:
+            return
+        iteration = int(message.payload["iteration"])
+        entry = (output.value, output.node)
+        bucket = self.credentials.setdefault(iteration, [])
+        if entry not in bucket:
+            bucket.append(entry)
+
+    def _on_propose(self, message: Message) -> None:
+        output = self._verified_credential(message)
+        if output is None:
+            return
+        iteration = int(message.payload["iteration"])
+        entry = (output.value, message.payload["value"])
+        bucket = self.proposals.setdefault(iteration, [])
+        if entry not in bucket:
+            bucket.append(entry)

@@ -1,0 +1,216 @@
+"""Algorand Agreement (Chen, Gorbunov, Micali, Vlachos 2018).
+
+The paper's representative *partition-resilient* synchronous protocol
+(§III-B2).  Execution proceeds in *periods*, each a fixed schedule of steps
+clocked off the synchrony parameter ``lambda``:
+
+* **proposal** (period start) — every node broadcasts a value proposal
+  carrying its VRF credential; the lowest credential acts as the period's
+  leader;
+* **soft-vote** (``+2*lambda``) — vote for the lowest-credential proposal
+  (or for the period's starting value when one was carried over);
+* **cert-vote** (event-driven) — on ``2f+1`` soft-votes for ``v``,
+  cert-vote ``v``; ``2f+1`` cert-votes decide ``v``;
+* **next-vote** (``+4*lambda``) — if undecided, vote to move on: for ``v``
+  when ``v`` gathered a soft-vote quorum this period (a *certificate
+  potential* — at most one value per period can have one), otherwise for
+  the starting value, otherwise for bottom;
+* ``2f+1`` next-votes for the same value start the following period with it.
+
+Partition resilience is structural: periods only advance through
+certificates, so the two sides of a partition simply *hold position* and
+keep retransmitting their next-votes at a fixed cadence — no per-node
+back-off accumulates (contrast HotStuff+NS, Fig. 6).  A node that
+next-voted bottom switches to ``v`` after ``f+1`` next-votes for ``v``,
+which lets a healed network converge even when the halves next-voted
+differently.
+
+Latency is tied to ``lambda`` by the step schedule — Algorand is *not*
+responsive, which is exactly how the paper's Fig. 4 groups it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.events import TimeEvent
+from ..core.message import Message
+from ..crypto.vrf import VRFOracle, VRFOutput
+from .base import BFTProtocol, SYNCHRONOUS, VoteCounter
+from .registry import register_protocol
+
+#: The "bottom" next-vote value (no certificate potential this period).
+BOTTOM = "<bottom>"
+
+
+@register_protocol("algorand")
+class AlgorandNode(BFTProtocol):
+    """One honest Algorand Agreement replica."""
+
+    network_model = SYNCHRONOUS
+    responsive = False
+    pipelined = False
+
+    @classmethod
+    def max_resilience(cls, n: int) -> int:
+        """Algorand Agreement uses 2f+1 quorums: f < n/3 despite the
+        synchronous network model (the price of partition resilience)."""
+        return max(0, (n - 1) // 3)
+
+    def __init__(self, node_id: int, env: Any) -> None:
+        super().__init__(node_id, env)
+        self.vrf = VRFOracle(seed=env.seed)
+        self.key = self.vrf.keygen(node_id)
+        self.period = 0
+        self.starting_value: Any = None
+        self.soft_votes = VoteCounter()  # key: (period, value)
+        self.cert_votes = VoteCounter()  # key: (period, value)
+        self.next_votes = VoteCounter()  # key: (period, value)
+        self.proposals: dict[int, list[tuple[int, Any]]] = {}  # period -> [(cred, value)]
+        self.cert_potential: dict[int, Any] = {}
+        self._cert_voted: set[int] = set()
+        self._next_voted: dict[int, Any] = {}
+        self._decided = False
+        self._step_timers: list = []
+
+    # ------------------------------------------------------------------
+    # period schedule
+    # ------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self._enter_period(0, None)
+
+    def _enter_period(self, period: int, starting_value: Any) -> None:
+        self.period = period
+        self.starting_value = starting_value
+        self.report("view", view=period)
+        for timer in self._step_timers:
+            self.cancel_timer(timer)
+        self._step_timers = [
+            self.set_timer(2 * self.lam, "soft-vote", period=period),
+            self.set_timer(4 * self.lam, "next-vote", period=period),
+        ]
+        value = starting_value if starting_value is not None else self.proposal_value(0, period)
+        credential = self.vrf.evaluate(self.key, f"leader/{period}")
+        self.broadcast(
+            type="PROPOSAL",
+            period=period,
+            value=value,
+            credential=credential.to_payload(),
+        )
+
+    def on_timer(self, timer: TimeEvent) -> None:
+        if self._decided:
+            return
+        period = (timer.data or {}).get("period")
+        if period != self.period:
+            return
+        if timer.name == "soft-vote":
+            self._do_soft_vote()
+        elif timer.name == "next-vote":
+            self._do_next_vote()
+        elif timer.name == "retry":
+            self._retry_next_vote()
+
+    def _do_soft_vote(self) -> None:
+        if self.starting_value is not None:
+            value = self.starting_value
+        else:
+            candidates = self.proposals.get(self.period, [])
+            if candidates:
+                value = min(candidates)[1]
+            else:
+                value = self.proposal_value(0, self.period)
+        self.broadcast(type="SOFT", period=self.period, value=value)
+
+    def _do_next_vote(self) -> None:
+        value = self.cert_potential.get(self.period)
+        if value is None:
+            value = self.starting_value if self.starting_value is not None else BOTTOM
+        self._next_voted[self.period] = value
+        self.broadcast(type="NEXT", period=self.period, value=value)
+        self._arm_retry()
+
+    def _arm_retry(self) -> None:
+        """Fixed-cadence retransmission of the next-vote while stuck —
+        the partition-recovery mechanism."""
+        self._step_timers.append(
+            self.set_timer(2 * self.lam, "retry", period=self.period)
+        )
+
+    def _retry_next_vote(self) -> None:
+        value = self._next_voted.get(self.period)
+        if value is not None:
+            self.broadcast(type="NEXT", period=self.period, value=value)
+            self._arm_retry()
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        kind = payload.get("type")
+        if kind == "PROPOSAL":
+            self._on_proposal(message)
+        elif kind == "SOFT":
+            self._on_soft(message)
+        elif kind == "CERT":
+            self._on_cert(message)
+        elif kind == "NEXT":
+            self._on_next(message)
+
+    def _on_proposal(self, message: Message) -> None:
+        payload = message.payload
+        period = int(payload["period"])
+        credential_data = payload.get("credential")
+        if not isinstance(credential_data, dict):
+            return
+        try:
+            credential = VRFOutput.from_payload(credential_data)
+        except (KeyError, TypeError, ValueError):
+            return
+        if credential.node != message.source or credential.input != f"leader/{period}":
+            return
+        if not self.vrf.verify(credential):
+            return  # forged credential
+        self.proposals.setdefault(period, []).append((credential.value, payload["value"]))
+
+    def _on_soft(self, message: Message) -> None:
+        payload = message.payload
+        period, value = int(payload["period"]), payload["value"]
+        count = self.soft_votes.add((period, value), message.source)
+        if count >= self.quorum() and period not in self.cert_potential:
+            self.cert_potential[period] = value
+            if period == self.period and period not in self._cert_voted and not self._decided:
+                self._cert_voted.add(period)
+                self.broadcast(type="CERT", period=period, value=value)
+
+    def _on_cert(self, message: Message) -> None:
+        payload = message.payload
+        period, value = int(payload["period"]), payload["value"]
+        count = self.cert_votes.add((period, value), message.source)
+        if count >= self.quorum() and not self._decided:
+            self._decided = True
+            for timer in self._step_timers:
+                self.cancel_timer(timer)
+            self.decide(0, value)
+
+    def _on_next(self, message: Message) -> None:
+        payload = message.payload
+        period, value = int(payload["period"]), payload["value"]
+        count = self.next_votes.add((period, value), message.source)
+        if self._decided:
+            return
+        if (
+            value != BOTTOM
+            and period == self.period
+            and self._next_voted.get(period) == BOTTOM
+            and count >= self.f + 1
+        ):
+            # Switch from bottom once f+1 peers vouch for a real value.
+            self._next_voted[period] = value
+            self.broadcast(type="NEXT", period=period, value=value)
+        if count >= self.quorum() and period >= self.period:
+            starting = None if value == BOTTOM else value
+            self._enter_period(period + 1, starting)

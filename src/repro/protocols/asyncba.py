@@ -1,0 +1,178 @@
+"""Bracha's asynchronous binary Byzantine agreement (Inf. & Comp. 1987).
+
+The paper's representative asynchronous protocol (§III-B3).  There are *no
+timers whatsoever*: progress is driven purely by message-count thresholds,
+so the protocol is untouched by the ``lambda`` configuration (paper Figs. 4
+and 5 exclude it for exactly that reason) and works under unbounded delays.
+
+Round structure (one binary consensus instance, slot 0):
+
+1. every node broadcasts its current estimate (``PHASE1``);
+2. on ``n - f`` phase-1 messages, broadcast the majority value (``PHASE2``);
+3. on ``n - f`` phase-2 messages, broadcast ``PHASE3`` with the value that
+   holds a strict majority among them (or an explicit "no value" marker);
+4. on ``n - f`` phase-3 messages, count the non-empty proposals ``d``:
+   ``d >= 2f + 1`` decides the value, ``d >= f + 1`` adopts it, otherwise
+   the estimate is reset from the round's **common coin**.
+
+Because the FLP result rules out deterministic termination, liveness is
+probabilistic: every coin round succeeds with probability >= 1/2 once the
+honest estimates are mixed, giving expected O(1) rounds.
+
+Inputs: node ``i`` starts with bit ``i mod 2`` by default (the adversarially
+interesting mixed-input case).  ``protocol_params["inputs"]`` may supply an
+explicit list, and ``protocol_params["unanimous"]`` forces all-same inputs.
+After deciding, a node keeps participating for a bounded number of rounds so
+lagging peers can finish (the controller halts the run as soon as every
+honest node has decided).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.message import Message
+from ..crypto.common_coin import CommonCoin
+from .base import ASYNCHRONOUS, BFTProtocol, VoteCounter
+from .registry import register_protocol
+
+#: Marker for "no majority value" in phase 2/3 messages.
+NO_VALUE = "none"
+
+#: How many rounds a decided node keeps helping before going quiet.
+_LINGER_ROUNDS = 4
+
+
+@register_protocol("async-ba")
+class AsyncBANode(BFTProtocol):
+    """One honest replica of Bracha's asynchronous BA."""
+
+    network_model = ASYNCHRONOUS
+    responsive = True  # progress tracks actual network speed by construction
+    pipelined = False
+
+    def __init__(self, node_id: int, env: Any) -> None:
+        super().__init__(node_id, env)
+        self.round = 0
+        self.estimate = self._initial_estimate()
+        self.coin = CommonCoin(seed=env.protocol_param("coin_seed", 0))
+        self.phase1 = VoteCounter()  # key: (round, value)
+        self.phase2 = VoteCounter()  # key: (round, value)
+        self.phase3 = VoteCounter()  # key: (round, value)
+        self.seen1 = VoteCounter()  # key: round (distinct senders, any value)
+        self.seen2 = VoteCounter()
+        self.seen3 = VoteCounter()
+        self._advanced: dict[int, int] = {}  # round -> phase reached (1..3)
+        self.decided_value: int | None = None
+        self._decided_round: int | None = None
+
+    def _initial_estimate(self) -> int:
+        inputs = self.env.protocol_param("inputs")
+        if inputs is not None:
+            return int(inputs[self.id]) & 1
+        if self.env.protocol_param("unanimous", False):
+            return 1
+        return self.id % 2
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        self._start_round(0)
+
+    def _start_round(self, round_: int) -> None:
+        self.round = round_
+        self.report("round", round=round_, estimate=self.estimate)
+        self.broadcast(type="PHASE1", round=round_, value=self.estimate)
+        # Quorums for this round may already be sitting in the counters
+        # (asynchrony: peers can be a full round ahead of us).
+        self._progress(round_)
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        kind = payload.get("type")
+        if kind not in ("PHASE1", "PHASE2", "PHASE3"):
+            return
+        round_ = int(payload["round"])
+        value = payload["value"]
+        if kind == "PHASE1":
+            if value in (0, 1):
+                self.phase1.add((round_, value), message.source)
+                self.seen1.add(round_, message.source)
+        elif kind == "PHASE2":
+            if value in (0, 1, NO_VALUE):
+                self.phase2.add((round_, value), message.source)
+                self.seen2.add(round_, message.source)
+        else:
+            if value in (0, 1, NO_VALUE):
+                self.phase3.add((round_, value), message.source)
+                self.seen3.add(round_, message.source)
+        self._progress(round_)
+
+    # ------------------------------------------------------------------
+    # threshold-driven state machine
+    # ------------------------------------------------------------------
+
+    def _progress(self, round_: int) -> None:
+        """Advance through the round's phases as thresholds are reached.
+
+        Thresholds are evaluated for *any* round, because an asynchronous
+        replica can receive a full quorum for a round it has not started
+        locally yet."""
+        if round_ != self.round:
+            return
+        threshold = self.quorum("available")
+        phase = self._advanced.get(round_, 1)
+        if phase == 1 and self.seen1.count(round_) >= threshold:
+            ones = self.phase1.count((round_, 1))
+            zeros = self.phase1.count((round_, 0))
+            majority = 1 if ones >= zeros else 0
+            self._advanced[round_] = 2
+            self.broadcast(type="PHASE2", round=round_, value=majority)
+            phase = 2
+        if phase == 2 and self.seen2.count(round_) >= threshold:
+            value: Any = NO_VALUE
+            for candidate in (0, 1):
+                if self.phase2.count((round_, candidate)) * 2 > self.n:
+                    value = candidate
+            self._advanced[round_] = 3
+            self.broadcast(type="PHASE3", round=round_, value=value)
+            phase = 3
+        if phase == 3 and self.seen3.count(round_) >= threshold:
+            self._finish_round(round_)
+
+    def _finish_round(self, round_: int) -> None:
+        self._advanced[round_] = 4
+        counts = {candidate: self.phase3.count((round_, candidate)) for candidate in (0, 1)}
+        # At most one of 0/1 can appear in honest phase-3 messages (they all
+        # report the same strict-majority value), so take the better one.
+        value = max(counts, key=counts.get)
+        support = counts[value]
+        if support >= 2 * self.f + 1:
+            self.estimate = value
+            self._decide(value)
+        elif support >= self.f + 1:
+            self.estimate = value
+        else:
+            self.estimate = self.coin.flip(round_)
+            self.report("coin", round=round_, value=self.estimate)
+        if self._should_continue(round_):
+            self._start_round(round_ + 1)
+
+    def _decide(self, value: int) -> None:
+        if self.decided_value is None:
+            self.decided_value = value
+            self._decided_round = self.round
+            self.decide(0, value)
+
+    def _should_continue(self, round_: int) -> bool:
+        """Linger a few rounds after deciding so peers can finish; the
+        controller normally stops the run well before the linger expires."""
+        if self._decided_round is None:
+            return True
+        return round_ < self._decided_round + _LINGER_ROUNDS

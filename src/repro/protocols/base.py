@@ -1,0 +1,111 @@
+"""Base class and shared helpers for BFT protocol implementations.
+
+Every protocol in :mod:`repro.protocols` subclasses :class:`BFTProtocol`,
+which extends the simulator's :class:`~repro.core.node.Node` with the
+metadata the controller and the experiment harness need: the network model
+the protocol assumes, its fault resilience, and whether it is responsive
+(§II-C2 — latency depends only on actual network speed, not on the
+configured ``lambda``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Hashable
+
+from ..core.errors import ConfigurationError
+from ..core.node import Node
+
+#: Network-model labels (Table I column "Network Model").
+SYNCHRONOUS = "synchronous"
+PARTIALLY_SYNCHRONOUS = "partially-synchronous"
+ASYNCHRONOUS = "asynchronous"
+
+
+class BFTProtocol(Node):
+    """Base class for honest replicas of a BFT protocol.
+
+    Class attributes (override per protocol):
+        protocol_name: registry name.
+        network_model: one of the three model labels above.
+        responsive: True when agreement latency depends only on actual
+            network delay (PBFT, HotStuff, LibraBFT), False when it is tied
+            to the ``lambda`` parameter (the synchronous protocols).
+        pipelined: True for protocols the paper measures over ten decisions
+            (HotStuff+NS, LibraBFT).
+    """
+
+    protocol_name: str = "abstract"
+    network_model: str = PARTIALLY_SYNCHRONOUS
+    responsive: bool = False
+    pipelined: bool = False
+
+    @classmethod
+    def max_resilience(cls, n: int) -> int:
+        """Default ``f`` for ``n`` nodes: the protocol's maximum tolerance.
+
+        Synchronous protocols tolerate a minority (``f < n/2``); partially
+        synchronous and asynchronous ones tolerate ``f < n/3``.
+        """
+        if cls.network_model == SYNCHRONOUS:
+            return max(0, (n - 1) // 2)
+        return max(0, (n - 1) // 3)
+
+    @classmethod
+    def check_resilience(cls, n: int, f: int) -> None:
+        """Reject configurations outside the protocol's proven bound."""
+        limit = cls.max_resilience(n)
+        if f > limit:
+            raise ConfigurationError(
+                f"{cls.protocol_name} tolerates at most f={limit} of n={n} "
+                f"({cls.network_model} resilience); got f={f}"
+            )
+
+    def proposal_value(self, slot: int, view: int | None = None) -> str:
+        """A deterministic placeholder value for a fresh proposal.
+
+        The simulator does not execute application payloads, so proposals
+        are tagged strings carrying the proposer, slot, and view (enough for
+        safety checking to be meaningful)."""
+        suffix = f"/v{view}" if view is not None else ""
+        return f"value(slot={slot}, proposer={self.id}{suffix})"
+
+
+class VoteCounter:
+    """Counts votes per key, guarding against double counting.
+
+    Used by every quorum-based protocol: ``add(key, voter)`` returns the
+    number of *distinct* voters for ``key`` so far, making "act exactly once
+    when the quorum is first reached" a one-line pattern::
+
+        if votes.add((view, digest), msg.source) == self.quorum():
+            ...
+    """
+
+    def __init__(self) -> None:
+        self._voters: dict[Hashable, set[int]] = defaultdict(set)
+
+    def add(self, key: Hashable, voter: int) -> int:
+        """Record ``voter``'s vote for ``key``; returns the updated count."""
+        self._voters[key].add(voter)
+        return len(self._voters[key])
+
+    def count(self, key: Hashable) -> int:
+        voters = self._voters.get(key)
+        return len(voters) if voters else 0
+
+    def voters(self, key: Hashable) -> frozenset[int]:
+        return frozenset(self._voters.get(key, frozenset()))
+
+    def has_voted(self, key: Hashable, voter: int) -> bool:
+        return voter in self._voters.get(key, frozenset())
+
+    def keys(self) -> list[Hashable]:
+        return list(self._voters)
+
+    def best(self, prefix_filter: Any = None) -> tuple[Hashable, int] | None:
+        """The key with the most votes (ties broken by repr for determinism)."""
+        if not self._voters:
+            return None
+        key = max(self._voters, key=lambda k: (len(self._voters[k]), repr(k)))
+        return key, len(self._voters[key])

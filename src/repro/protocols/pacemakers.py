@@ -1,0 +1,126 @@
+"""Pacemaker timeout policies.
+
+HotStuff decouples liveness from safety behind a *PaceMaker* (paper
+§III-B5); the concrete policy is the single design difference between our
+HotStuff+NS and LibraBFT implementations, and the root cause of the Fig. 5
+(underestimated timeout) and Fig. 6 (partition recovery) contrasts.  The
+policies are small value objects so tests can exercise them in isolation and
+the benchmark harness can ablate them.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import ConfigurationError
+
+#: Growth cap: intervals never exceed ``base * 2 ** _MAX_DOUBLINGS``.
+_MAX_DOUBLINGS = 24
+
+
+class ViewDoublingPolicy:
+    """The naive view-doubling synchronizer's duration rule (HotStuff+NS).
+
+    Following Naor et al., the duration of view ``v`` is a function of the
+    *view number*: ``base * 2 ** (v - anchor)``, where ``anchor`` is the
+    view of the last commit.  Two properties follow directly:
+
+    * **Self-stabilization.**  A replica that fell behind sits in lower
+      views, whose durations are *shorter*, so it catches up; view
+      synchronization is eventually restored with no communication at all.
+      That is the entire synchronizer — hence "naive".
+    * **Exponential pathology.**  Until a commit moves the anchor, every
+      wasted view doubles the next one.  With an underestimated timeout the
+      cluster repeatedly climbs this ladder and can stall for
+      ``base * 2 ** k`` at a time (at ``lambda = 150 ms`` a nine-view climb
+      is ~77 s — the paper's Fig. 9 shows exactly such a ~75 s plateau), and
+      a 60 s partition leaves replicas holding views minutes long (Fig. 6).
+
+    The exponent is capped (default ``2 ** 10``) — every real deployment
+    caps its back-off — which also keeps horizon-bounded experiments
+    meaningful.
+    """
+
+    def __init__(self, base: float, max_doublings: int = 10) -> None:
+        if base <= 0:
+            raise ConfigurationError("pacemaker base interval must be > 0")
+        if not 0 < max_doublings <= _MAX_DOUBLINGS:
+            raise ConfigurationError(
+                f"max_doublings must be in 1..{_MAX_DOUBLINGS}, got {max_doublings}"
+            )
+        self.base = float(base)
+        self.max_doublings = max_doublings
+        self.anchor = 1
+
+    def duration_of(self, view: int) -> float:
+        """Timer duration for ``view`` under the current anchor."""
+        exponent = min(max(view - self.anchor, 0), self.max_doublings)
+        return self.base * (2.0**exponent)
+
+    def on_commit(self, view: int) -> None:
+        """A decision was reached in ``view``: re-anchor the ladder there.
+
+        All replicas commit at the same view (it is the same three-chain),
+        so the anchor — and with it every future view's duration — stays
+        globally consistent without any coordination."""
+        self.anchor = max(self.anchor, view)
+
+
+class AdaptiveTimeoutPolicy:
+    """LibraBFT's round-timeout rule.
+
+    Timeouts double on failure like the naive policy, but (a) round
+    synchronization itself comes from timeout *certificates*, so replicas
+    never drift apart, and (b) on success the interval decays gently
+    (halving, floored at the base) instead of snapping back — so a protocol
+    running over a slower-than-estimated network settles at a working
+    timeout instead of oscillating (the Fig. 5 flatness).
+    """
+
+    def __init__(self, base: float, decay: float = 0.5) -> None:
+        if base <= 0:
+            raise ConfigurationError("pacemaker base interval must be > 0")
+        if not 0.0 < decay <= 1.0:
+            raise ConfigurationError("decay must be in (0, 1]")
+        self.base = float(base)
+        self.decay = float(decay)
+        self.interval = float(base)
+
+    def on_timeout(self) -> float:
+        limit = self.base * (2.0**_MAX_DOUBLINGS)
+        self.interval = min(self.interval * 2.0, limit)
+        return self.interval
+
+    def on_commit(self) -> float:
+        self.interval = max(self.base, self.interval * self.decay)
+        return self.interval
+
+    def current(self) -> float:
+        return self.interval
+
+
+class PerNodeDoublingPolicy:
+    """Per-node exponential back-off with reset on local progress.
+
+    An alternative naive-synchronizer reading: each replica keeps its own
+    consecutive-timeout counter, doubles its interval on every timeout, and
+    snaps back to the base whenever *it* observes progress (a QC moving it
+    forward, or a commit).  Because the counter is per-node and resets are
+    driven by locally-observed events, interval state diverges across
+    replicas and the cluster can wander through disjoint view groups for a
+    long time — convergence relies on the growth cap and luck.
+    """
+
+    def __init__(self, base: float, max_doublings: int = 7) -> None:
+        if base <= 0:
+            raise ConfigurationError("pacemaker base interval must be > 0")
+        self.base = float(base)
+        self.max_doublings = max_doublings
+        self.doublings = 0
+
+    def current(self) -> float:
+        return self.base * (2.0 ** self.doublings)
+
+    def on_timeout(self) -> None:
+        self.doublings = min(self.doublings + 1, self.max_doublings)
+
+    def on_progress(self) -> None:
+        self.doublings = 0

@@ -1,0 +1,69 @@
+"""Protocol registry.
+
+Protocols register under a stable name used in configurations, the CLI-ish
+experiment specs, and the paper-reproduction benchmarks.  Importing
+:mod:`repro.protocols` registers the eight reference implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Type, TypeVar
+
+from ..core.errors import ConfigurationError
+from .base import BFTProtocol
+
+_REGISTRY: dict[str, Type[BFTProtocol]] = {}
+
+P = TypeVar("P", bound=Type[BFTProtocol])
+
+
+def register_protocol(name: str) -> Callable[[P], P]:
+    """Class decorator: register a protocol under ``name``.
+
+    Example::
+
+        @register_protocol("my-bft")
+        class MyBFT(BFTProtocol):
+            ...
+    """
+
+    def decorator(cls: P) -> P:
+        if name in _REGISTRY:
+            raise ConfigurationError(f"protocol {name!r} already registered")
+        cls.protocol_name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def get_protocol(name: str) -> Type[BFTProtocol]:
+    """Look up a protocol class by registry name."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; available: {available_protocols()}"
+        ) from None
+
+
+def available_protocols() -> list[str]:
+    """Sorted names of every registered protocol."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def _ensure_builtins() -> None:
+    """Import the reference implementations exactly once."""
+    from . import (  # noqa: F401
+        addv1,
+        addv2,
+        addv3,
+        algorand,
+        asyncba,
+        hotstuff,
+        librabft,
+        pbft,
+        tendermint,
+    )

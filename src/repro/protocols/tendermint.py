@@ -1,0 +1,238 @@
+"""Tendermint consensus (Buchman, Kwon, Milosevic 2018) — extension protocol.
+
+Tendermint is cited by the paper ([26]) among the newer blockchain
+protocols its simulator targets; it is not part of the evaluated eight, so
+it ships here as the demonstration that the protocol registry genuinely
+extends: registering this module is all it took for Tendermint to run
+under every network model, attack, engine, and test matrix in the suite.
+
+Protocol (one height = one slot; simplified from the arXiv algorithm but
+keeping the safety-critical locking rules):
+
+* rounds ``r = 0, 1, ...`` with proposer ``(height + round) mod n``;
+* **propose** — the proposer broadcasts its valid value (or a fresh one);
+  replicas start ``timeout_propose``;
+* **prevote** — on a proposal, prevote its value if not locked on a
+  conflicting one (else prevote the lock — never abandon a lock for an
+  unjustified value); on timeout, prevote ``nil``;
+* **precommit** — on a prevote quorum for ``v``: lock ``v`` at this round,
+  record it as the valid value, and precommit ``v``; on a quorum of
+  prevotes that cannot certify any value, precommit ``nil``;
+* **decide** — on a precommit quorum for ``v``; a quorum of ``nil``/mixed
+  precommits instead starts round ``r + 1``.
+
+Timeouts grow *linearly* with the round number
+(``lambda * (1 + round/2)``) — Tendermint's documented policy, a third
+pacemaker personality between HotStuff+NS's exponential per-node back-off
+and LibraBFT's certificate-synchronized rounds.
+
+Quorums are ``ceil((n+f+1)/2)``; safety comes from lock/quorum
+intersection exactly as in PBFT.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.events import TimeEvent
+from ..core.message import Message
+from .base import BFTProtocol, PARTIALLY_SYNCHRONOUS, VoteCounter
+from .registry import register_protocol
+
+#: The "no value" vote.
+NIL = "<nil>"
+
+
+@register_protocol("tendermint")
+class TendermintNode(BFTProtocol):
+    """One honest Tendermint replica."""
+
+    network_model = PARTIALLY_SYNCHRONOUS
+    responsive = True
+    pipelined = False
+
+    def __init__(self, node_id: int, env: Any) -> None:
+        super().__init__(node_id, env)
+        self.height = 0
+        self.round = 0
+        self.locked_value: Any = None
+        self.locked_round = -1
+        self.valid_value: Any = None
+        self.proposals: dict[tuple[int, int], Any] = {}  # (h, r) -> value
+        self.prevotes = VoteCounter()  # key: (h, r, value)
+        self.prevote_seen = VoteCounter()  # key: (h, r) distinct voters
+        self.precommits = VoteCounter()  # key: (h, r, value)
+        self.precommit_seen = VoteCounter()  # key: (h, r)
+        self._prevoted: set[tuple[int, int]] = set()
+        self._precommitted: set[tuple[int, int]] = set()
+        self._decided_heights: set[int] = set()
+        self._round_started: set[tuple[int, int]] = set()
+        self._timer = None
+
+    # ------------------------------------------------------------------
+    # round machinery
+    # ------------------------------------------------------------------
+
+    def proposer_of(self, height: int, round_: int) -> int:
+        return (height + round_) % self.n
+
+    def _timeout(self, round_: int) -> float:
+        """Tendermint's linearly increasing round timeout."""
+        return self.lam * (1.0 + round_ / 2.0)
+
+    def on_start(self) -> None:
+        self._start_height(0)
+
+    def _start_height(self, height: int) -> None:
+        self.height = height
+        self.locked_value = None
+        self.locked_round = -1
+        self.valid_value = None
+        self._start_round(0)
+
+    def _start_round(self, round_: int) -> None:
+        key = (self.height, round_)
+        if key in self._round_started:
+            return
+        self._round_started.add(key)
+        self.round = round_
+        self.report("view", view=round_, height=self.height)
+        self.cancel_timer(self._timer)
+        self._timer = self.set_timer(
+            self._timeout(round_), "round-timeout", height=self.height, round=round_
+        )
+        if self.proposer_of(self.height, round_) == self.id:
+            value = (
+                self.valid_value
+                if self.valid_value is not None
+                else self.proposal_value(self.height, round_)
+            )
+            self.broadcast(
+                type="PROPOSAL", height=self.height, round=round_, value=value
+            )
+        self._recheck()
+
+    def on_timer(self, timer: TimeEvent) -> None:
+        if timer.name != "round-timeout":
+            return
+        data = timer.data or {}
+        if data.get("height") != self.height or data.get("round") != self.round:
+            return
+        # No decision this round: prevote/precommit nil as needed, move on.
+        self._prevote(self.height, self.round, NIL)
+        self._precommit(self.height, self.round, NIL)
+        self._start_round(self.round + 1)
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        kind = payload.get("type")
+        if kind == "PROPOSAL":
+            height, round_ = int(payload["height"]), int(payload["round"])
+            if message.source != self.proposer_of(height, round_):
+                return
+            self.proposals.setdefault((height, round_), payload["value"])
+        elif kind == "PREVOTE":
+            height, round_ = int(payload["height"]), int(payload["round"])
+            if self.prevote_seen.has_voted((height, round_), message.source):
+                return  # one prevote per replica per round
+            self.prevote_seen.add((height, round_), message.source)
+            self.prevotes.add((height, round_, payload["value"]), message.source)
+        elif kind == "PRECOMMIT":
+            height, round_ = int(payload["height"]), int(payload["round"])
+            if self.precommit_seen.has_voted((height, round_), message.source):
+                return
+            self.precommit_seen.add((height, round_), message.source)
+            self.precommits.add((height, round_, payload["value"]), message.source)
+        else:
+            return
+        self._recheck()
+
+    # ------------------------------------------------------------------
+    # step transitions
+    # ------------------------------------------------------------------
+
+    def _prevote(self, height: int, round_: int, value: Any) -> None:
+        if (height, round_) in self._prevoted:
+            return
+        self._prevoted.add((height, round_))
+        self.broadcast(type="PREVOTE", height=height, round=round_, value=value)
+
+    def _precommit(self, height: int, round_: int, value: Any) -> None:
+        if (height, round_) in self._precommitted:
+            return
+        self._precommitted.add((height, round_))
+        self.broadcast(type="PRECOMMIT", height=height, round=round_, value=value)
+
+    def _recheck(self) -> None:
+        height, round_ = self.height, self.round
+        quorum = self.quorum()
+
+        # Prevote on the current round's proposal (lock rule: never prevote
+        # against a lock).
+        proposal = self.proposals.get((height, round_))
+        if proposal is not None:
+            if self.locked_round == -1 or self.locked_value == proposal:
+                self._prevote(height, round_, proposal)
+            else:
+                self._prevote(height, round_, self.locked_value)
+
+        # Precommit once some value reaches a prevote quorum this round.
+        for key in self.prevotes.keys():
+            h, r, value = key
+            if h != height or r != round_ or value == NIL:
+                continue
+            if self.prevotes.count(key) >= quorum:
+                self.locked_value = value
+                self.locked_round = round_
+                self.valid_value = value
+                self._precommit(height, round_, value)
+
+        # A full round of prevotes without any certifiable value: give up
+        # on the round (precommit nil).
+        if self.prevote_seen.count((height, round_)) >= quorum:
+            best = max(
+                (
+                    self.prevotes.count((height, round_, v))
+                    for (h, r, v) in self.prevotes.keys()
+                    if h == height and r == round_ and v != NIL
+                ),
+                default=0,
+            )
+            live = self.n - self.f
+            if best + (live - self.prevote_seen.count((height, round_))) < quorum:
+                self._precommit(height, round_, NIL)
+
+        # Decide on a precommit quorum for a value (any round of this
+        # height — late quorums still decide).
+        for key in list(self.precommits.keys()):
+            h, r, value = key
+            if h != height or value == NIL:
+                continue
+            if self.precommits.count(key) >= quorum:
+                self._decide(height, value)
+                return
+
+        # A precommit quorum that cannot decide: next round.
+        if (
+            self.precommit_seen.count((height, round_)) >= quorum
+            and (height, round_) in self._precommitted
+        ):
+            decided_possible = any(
+                self.precommits.count((height, round_, v)) >= quorum
+                for (h, r, v) in self.precommits.keys()
+                if h == height and r == round_ and v != NIL
+            )
+            if not decided_possible:
+                self._start_round(round_ + 1)
+
+    def _decide(self, height: int, value: Any) -> None:
+        if height in self._decided_heights:
+            return
+        self._decided_heights.add(height)
+        self.cancel_timer(self._timer)
+        self.decide(height, value)
+        self._start_height(height + 1)

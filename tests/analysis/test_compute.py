@@ -1,0 +1,74 @@
+"""Tests for the computational-cost model (the paper's future work)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import run_simulation
+from repro.analysis import ComputationModel, estimate_computation
+
+from tests.conftest import quick_config
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_simulation(quick_config(n=7, seed=3))
+
+
+class TestOperationCounts:
+    def test_one_signature_per_transmitted_message(self, result):
+        estimate = estimate_computation(result)
+        assert estimate.sign_ops == result.counts.sent + result.counts.byzantine
+
+    def test_one_verification_per_delivery(self, result):
+        estimate = estimate_computation(result)
+        assert estimate.verify_ops == result.counts.delivered
+
+    def test_aggregations_per_decision_and_node(self, result):
+        estimate = estimate_computation(result)
+        assert estimate.aggregate_ops == len(result.decided_values) * 7
+
+
+class TestCostModel:
+    def test_cpu_totals_combine_linearly(self, result):
+        model = ComputationModel(sign_ms=1.0, verify_ms=2.0, aggregate_ms=3.0)
+        estimate = estimate_computation(result, model)
+        expected = (
+            estimate.sign_ops * 1.0
+            + estimate.verify_ops * 2.0
+            + estimate.aggregate_ops * 3.0
+        )
+        assert estimate.cpu_ms_total == pytest.approx(expected)
+        assert estimate.cpu_ms_per_node == pytest.approx(expected / 7)
+
+    def test_zero_cost_model_recovers_pure_latency(self, result):
+        model = ComputationModel(sign_ms=0.0, verify_ms=0.0, aggregate_ms=0.0)
+        estimate = estimate_computation(result, model)
+        assert estimate.adjusted_latency_ms == result.latency
+        assert estimate.throughput_dps == pytest.approx(
+            result.config.num_decisions / (result.latency / 1000.0)
+        )
+
+    def test_expensive_crypto_reduces_throughput(self, result):
+        cheap = estimate_computation(result, ComputationModel())
+        costly = estimate_computation(
+            result, ComputationModel(sign_ms=5.0, verify_ms=15.0)
+        )
+        assert costly.throughput_dps < cheap.throughput_dps
+
+    def test_negative_costs_rejected(self, result):
+        with pytest.raises(ValueError):
+            estimate_computation(result, ComputationModel(sign_ms=-1.0))
+
+
+class TestProtocolContrast:
+    def test_quadratic_protocols_pay_more_cpu(self):
+        """PBFT verifies ~n^2 messages per decision; HotStuff ~n: the model
+        must reflect the communication-complexity gap as CPU."""
+        pbft = estimate_computation(run_simulation(quick_config(n=16, seed=2)))
+        hotstuff = estimate_computation(
+            run_simulation(
+                quick_config(protocol="hotstuff-ns", n=16, num_decisions=10, seed=2)
+            )
+        )
+        assert pbft.cpu_ms_total / 1 > hotstuff.cpu_ms_total / 10

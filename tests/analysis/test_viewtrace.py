@@ -1,0 +1,98 @@
+"""Tests for the view-synchronization analysis (Fig. 9 machinery)."""
+
+from __future__ import annotations
+
+from repro import run_simulation
+from repro.analysis import (
+    ViewTimeline,
+    desync_statistics,
+    extract_view_timelines,
+    render_view_chart,
+)
+from repro.core.tracing import Trace
+
+from tests.conftest import quick_config
+
+
+def timeline(node, entries):
+    times = tuple(t for t, _ in entries)
+    views = tuple(v for _, v in entries)
+    return ViewTimeline(node=node, times=times, views=views)
+
+
+class TestViewTimeline:
+    def test_view_at_steps(self):
+        tl = timeline(0, [(0.0, 1), (10.0, 2), (20.0, 5)])
+        assert tl.view_at(0.0) == 1
+        assert tl.view_at(9.9) == 1
+        assert tl.view_at(10.0) == 2
+        assert tl.view_at(25.0) == 5
+
+    def test_view_before_first_entry_is_zero(self):
+        tl = timeline(0, [(5.0, 1)])
+        assert tl.view_at(1.0) == 0
+
+
+class TestExtraction:
+    def test_from_synthetic_trace(self):
+        trace = Trace()
+        trace.record(0.0, "view", 0, view=1)
+        trace.record(5.0, "view", 1, view=1)
+        trace.record(9.0, "view", 0, view=2)
+        timelines = extract_view_timelines(trace, n=2)
+        assert timelines[0].views == (1, 2)
+        assert timelines[1].views == (1,)
+
+    def test_from_real_run(self):
+        config = quick_config(protocol="hotstuff-ns", n=4, num_decisions=3,
+                              record_trace=True)
+        result = run_simulation(config)
+        timelines = extract_view_timelines(result.trace, 4)
+        assert all(tl.views for tl in timelines)
+        for tl in timelines:
+            assert list(tl.views) == sorted(tl.views), "views are monotone"
+
+
+class TestDesyncStats:
+    def test_fully_synchronized(self):
+        tls = [timeline(i, [(0.0, 1), (10.0, 2)]) for i in range(4)]
+        stats = desync_statistics(tls, horizon=20.0, step=1.0)
+        assert stats.max_groups == 1
+        assert stats.desync_time == 0.0
+
+    def test_split_groups_detected(self):
+        a = [timeline(i, [(0.0, 1)]) for i in range(2)]
+        b = [timeline(i + 2, [(0.0, 3)]) for i in range(2)]
+        stats = desync_statistics(a + b, horizon=10.0, step=1.0)
+        assert stats.max_groups == 2
+        assert stats.desync_time > 0
+        assert stats.longest_desync > 0
+
+    def test_transient_desync_interval(self):
+        lead = timeline(0, [(0.0, 1), (5.0, 2)])
+        lag = timeline(1, [(0.0, 1), (8.0, 2)])
+        stats = desync_statistics([lead, lag], horizon=20.0, step=1.0)
+        assert 2.0 <= stats.longest_desync <= 4.0
+
+    def test_empty_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            desync_statistics([], horizon=10.0)
+
+
+class TestChart:
+    def test_renders_one_row_per_node(self):
+        tls = [timeline(i, [(0.0, i + 1)]) for i in range(3)]
+        chart = render_view_chart(tls, horizon=100.0, width=10)
+        rows = [line for line in chart.splitlines() if line.startswith("node")]
+        assert len(rows) == 3
+
+    def test_glyphs_reflect_views(self):
+        tls = [timeline(0, [(0.0, 1), (50.0, 2)])]
+        chart = render_view_chart(tls, horizon=100.0, width=10)
+        row = chart.splitlines()[1]
+        assert "1" in row and "2" in row
+
+    def test_empty_input(self):
+        assert render_view_chart([], horizon=10.0) == "(no data)"

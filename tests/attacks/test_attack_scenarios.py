@@ -1,0 +1,196 @@
+"""Behavioural tests for the packaged attack scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AttackConfig, run_simulation
+from repro.core.errors import ConfigurationError
+
+from tests.conftest import quick_config, sync_config
+
+
+class TestFailStop:
+    def test_crashes_requested_count(self):
+        config = quick_config(
+            n=7, attack=AttackConfig(name="failstop", params={"count": 2})
+        )
+        result = run_simulation(config)
+        assert result.faulty == frozenset({0, 1})
+
+    def test_explicit_victims(self):
+        config = quick_config(
+            n=7, attack=AttackConfig(name="failstop", params={"nodes": [3, 5]})
+        )
+        result = run_simulation(config)
+        assert result.faulty == frozenset({3, 5})
+
+    def test_default_count_is_f(self):
+        config = quick_config(n=7, attack=AttackConfig(name="failstop"))
+        result = run_simulation(config)
+        assert len(result.faulty) == 2  # pbft f(7) = 2
+
+    def test_budget_overflow_rejected(self):
+        config = quick_config(
+            n=7, attack=AttackConfig(name="failstop", params={"count": 3})
+        )
+        with pytest.raises(ConfigurationError):
+            run_simulation(config)
+
+    def test_delayed_crash(self):
+        config = quick_config(
+            n=7,
+            num_decisions=2,
+            attack=AttackConfig(name="failstop", params={"nodes": [6], "at": 200.0}),
+            record_trace=True,
+            max_time=120_000.0,
+        )
+        result = run_simulation(config)
+        corrupt_events = result.trace.events(kind="corrupt")
+        assert len(corrupt_events) == 1
+        assert corrupt_events[0].time == pytest.approx(200.0)
+
+    def test_crashed_nodes_send_nothing(self):
+        config = quick_config(
+            n=4,
+            attack=AttackConfig(name="failstop", params={"nodes": [3]}),
+            record_trace=True,
+        )
+        result = run_simulation(config)
+        assert all(e.node != 3 for e in result.trace.events(kind="send"))
+
+
+class TestPartitionAttack:
+    def _config(self, mode="drop", end=2_000.0, **kwargs):
+        return quick_config(
+            n=7,
+            attack=AttackConfig(name="partition", params={"end": end, "mode": mode}),
+            max_time=600_000.0,
+            record_trace=True,
+            **kwargs,
+        )
+
+    def test_no_decision_during_partition(self):
+        result = run_simulation(self._config())
+        assert all(d.time > 2_000.0 for d in result.decisions)
+
+    def test_drop_mode_drops_cross_traffic(self):
+        result = run_simulation(self._config(mode="drop"))
+        assert result.counts.dropped > 0
+
+    def test_delay_mode_holds_messages(self):
+        result = run_simulation(self._config(mode="delay"))
+        assert result.counts.dropped == 0
+        assert result.terminated
+
+    def test_within_group_traffic_unaffected(self):
+        result = run_simulation(self._config())
+        early_deliveries = [
+            e for e in result.trace.events(kind="deliver") if e.time < 2_000.0
+        ]
+        assert early_deliveries, "same-subnet messages must still flow"
+
+    def test_custom_groups(self):
+        config = quick_config(
+            n=6,
+            attack=AttackConfig(
+                name="partition",
+                params={"groups": [[0, 1, 2], [3, 4, 5]], "end": 1_500.0},
+            ),
+            max_time=600_000.0,
+        )
+        assert run_simulation(config).terminated
+
+
+class TestADDStatic:
+    def test_rejects_overbudget(self):
+        config = sync_config(
+            "add-v1", n=7, attack=AttackConfig(name="add-static", params={"count": 5})
+        )
+        with pytest.raises(ConfigurationError):
+            run_simulation(config)
+
+    def test_explicit_victims(self):
+        config = sync_config(
+            "add-v1",
+            n=7,
+            attack=AttackConfig(name="add-static", params={"victims": [1, 2]}),
+            max_time=600_000.0,
+        )
+        result = run_simulation(config)
+        assert result.faulty == frozenset({1, 2})
+
+
+class TestADDAdaptive:
+    def test_budget_limits_corruptions(self):
+        config = sync_config(
+            "add-v2",
+            n=7,
+            lam=200.0,
+            attack=AttackConfig(name="add-adaptive", params={"budget": 1}),
+            max_time=600_000.0,
+        )
+        result = run_simulation(config)
+        assert len(result.faulty) == 1
+
+    def test_attack_against_pbft_is_harmless(self):
+        """The adaptive attacker keys on ADD+ credential messages; against
+        other protocols it observes but never acts."""
+        config = quick_config(
+            n=7, attack=AttackConfig(name="add-adaptive"), max_time=600_000.0
+        )
+        result = run_simulation(config)
+        assert result.terminated
+        assert result.faulty == frozenset()
+
+
+class TestTargetedDelay:
+    def test_factor_slows_termination(self):
+        baseline = run_simulation(quick_config(n=4, seed=9))
+        slowed = run_simulation(
+            quick_config(
+                n=4,
+                seed=9,
+                attack=AttackConfig(
+                    name="targeted-delay", params={"factor": 5.0}
+                ),
+                max_time=600_000.0,
+            )
+        )
+        assert slowed.latency > baseline.latency * 2
+
+    def test_match_type_requires_observe_and_works(self):
+        from repro.attacks import Capability, get_attack
+
+        attacker = get_attack("targeted-delay")(params={"match_type": "COMMIT"})
+        assert Capability.OBSERVE in attacker.capabilities
+        plain = get_attack("targeted-delay")(params={})
+        assert Capability.OBSERVE not in plain.capabilities
+
+    def test_untargeted_nodes_unaffected(self):
+        config = quick_config(
+            n=7,
+            seed=9,
+            attack=AttackConfig(
+                name="targeted-delay",
+                params={"targets": [6], "extra_delay": 10_000.0},
+            ),
+            max_time=600_000.0,
+        )
+        result = run_simulation(config)
+        assert result.terminated
+        # The six untouched nodes decide well before the slowed node hears;
+        # full termination (which includes node 6) waits for the extra delay.
+        early_deciders = {d.node for d in result.decisions if d.slot == 0 and d.time < 10_000.0}
+        assert early_deciders == set(range(6))
+
+
+class TestEquivocation:
+    def test_forged_preprepares_counted_as_byzantine(self):
+        config = quick_config(
+            n=4,
+            attack=AttackConfig(name="pbft-equivocation"),
+            max_time=600_000.0,
+        )
+        result = run_simulation(config)
+        assert result.counts.byzantine >= 3  # n-1 forged pre-prepares

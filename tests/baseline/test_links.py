@@ -1,0 +1,56 @@
+"""Tests for the baseline's link-layer primitives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.baseline.links import Link, MTU_BYTES, packetize
+
+
+class TestLink:
+    def test_serialization_delay(self):
+        link = Link(bandwidth_bytes_per_ms=1000.0, propagation_ms=5.0)
+        timing = link.transmit(2000, now=0.0)
+        assert timing.start == 0.0
+        assert timing.arrival == pytest.approx(2.0 + 5.0)
+
+    def test_fifo_queueing(self):
+        link = Link(bandwidth_bytes_per_ms=1000.0, propagation_ms=0.0)
+        first = link.transmit(1000, now=0.0)  # occupies [0, 1]
+        second = link.transmit(1000, now=0.5)  # must wait until 1.0
+        assert first.arrival == pytest.approx(1.0)
+        assert second.start == pytest.approx(1.0)
+        assert second.arrival == pytest.approx(2.0)
+
+    def test_idle_link_starts_immediately(self):
+        link = Link(bandwidth_bytes_per_ms=1000.0, propagation_ms=0.0)
+        link.transmit(1000, now=0.0)
+        late = link.transmit(1000, now=10.0)
+        assert late.start == 10.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Link(bandwidth_bytes_per_ms=0.0, propagation_ms=0.0)
+        with pytest.raises(ValueError):
+            Link(bandwidth_bytes_per_ms=1.0, propagation_ms=-1.0)
+
+
+class TestPacketize:
+    def test_small_message_one_packet(self):
+        assert packetize(100) == [100]
+
+    def test_exact_mtu(self):
+        assert packetize(MTU_BYTES) == [MTU_BYTES]
+
+    def test_split_with_remainder(self):
+        assert packetize(MTU_BYTES * 2 + 10) == [MTU_BYTES, MTU_BYTES, 10]
+
+    def test_empty_message_still_costs_headers(self):
+        assert packetize(0) == [64]
+
+    @given(st.integers(min_value=1, max_value=10 * MTU_BYTES))
+    def test_property_sizes_sum_to_message(self, size):
+        sizes = packetize(size)
+        assert sum(sizes) == size
+        assert all(0 < s <= MTU_BYTES for s in sizes)

@@ -1,0 +1,88 @@
+"""Tests for the BFTSim-style packet-level baseline simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AttackConfig, run_simulation
+from repro.baseline import run_baseline_simulation
+from repro.baseline.packetsim import BaselineController
+from repro.core.errors import BaselineCapacityError, ConfigurationError
+
+from tests.conftest import quick_config
+
+
+class TestProtocolOutcome:
+    @pytest.mark.parametrize("protocol", ["pbft", "hotstuff-ns", "async-ba"])
+    def test_terminates_like_main_engine(self, protocol):
+        config = quick_config(protocol=protocol, n=4)
+        result = run_baseline_simulation(config)
+        assert result.terminated
+
+    def test_latency_comparable_to_main_engine(self):
+        config = quick_config(n=7, mean=100.0, std=10.0)
+        ours = run_simulation(config)
+        baseline = run_baseline_simulation(config)
+        # Same protocol, same delays modulo engine mechanics: within ~20%.
+        assert baseline.latency == pytest.approx(ours.latency, rel=0.25)
+
+    def test_agreement_enforced(self):
+        result = run_baseline_simulation(quick_config(n=7, num_decisions=2))
+        values = {(d.slot, d.value) for d in result.decisions}
+        assert len(values) == 2
+
+    def test_deterministic(self):
+        config = quick_config(n=4, seed=8)
+        assert (
+            run_baseline_simulation(config).latency
+            == run_baseline_simulation(config).latency
+        )
+
+
+class TestCostStructure:
+    def test_more_events_than_message_level(self):
+        """Packet hops + ACKs: strictly more events per message."""
+        config = quick_config(n=7)
+        ours = run_simulation(config)
+        baseline = run_baseline_simulation(config)
+        assert baseline.events_processed > 2 * ours.events_processed
+
+    def test_packet_trace_grows(self):
+        controller = BaselineController(quick_config(n=4))
+        controller.run()
+        assert len(controller._packet_trace) > 0
+
+    def test_virtual_memory_accounted(self):
+        controller = BaselineController(quick_config(n=4))
+        controller.run()
+        assert controller.virtual_bytes > 0
+        # One tuple per wire delivery; loopback self-deliveries never touch
+        # the dataflow tables.
+        assert 0 < controller._archived_tuples <= controller.metrics.counts.delivered
+
+
+class TestMemoryWall:
+    def test_small_clusters_fit(self):
+        run_baseline_simulation(quick_config(n=16))
+
+    def test_large_cluster_out_of_memory(self):
+        with pytest.raises(BaselineCapacityError):
+            run_baseline_simulation(quick_config(n=48, max_time=10_800_000.0))
+
+    def test_custom_budget(self):
+        with pytest.raises(BaselineCapacityError):
+            run_baseline_simulation(quick_config(n=8), budget_bytes=1024)
+
+
+class TestBenignOnly:
+    def test_failstop_supported(self):
+        config = quick_config(
+            n=7, attack=AttackConfig(name="failstop", params={"nodes": [6]})
+        )
+        assert run_baseline_simulation(config).terminated
+
+    @pytest.mark.parametrize("attack", ["partition", "add-adaptive", "pbft-equivocation"])
+    def test_byzantine_attacks_rejected(self, attack):
+        config = quick_config(n=7, attack=AttackConfig(name=attack))
+        with pytest.raises(ConfigurationError, match="benign"):
+            run_baseline_simulation(config)

@@ -1,0 +1,43 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AttackConfig, NetworkConfig, SimulationConfig
+
+
+def quick_config(
+    protocol: str = "pbft",
+    n: int = 4,
+    seed: int = 1,
+    mean: float = 50.0,
+    std: float = 10.0,
+    lam: float = 500.0,
+    num_decisions: int = 1,
+    attack: AttackConfig | None = None,
+    max_delay: float | None = None,
+    **kwargs,
+) -> SimulationConfig:
+    """A small, fast simulation configuration for unit tests."""
+    return SimulationConfig(
+        protocol=protocol,
+        n=n,
+        lam=lam,
+        network=NetworkConfig(mean=mean, std=std, max_delay=max_delay),
+        attack=attack or AttackConfig(),
+        num_decisions=num_decisions,
+        seed=seed,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def pbft_config() -> SimulationConfig:
+    return quick_config()
+
+
+def sync_config(protocol: str, **kwargs) -> SimulationConfig:
+    """Config for synchronous protocols: delays bounded below lambda."""
+    kwargs.setdefault("max_delay", 0.99 * kwargs.get("lam", 500.0))
+    return quick_config(protocol=protocol, **kwargs)

@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_protocols_and_attacks(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("pbft", "hotstuff-ns", "add-v3", "partition", "failstop"):
+            assert name in out
+
+
+class TestRun:
+    def test_run_summary(self, capsys):
+        code = main(["run", "--protocol", "pbft", "-n", "4",
+                     "--mean", "50", "--std", "10", "--lam", "500"])
+        assert code == 0
+        assert "pbft: terminated" in capsys.readouterr().out
+
+    def test_run_json(self, capsys):
+        code = main(["run", "--protocol", "pbft", "-n", "4",
+                     "--mean", "50", "--std", "10", "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["terminated"] is True
+        assert data["messages"] > 0
+        assert data["bytes_sent"] > 0
+        assert "0" in data["decided_values"]
+
+    def test_pipelined_default_decisions(self, capsys):
+        main(["run", "--protocol", "hotstuff-ns", "-n", "4",
+              "--mean", "50", "--std", "10", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["decided_values"]) >= 10
+
+    def test_run_with_attack(self, capsys):
+        code = main([
+            "run", "--protocol", "pbft", "-n", "7", "--mean", "50", "--std", "10",
+            "--attack", "failstop", "--attack-params", '{"nodes": [6]}', "--json",
+        ])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["faulty"] == [6]
+
+    def test_run_config_file(self, tmp_path, capsys):
+        from repro import SimulationConfig, NetworkConfig
+
+        config = SimulationConfig(
+            protocol="pbft", n=4, lam=500.0,
+            network=NetworkConfig(mean=50.0, std=10.0),
+        )
+        path = tmp_path / "config.json"
+        path.write_text(json.dumps(config.to_dict()))
+        assert main(["run", "--config", str(path)]) == 0
+        assert "terminated" in capsys.readouterr().out
+
+    def test_unterminated_run_exit_code(self, capsys):
+        code = main(["run", "--protocol", "pbft", "-n", "4",
+                     "--mean", "50", "--std", "10", "--max-time", "1"])
+        assert code == 2
+
+    def test_unknown_protocol_is_an_error(self, capsys):
+        code = main(["run", "--protocol", "nonsense"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_sweep_lambda(self, capsys):
+        code = main([
+            "sweep", "--protocol", "pbft", "-n", "4", "--mean", "50", "--std", "10",
+            "--param", "lam", "--values", "400,800", "--reps", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "400" in out and "800" in out
+        assert "100%" in out
+
+    def test_sweep_n(self, capsys):
+        code = main([
+            "sweep", "--protocol", "pbft", "--mean", "50", "--std", "10",
+            "--param", "n", "--values", "4,7", "--reps", "1",
+        ])
+        assert code == 0
+
+    def test_unsupported_parameter(self, capsys):
+        code = main([
+            "sweep", "--protocol", "pbft", "--param", "colour", "--values", "1",
+        ])
+        assert code == 1
+
+
+class TestValidate:
+    def test_validate_matches(self, capsys):
+        code = main([
+            "validate", "--protocol", "pbft", "-n", "4",
+            "--mean", "50", "--std", "10", "--decisions", "1",
+        ])
+        assert code == 0
+        assert "MATCH" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,45 @@
+"""Tests for the simulation clock."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.clock import SimulationClock
+from repro.core.errors import SchedulingError
+
+
+def test_starts_at_zero():
+    assert SimulationClock().now == 0.0
+
+
+def test_custom_start():
+    assert SimulationClock(start=42.5).now == 42.5
+
+
+def test_advances_forward():
+    clock = SimulationClock()
+    clock.advance_to(10.0)
+    assert clock.now == 10.0
+    clock.advance_to(10.0)  # standing still is allowed
+    assert clock.now == 10.0
+
+
+def test_refuses_to_go_backwards():
+    clock = SimulationClock()
+    clock.advance_to(5.0)
+    with pytest.raises(SchedulingError):
+        clock.advance_to(4.999)
+
+
+def test_repr_mentions_time():
+    clock = SimulationClock(start=1.5)
+    assert "1.5" in repr(clock)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=1, max_size=50))
+def test_property_monotone_under_sorted_advances(times):
+    clock = SimulationClock()
+    for t in sorted(times):
+        clock.advance_to(t)
+    assert clock.now == max(times)

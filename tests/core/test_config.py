@@ -1,0 +1,113 @@
+"""Tests for configuration validation and serialization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import AttackConfig, NetworkConfig, SimulationConfig
+from repro.core.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_minimal_valid(self):
+        config = SimulationConfig(protocol="pbft")
+        assert config.n == 16
+        assert config.f is None
+
+    def test_empty_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(protocol="")
+
+    @pytest.mark.parametrize("n", [0, -1])
+    def test_bad_n_rejected(self, n):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(protocol="pbft", n=n)
+
+    @pytest.mark.parametrize("f", [-1, 16, 20])
+    def test_bad_f_rejected(self, f):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(protocol="pbft", n=16, f=f)
+
+    def test_bad_lambda_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(protocol="pbft", lam=0.0)
+
+    def test_bad_decisions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(protocol="pbft", num_decisions=0)
+
+    def test_network_validation_propagates(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(protocol="pbft", network=NetworkConfig(mean=-5.0))
+
+    def test_min_delay_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(min_delay=0.0).validate()
+
+    def test_max_delay_below_min_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(min_delay=10.0, max_delay=5.0).validate()
+
+    def test_pre_gst_factor_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(gst=100.0, pre_gst_factor=0.5).validate()
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        config = SimulationConfig(
+            protocol="hotstuff-ns",
+            n=8,
+            f=2,
+            lam=750.0,
+            network=NetworkConfig(mean=100.0, std=20.0, max_delay=500.0),
+            attack=AttackConfig(name="failstop", params={"count": 2}),
+            num_decisions=10,
+            seed=99,
+            protocol_params={"synchronizer": "view-indexed"},
+        )
+        assert SimulationConfig.from_dict(config.to_dict()) == config
+
+    def test_json_roundtrip(self):
+        config = SimulationConfig(protocol="pbft", seed=5)
+        assert SimulationConfig.from_json(config.to_json()) == config
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig.from_dict({"protocol": "pbft", "bogus": 1})
+
+    def test_replace_shallow(self):
+        config = SimulationConfig(protocol="pbft", seed=1)
+        changed = config.replace(seed=2)
+        assert changed.seed == 2
+        assert config.seed == 1  # original untouched
+
+    def test_replace_nested_network(self):
+        config = SimulationConfig(protocol="pbft")
+        changed = config.replace(network={"mean": 777.0})
+        assert changed.network.mean == 777.0
+        assert changed.network.std == config.network.std  # merged, not replaced
+
+    def test_replace_nested_attack(self):
+        config = SimulationConfig(protocol="pbft")
+        changed = config.replace(attack={"name": "partition"})
+        assert changed.attack.name == "partition"
+
+    def test_replace_with_config_objects(self):
+        config = SimulationConfig(protocol="pbft")
+        changed = config.replace(network=NetworkConfig(mean=1.0, std=0.0))
+        assert changed.network.mean == 1.0
+
+
+@given(
+    n=st.integers(min_value=1, max_value=100),
+    lam=st.floats(min_value=1.0, max_value=1e5),
+    seed=st.integers(min_value=0, max_value=2**31),
+    decisions=st.integers(min_value=1, max_value=50),
+)
+def test_property_roundtrip(n, lam, seed, decisions):
+    config = SimulationConfig(
+        protocol="pbft", n=n, lam=lam, seed=seed, num_decisions=decisions
+    )
+    assert SimulationConfig.from_json(config.to_json()) == config

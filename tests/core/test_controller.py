@@ -1,0 +1,119 @@
+"""Tests for the controller: dispatch, termination, failure modes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Controller, SimulationConfig, run_simulation
+from repro.core.errors import ConfigurationError, LivenessTimeoutError
+
+from tests.conftest import quick_config
+
+
+class TestConstruction:
+    def test_resolves_default_f(self):
+        controller = Controller(quick_config(n=16))
+        assert controller.f == 5  # pbft: floor((16-1)/3)
+
+    def test_explicit_f_respected(self):
+        controller = Controller(quick_config(n=16, f=2))
+        assert controller.f == 2
+
+    def test_excessive_f_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Controller(quick_config(n=16, f=6))  # pbft tolerates at most 5
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Controller(quick_config(protocol="no-such-protocol"))
+
+    def test_nodes_created(self):
+        controller = Controller(quick_config(n=7))
+        assert len(controller.nodes) == 7
+        assert [node.id for node in controller.nodes] == list(range(7))
+
+
+class TestRun:
+    def test_happy_path_terminates(self):
+        result = Controller(quick_config()).run()
+        assert result.terminated
+        assert result.latency > 0
+        assert result.decided_values.keys() == {0}
+
+    def test_all_honest_nodes_decide_before_termination(self):
+        result = run_simulation(quick_config(n=7))
+        deciders = {d.node for d in result.decisions}
+        assert deciders == set(range(7))
+
+    def test_horizon_raises_without_allow(self):
+        # An impossible deadline: the first message cannot even arrive.
+        config = quick_config(max_time=0.5)
+        with pytest.raises(LivenessTimeoutError):
+            Controller(config).run()
+
+    def test_horizon_allowed_returns_unterminated(self):
+        config = quick_config(max_time=0.5, allow_horizon=True)
+        result = Controller(config).run()
+        assert not result.terminated
+        assert result.latency == 0.5
+
+    def test_max_events_guard(self):
+        config = quick_config(max_events=10, allow_horizon=True)
+        result = Controller(config).run()
+        assert not result.terminated
+        assert result.events_processed == 10
+
+    def test_wall_clock_measured(self):
+        result = Controller(quick_config()).run()
+        assert result.wall_clock_seconds > 0
+
+    def test_trace_disabled_by_default(self):
+        result = Controller(quick_config()).run()
+        assert len(result.trace) == 0
+
+    def test_trace_enabled_records(self):
+        result = Controller(quick_config(record_trace=True)).run()
+        assert len(result.trace.events(kind="decide")) > 0
+        assert len(result.trace.events(kind="send")) > 0
+        assert len(result.trace.events(kind="deliver")) > 0
+
+
+class TestEnvironmentFacade:
+    def test_protocol_params_exposed(self):
+        config = quick_config(protocol_params={"key": 42})
+        controller = Controller(config)
+        assert controller.protocol_param("key") == 42
+        assert controller.protocol_param("missing", "default") == "default"
+
+    def test_seed_exposed(self):
+        assert Controller(quick_config(seed=123)).seed == 123
+
+    def test_shared_rng_cached(self):
+        controller = Controller(quick_config())
+        assert controller.shared_rng("x") is controller.shared_rng("x")
+
+    def test_negative_timer_rejected(self):
+        controller = Controller(quick_config())
+        with pytest.raises(ConfigurationError):
+            controller.register_timer(0, -1.0, "bad", None)
+
+    def test_timer_cancellation(self):
+        controller = Controller(quick_config())
+        before = len(controller.queue)
+        handle = controller.register_timer(0, 10.0, "t", None)
+        controller.cancel_timer(handle)
+        assert len(controller.queue) == before
+
+
+class TestHaltedNodes:
+    def test_result_summary_mentions_protocol(self):
+        result = Controller(quick_config()).run()
+        assert "pbft" in result.summary()
+
+    def test_message_usage_excludes_loopback(self):
+        """A broadcast from one of n nodes transmits n-1 messages."""
+        result = Controller(quick_config(n=4, record_trace=True)).run()
+        sends = result.trace.events(kind="send")
+        # No send event may target its own source (loopbacks bypass the wire).
+        assert all(e.fields["dest"] != e.node for e in sends)
+        assert result.messages == len(sends)

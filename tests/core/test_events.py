@@ -1,0 +1,129 @@
+"""Unit and property tests for the event queue."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import SchedulingError
+from repro.core.events import EventQueue, TimeEvent
+
+
+def timer(time: float, name: str = "t") -> TimeEvent:
+    return TimeEvent(time=time, owner=0, name=name, data=None, timer_id=0)
+
+
+class TestEventQueueBasics:
+    def test_empty_queue_is_falsy(self):
+        assert not EventQueue()
+        assert len(EventQueue()) == 0
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SchedulingError):
+            EventQueue().pop()
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SchedulingError):
+            EventQueue().push(timer(-1.0))
+
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        for t in (5.0, 1.0, 3.0, 2.0, 4.0):
+            queue.push(timer(t))
+        assert [queue.pop().time for _ in range(5)] == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        queue.push(timer(1.0, "first"))
+        queue.push(timer(1.0, "second"))
+        queue.push(timer(1.0, "third"))
+        assert [queue.pop().name for _ in range(3)] == ["first", "second", "third"]
+
+    def test_peek_time(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(timer(7.0))
+        queue.push(timer(3.0))
+        assert queue.peek_time() == 3.0
+        assert len(queue) == 2  # peek does not consume
+
+    def test_len_tracks_pushes_and_pops(self):
+        queue = EventQueue()
+        handles = [queue.push(timer(float(i))) for i in range(4)]
+        assert len(queue) == 4
+        queue.pop()
+        assert len(queue) == 3
+        queue.cancel(handles[2])
+        assert len(queue) == 2
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped(self):
+        queue = EventQueue()
+        queue.push(timer(1.0, "keep"))
+        handle = queue.push(timer(2.0, "drop"))
+        queue.push(timer(3.0, "keep2"))
+        queue.cancel(handle)
+        assert [queue.pop().name for _ in range(2)] == ["keep", "keep2"]
+        assert not queue
+
+    def test_cancel_is_idempotent(self):
+        queue = EventQueue()
+        handle = queue.push(timer(1.0))
+        queue.cancel(handle)
+        queue.cancel(handle)
+        assert not queue
+
+    def test_cancel_after_pop_is_noop(self):
+        queue = EventQueue()
+        handle = queue.push(timer(1.0))
+        other = queue.push(timer(2.0))
+        queue.pop()
+        queue.cancel(handle)  # already popped
+        assert len(queue) == 1
+        assert queue.pop().time == 2.0
+
+    def test_cancel_head_updates_peek(self):
+        queue = EventQueue()
+        head = queue.push(timer(1.0))
+        queue.push(timer(5.0))
+        queue.cancel(head)
+        assert queue.peek_time() == 5.0
+
+
+class TestDrain:
+    def test_drain_yields_everything_in_order(self):
+        queue = EventQueue()
+        for t in (3.0, 1.0, 2.0):
+            queue.push(timer(t))
+        assert [e.time for e in queue.drain()] == [1.0, 2.0, 3.0]
+        assert not queue
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e9), min_size=1, max_size=200))
+def test_property_pops_sorted(times):
+    queue = EventQueue()
+    for t in times:
+        queue.push(timer(t))
+    popped = [queue.pop().time for _ in range(len(times))]
+    assert popped == sorted(times)
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=100),
+    st.data(),
+)
+def test_property_cancel_subset(times, data):
+    """Cancelling any subset leaves exactly the complement, still sorted."""
+    queue = EventQueue()
+    handles = [queue.push(timer(t, name=str(i))) for i, t in enumerate(times)]
+    to_cancel = data.draw(
+        st.sets(st.integers(min_value=0, max_value=len(times) - 1), max_size=len(times))
+    )
+    for index in to_cancel:
+        queue.cancel(handles[index])
+    remaining = sorted(
+        (times[i] for i in range(len(times)) if i not in to_cancel)
+    )
+    popped = [queue.pop().time for _ in range(len(queue))]
+    assert popped == remaining

@@ -1,0 +1,84 @@
+"""Tests for the extended metrics: byte accounting and round complexity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import run_simulation, AttackConfig
+from repro.core.message import MESSAGE_OVERHEAD_BYTES, Message, estimate_message_bytes
+
+from tests.conftest import quick_config
+
+
+class TestByteEstimation:
+    def test_overhead_plus_payload(self):
+        message = Message(0, 1, {"type": "X"})
+        size = estimate_message_bytes(message)
+        assert size > MESSAGE_OVERHEAD_BYTES
+
+    def test_larger_payloads_cost_more(self):
+        small = Message(0, 1, {"type": "X"})
+        big = Message(0, 1, {"type": "X", "blob": "a" * 500})
+        assert estimate_message_bytes(big) > estimate_message_bytes(small) + 400
+
+    def test_deterministic(self):
+        message = Message(0, 1, {"b": 2, "a": 1})
+        same = Message(0, 1, {"a": 1, "b": 2})
+        assert estimate_message_bytes(message) == estimate_message_bytes(same)
+
+    def test_run_accumulates_bytes(self):
+        result = run_simulation(quick_config(n=4))
+        assert result.bytes_sent > result.messages * MESSAGE_OVERHEAD_BYTES
+
+    def test_bytes_reproducible(self):
+        a = run_simulation(quick_config(seed=6))
+        b = run_simulation(quick_config(seed=6))
+        assert a.bytes_sent == b.bytes_sent
+
+
+class TestRoundComplexity:
+    def test_happy_path_pbft_stays_in_view_zero(self):
+        result = run_simulation(quick_config(n=4))
+        assert result.max_view == 0
+
+    def test_view_change_reflected(self):
+        result = run_simulation(
+            quick_config(
+                n=4, attack=AttackConfig(name="failstop", params={"nodes": [0]})
+            )
+        )
+        assert result.max_view >= 1
+
+    def test_tracked_without_tracing(self):
+        """Round complexity must be available even with record_trace off."""
+        config = quick_config(
+            n=4,
+            attack=AttackConfig(name="failstop", params={"nodes": [0]}),
+            record_trace=False,
+        )
+        result = run_simulation(config)
+        assert len(result.trace) == 0
+        assert result.max_view >= 1
+
+    def test_add_iterations_counted(self):
+        from tests.conftest import sync_config
+
+        result = run_simulation(
+            sync_config(
+                "add-v1",
+                n=7,
+                lam=200.0,
+                attack=AttackConfig(name="add-static", params={"count": 2}),
+                max_time=600_000.0,
+            )
+        )
+        assert result.max_view >= 2  # two wasted iterations before deciding
+
+    def test_hotstuff_views_grow_with_decisions(self):
+        few = run_simulation(
+            quick_config(protocol="hotstuff-ns", n=4, num_decisions=2)
+        )
+        many = run_simulation(
+            quick_config(protocol="hotstuff-ns", n=4, num_decisions=8)
+        )
+        assert many.max_view > few.max_view

@@ -1,0 +1,65 @@
+"""Tests for seeded randomness and substream derivation."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.core.rng import RandomSource, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "network") == derive_seed(7, "network")
+
+    def test_varies_with_name(self):
+        assert derive_seed(7, "network") != derive_seed(7, "protocol")
+
+    def test_varies_with_root(self):
+        assert derive_seed(7, "network") != derive_seed(8, "network")
+
+    def test_fits_63_bits(self):
+        assert 0 <= derive_seed(0, "x") < 1 << 63
+
+    def test_stable_across_calls_and_platforms(self):
+        # SHA-256 based: this value must never change between versions,
+        # or published experiment results stop being reproducible.
+        assert derive_seed(0, "network.delay") == derive_seed(0, "network.delay")
+
+
+class TestRandomSource:
+    def test_same_name_same_stream(self):
+        source = RandomSource(seed=1)
+        a = source.python("coin")
+        b = RandomSource(seed=1).python("coin")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_independent(self):
+        source = RandomSource(seed=1)
+        a = source.python("a")
+        b = source.python("b")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_numpy_streams_reproducible(self):
+        a = RandomSource(seed=3).numpy("delay")
+        b = RandomSource(seed=3).numpy("delay")
+        assert list(a.normal(size=5)) == list(b.normal(size=5))
+
+    def test_adding_streams_does_not_perturb_existing(self):
+        """The reproducibility contract: new consumers never shift the
+        draws of existing ones."""
+        lone = RandomSource(seed=9).numpy("network")
+        source = RandomSource(seed=9)
+        source.numpy("brand.new.stream")  # extra consumer registered first
+        shared = source.numpy("network")
+        assert list(lone.normal(size=8)) == list(shared.normal(size=8))
+
+    def test_issued_streams_listed(self):
+        source = RandomSource(seed=0)
+        source.python("b")
+        source.python("a")
+        assert list(source.issued_streams()) == ["a", "b"]
+
+
+@given(st.integers(min_value=0, max_value=2**32), st.text(min_size=1, max_size=30))
+def test_property_child_seed_in_range(root, name):
+    assert 0 <= derive_seed(root, name) < 1 << 63

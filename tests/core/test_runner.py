@@ -1,0 +1,72 @@
+"""Tests for the high-level runners: determinism, repetition, sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import run_simulation, repeat_simulation
+from repro.core.runner import sweep
+
+from tests.conftest import quick_config
+
+
+class TestDeterminism:
+    def test_identical_configs_identical_results(self):
+        a = run_simulation(quick_config(seed=5, record_trace=True))
+        b = run_simulation(quick_config(seed=5, record_trace=True))
+        assert a.latency == b.latency
+        assert a.messages == b.messages
+        assert a.events_processed == b.events_processed
+        assert a.trace.to_jsonl() == b.trace.to_jsonl()
+
+    def test_different_seeds_differ(self):
+        a = run_simulation(quick_config(seed=1))
+        b = run_simulation(quick_config(seed=2))
+        assert a.latency != b.latency
+
+    @pytest.mark.parametrize(
+        "protocol", ["pbft", "hotstuff-ns", "librabft", "async-ba"]
+    )
+    def test_determinism_across_protocols(self, protocol):
+        config = quick_config(protocol=protocol, seed=3)
+        assert run_simulation(config).latency == run_simulation(config).latency
+
+
+class TestRepeat:
+    def test_consecutive_seeds(self):
+        results = repeat_simulation(quick_config(seed=10), repetitions=3)
+        assert [r.config.seed for r in results] == [10, 11, 12]
+
+    def test_seed_offset(self):
+        results = repeat_simulation(quick_config(seed=10), repetitions=2, seed_offset=5)
+        assert [r.config.seed for r in results] == [15, 16]
+
+    def test_callback_invoked_per_run(self):
+        seen = []
+        repeat_simulation(
+            quick_config(), repetitions=3, callback=lambda i, r: seen.append(i)
+        )
+        assert seen == [0, 1, 2]
+
+    def test_zero_repetitions_rejected(self):
+        with pytest.raises(ValueError):
+            repeat_simulation(quick_config(), repetitions=0)
+
+    def test_repeat_matches_individual_runs(self):
+        base = quick_config(seed=20)
+        batch = repeat_simulation(base, repetitions=2)
+        solo = run_simulation(base.replace(seed=21))
+        assert batch[1].latency == solo.latency
+
+
+class TestSweep:
+    def test_sweep_applies_variations(self):
+        results = sweep(
+            quick_config(),
+            variations=[{"n": 4}, {"n": 7}],
+            repetitions=2,
+        )
+        assert len(results) == 2
+        assert all(len(group) == 2 for group in results)
+        assert results[0][0].config.n == 4
+        assert results[1][0].config.n == 7

@@ -1,0 +1,100 @@
+"""Tests for trace recording and serialization."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.core.tracing import Trace, TraceEvent
+
+
+def test_disabled_trace_records_nothing():
+    trace = Trace(enabled=False)
+    trace.record(1.0, "send", 0, dest=1)
+    assert len(trace) == 0
+
+
+def test_record_and_index():
+    trace = Trace()
+    trace.record(1.0, "send", 0, dest=1)
+    trace.record(2.0, "deliver", 1, source=0)
+    assert len(trace) == 2
+    assert trace[0].kind == "send"
+    assert trace[1].fields["source"] == 0
+
+
+def test_filter_by_kind_and_node():
+    trace = Trace()
+    trace.record(1.0, "view", 0, view=1)
+    trace.record(2.0, "view", 1, view=1)
+    trace.record(3.0, "decide", 0, slot=0, value="v")
+    assert len(trace.events(kind="view")) == 2
+    assert len(trace.events(node=0)) == 2
+    assert len(trace.events(kind="view", node=1)) == 1
+
+
+def test_where_predicate():
+    trace = Trace()
+    for t in range(5):
+        trace.record(float(t), "tick", 0)
+    assert len(trace.where(lambda e: e.time >= 3.0)) == 2
+
+
+def test_event_matches():
+    event = TraceEvent(time=1.0, kind="decide", node=2, fields={"slot": 0})
+    assert event.matches(kind="decide", slot=0)
+    assert not event.matches(slot=1)
+
+
+def test_jsonl_roundtrip():
+    trace = Trace()
+    trace.record(1.5, "send", 0, dest=3, msg_type="VOTE", msg_id=7)
+    trace.record(2.5, "decide", 3, slot=0, value="x")
+    restored = Trace.from_jsonl(trace.to_jsonl())
+    assert [e.to_dict() for e in restored] == [e.to_dict() for e in trace]
+
+
+def test_from_jsonl_skips_blank_lines():
+    trace = Trace()
+    trace.record(1.0, "a", 0)
+    text = trace.to_jsonl() + "\n\n"
+    assert len(Trace.from_jsonl(text)) == 1
+
+
+def test_format_truncates():
+    trace = Trace()
+    for t in range(10):
+        trace.record(float(t), "tick", 0)
+    text = trace.format(limit=3)
+    assert "7 more events" in text
+
+
+def test_format_unlimited():
+    trace = Trace()
+    trace.record(0.0, "tick", 0)
+    assert "more events" not in trace.format(limit=None)
+
+
+event_fields = st.dictionaries(
+    st.sampled_from(["view", "slot", "value", "dest"]),
+    st.one_of(st.integers(-10, 10), st.text(max_size=8)),
+    max_size=3,
+)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1e6),
+            st.sampled_from(["send", "deliver", "view", "decide"]),
+            st.integers(min_value=-1, max_value=32),
+            event_fields,
+        ),
+        max_size=40,
+    )
+)
+def test_property_jsonl_roundtrip(entries):
+    trace = Trace()
+    for time, kind, node, fields in entries:
+        trace.record(time, kind, node, **fields)
+    restored = Trace.from_jsonl(trace.to_jsonl())
+    assert [e.to_dict() for e in restored] == [e.to_dict() for e in trace]

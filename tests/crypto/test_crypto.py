@@ -1,0 +1,160 @@
+"""Tests for the simulated crypto primitives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto import (
+    CommonCoin,
+    GENESIS_QC,
+    QuorumCertificate,
+    SignatureScheme,
+    VRFOracle,
+    VRFOutput,
+    VRF_RANGE,
+    canonical,
+    make_qc,
+    make_tc,
+)
+from repro.crypto.vrf import VRFSecretKey
+
+
+class TestSignatures:
+    def test_sign_verify_roundtrip(self):
+        scheme = SignatureScheme(seed=1)
+        signature = scheme.sign(3, {"type": "VOTE", "view": 2})
+        assert scheme.verify(signature, {"type": "VOTE", "view": 2})
+
+    def test_wrong_statement_fails(self):
+        scheme = SignatureScheme(seed=1)
+        signature = scheme.sign(3, {"view": 2})
+        assert not scheme.verify(signature, {"view": 3})
+
+    def test_wrong_signer_fails(self):
+        scheme = SignatureScheme(seed=1)
+        signature = scheme.sign(3, "stmt")
+        forged = type(signature)(signer=4, tag=signature.tag)
+        assert not scheme.verify(forged, "stmt")
+
+    def test_seed_separates_runs(self):
+        a = SignatureScheme(seed=1).sign(0, "x")
+        b = SignatureScheme(seed=2).sign(0, "x")
+        assert a.tag != b.tag
+
+    def test_digest_deterministic(self):
+        scheme = SignatureScheme()
+        assert scheme.digest({"a": 1, "b": 2}) == scheme.digest({"b": 2, "a": 1})
+
+    def test_canonical_handles_unserializable(self):
+        assert "object" in canonical(object)
+
+    def test_canonical_handles_circular_structures(self):
+        loop: list = []
+        loop.append(loop)
+        assert canonical(loop) == repr(loop)
+
+
+class TestVRF:
+    def test_evaluate_verify_roundtrip(self):
+        oracle = VRFOracle(seed=5)
+        key = oracle.keygen(2)
+        output = oracle.evaluate(key, "leader/7")
+        assert oracle.verify(output)
+
+    def test_tampered_value_fails(self):
+        oracle = VRFOracle(seed=5)
+        output = oracle.evaluate(oracle.keygen(2), "leader/7")
+        tampered = VRFOutput(
+            node=output.node, input=output.input,
+            value=(output.value + 1) % VRF_RANGE, proof=output.proof,
+        )
+        assert not oracle.verify(tampered)
+
+    def test_claimed_node_checked(self):
+        oracle = VRFOracle(seed=5)
+        output = oracle.evaluate(oracle.keygen(2), "x")
+        stolen = VRFOutput(node=3, input="x", value=output.value, proof=output.proof)
+        assert not oracle.verify(stolen)
+
+    def test_evaluation_requires_secret_key(self):
+        oracle = VRFOracle(seed=5)
+        with pytest.raises(TypeError):
+            oracle.evaluate(2, "input")  # type: ignore[arg-type]
+
+    def test_outputs_unpredictable_across_inputs(self):
+        oracle = VRFOracle(seed=5)
+        key = oracle.keygen(0)
+        values = {oracle.evaluate(key, f"round/{i}").value for i in range(50)}
+        assert len(values) == 50
+
+    def test_payload_roundtrip(self):
+        oracle = VRFOracle(seed=1)
+        output = oracle.evaluate(oracle.keygen(4), "p")
+        assert VRFOutput.from_payload(output.to_payload()) == output
+
+    def test_keygen_deterministic(self):
+        assert VRFOracle(seed=1).keygen(3) == VRFOracle(seed=1).keygen(3)
+        assert VRFOracle(seed=1).keygen(3) != VRFOracle(seed=2).keygen(3)
+
+
+class TestQuorumCertificates:
+    def test_validity_threshold(self):
+        qc = make_qc(3, "digest", {0, 1, 2})
+        assert qc.valid(3)
+        assert not qc.valid(4)
+
+    def test_signers_deduplicated_by_frozenset(self):
+        qc = make_qc(1, "d", frozenset({0, 0, 1}))
+        assert len(qc.signers) == 2
+
+    def test_payload_roundtrip(self):
+        qc = make_qc(9, "blockhash", {5, 3, 8})
+        assert QuorumCertificate.from_payload(qc.to_payload()) == qc
+
+    def test_from_payload_none(self):
+        assert QuorumCertificate.from_payload(None) is None
+
+    def test_tc_has_no_ref(self):
+        tc = make_tc(4, {0, 1, 2})
+        assert tc.kind == "tc"
+        assert tc.ref is None
+
+    def test_genesis_qc(self):
+        assert GENESIS_QC.view == 0
+        assert GENESIS_QC.ref == "genesis"
+
+
+class TestCommonCoin:
+    def test_flip_is_a_bit(self):
+        coin = CommonCoin(seed=0)
+        assert all(coin.flip(r) in (0, 1) for r in range(100))
+
+    def test_shared_across_instances(self):
+        a, b = CommonCoin(seed=7), CommonCoin(seed=7)
+        assert [a.flip(r) for r in range(20)] == [b.flip(r) for r in range(20)]
+
+    def test_varies_with_seed(self):
+        a, b = CommonCoin(seed=1), CommonCoin(seed=2)
+        assert [a.flip(r) for r in range(32)] != [b.flip(r) for r in range(32)]
+
+    def test_roughly_fair(self):
+        coin = CommonCoin(seed=3)
+        heads = sum(coin.flip(r) for r in range(2_000))
+        assert 800 < heads < 1_200
+
+    def test_value_in_modulus(self):
+        coin = CommonCoin(seed=3)
+        assert all(0 <= coin.value(r, 16) < 16 for r in range(100))
+
+    def test_value_bad_modulus(self):
+        with pytest.raises(ValueError):
+            CommonCoin().value(0, 0)
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.text(max_size=20))
+def test_property_vrf_verify_accepts_own_output(seed, input_):
+    oracle = VRFOracle(seed=seed)
+    output = oracle.evaluate(oracle.keygen(1), input_)
+    assert oracle.verify(output)
+    assert 0 <= output.value < VRF_RANGE

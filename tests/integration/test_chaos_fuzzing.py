@@ -1,0 +1,128 @@
+"""Property-based chaos fuzzing: random network faults never break safety.
+
+A randomized NETWORK-capability attacker drops and delays honest messages
+at configurable rates.  That is semantically an unreliable/asynchronous
+network: protocols may lose *liveness* (runs are horizon-bounded and
+allowed to not terminate) but an execution in which two honest nodes decide
+different values is a bug — in the protocol implementation, the quorum
+arithmetic, or the framework.  The metrics collector raises on conflicting
+decisions, so every fuzz case doubles as an end-to-end safety check.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import AttackConfig, Message, run_simulation
+from repro.attacks import Attacker, Capability, register_attack
+from repro.core.config import SimulationConfig
+from repro.core.errors import ConfigurationError
+
+
+@register_attack("test-chaos")
+class ChaosAttacker(Attacker):
+    """Drops or delays each honest message independently at random.
+
+    Parameters:
+        drop_rate: probability of dropping each message.
+        delay_rate: probability of inflating a surviving message's delay.
+        delay_factor: multiplier applied when inflating.
+    """
+
+    capabilities = Capability.NETWORK
+
+    def setup(self) -> None:
+        self.drop_rate = float(self.params.get("drop_rate", 0.1))
+        self.delay_rate = float(self.params.get("delay_rate", 0.2))
+        self.delay_factor = float(self.params.get("delay_factor", 5.0))
+        self._rng = self.ctx.rng("chaos")
+
+    def attack(self, message: Message):
+        roll = self._rng.random()
+        if roll < self.drop_rate:
+            return []
+        if roll < self.drop_rate + self.delay_rate:
+            message.delay = (message.delay or 1.0) * self.delay_factor
+            return [message]
+        return None
+
+
+def build(protocol, seed, drop_rate, delay_rate, n=7):
+    from repro.core.config import NetworkConfig
+
+    return SimulationConfig(
+        protocol=protocol,
+        n=n,
+        lam=300.0,
+        network=NetworkConfig(mean=50.0, std=15.0),
+        attack=AttackConfig(
+            name="test-chaos",
+            params={"drop_rate": drop_rate, "delay_rate": delay_rate},
+        ),
+        num_decisions=1,
+        seed=seed,
+        max_time=120_000.0,
+        allow_horizon=True,
+    )
+
+
+def assert_safe(result) -> None:
+    per_slot: dict[int, set] = {}
+    for decision in result.decisions:
+        per_slot.setdefault(decision.slot, set()).add(decision.value)
+    for slot, values in per_slot.items():
+        assert len(values) == 1, f"slot {slot} split: {values}"
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    drop_rate=st.floats(min_value=0.0, max_value=0.3),
+    delay_rate=st.floats(min_value=0.0, max_value=0.4),
+)
+def test_pbft_safe_under_chaos(seed, drop_rate, delay_rate):
+    assert_safe(run_simulation(build("pbft", seed, drop_rate, delay_rate)))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    drop_rate=st.floats(min_value=0.0, max_value=0.25),
+)
+def test_hotstuff_safe_under_chaos(seed, drop_rate):
+    assert_safe(run_simulation(build("hotstuff-ns", seed, drop_rate, 0.2)))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    drop_rate=st.floats(min_value=0.0, max_value=0.25),
+)
+def test_librabft_safe_under_chaos(seed, drop_rate):
+    assert_safe(run_simulation(build("librabft", seed, drop_rate, 0.2)))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    drop_rate=st.floats(min_value=0.0, max_value=0.3),
+)
+def test_asyncba_safe_under_chaos(seed, drop_rate):
+    assert_safe(run_simulation(build("async-ba", seed, drop_rate, 0.3)))
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    protocol=st.sampled_from(["add-v1", "add-v2", "add-v3", "algorand"]),
+)
+def test_sync_protocols_safe_under_chaos(seed, protocol):
+    """Dropping messages *violates* the synchronous network assumption —
+    liveness may go, but the lock/certificate machinery must still prevent
+    disagreement."""
+    assert_safe(run_simulation(build(protocol, seed, 0.15, 0.2)))
+
+
+def test_chaos_attacker_requires_registration_once():
+    with __import__("pytest").raises(ConfigurationError):
+        register_attack("test-chaos")(ChaosAttacker)

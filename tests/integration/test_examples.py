@@ -1,0 +1,51 @@
+"""Smoke tests: the shipped examples must run and say what they promise."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert process.returncode == 0, process.stderr
+    return process.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "time usage" in out
+    assert "reproduced the result exactly" in out
+
+
+def test_custom_protocol():
+    out = run_example("custom_protocol.py")
+    assert "echo-consensus: terminated" in out
+    assert "could not break agreement" in out
+
+
+def test_validate_against_baseline():
+    out = run_example("validate_against_baseline.py")
+    assert "MATCH" in out
+
+
+def test_view_sync_visualization_well_estimated():
+    # lambda=1000 keeps the run tiny; the chart machinery is the same.
+    out = run_example("view_sync_visualization.py", "1000")
+    assert "node   0 |" in out
+
+
+@pytest.mark.slow
+def test_compare_protocols_single_rep():
+    out = run_example("compare_protocols.py", "1")
+    assert "hotstuff-ns" in out and "pbft" in out

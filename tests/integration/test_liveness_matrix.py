@@ -1,0 +1,115 @@
+"""Integration: every protocol terminates across a grid of configurations.
+
+The liveness matrix is the simulator's broadest regression net: all eight
+protocols, several cluster sizes, several network environments, benign and
+fail-stop conditions.  Each cell asserts termination (and, implicitly via
+the metrics collector, safety).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AttackConfig, run_simulation
+from repro.analysis import decisions_for, network_for
+from repro.core.config import SimulationConfig
+from repro.protocols import available_protocols
+
+PROTOCOLS = available_protocols()
+
+
+def cell_config(
+    protocol: str,
+    n: int,
+    mean: float,
+    std: float,
+    lam: float = 500.0,
+    seed: int = 1,
+    attack: AttackConfig | None = None,
+) -> SimulationConfig:
+    return SimulationConfig(
+        protocol=protocol,
+        n=n,
+        lam=lam,
+        network=network_for(protocol, mean, std, lam),
+        attack=attack or AttackConfig(),
+        num_decisions=decisions_for(protocol),
+        seed=seed,
+        max_time=1_800_000.0,
+    )
+
+
+class TestBenignLiveness:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    @pytest.mark.parametrize("n", [4, 7, 16])
+    def test_terminates(self, protocol, n):
+        result = run_simulation(cell_config(protocol, n, mean=50.0, std=10.0))
+        assert result.terminated
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_terminates_with_jitter(self, protocol):
+        result = run_simulation(cell_config(protocol, 7, mean=100.0, std=80.0))
+        assert result.terminated
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    @pytest.mark.parametrize("seed", [2, 3, 4])
+    def test_terminates_across_seeds(self, protocol, seed):
+        result = run_simulation(cell_config(protocol, 7, mean=50.0, std=10.0, seed=seed))
+        assert result.terminated
+
+    @pytest.mark.parametrize(
+        "distribution", ["constant", "uniform", "normal", "lognormal", "exponential"]
+    )
+    def test_pbft_under_every_distribution(self, distribution):
+        config = cell_config("pbft", 7, mean=50.0, std=10.0)
+        config = config.replace(network={"distribution": distribution})
+        assert run_simulation(config).terminated
+
+
+class TestFailStopLiveness:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_terminates_with_one_crash(self, protocol):
+        # Crash the last node: avoids the scheduled first leaders, so the
+        # test isolates quorum liveness from leader-schedule effects.
+        result = run_simulation(
+            cell_config(
+                protocol, 7, mean=50.0, std=10.0,
+                attack=AttackConfig(name="failstop", params={"nodes": [6]}),
+            )
+        )
+        assert result.terminated
+
+    @pytest.mark.parametrize("protocol", ["pbft", "add-v1", "add-v2", "algorand"])
+    def test_terminates_at_max_resilience(self, protocol):
+        from repro.protocols import get_protocol
+
+        n = 16
+        f = get_protocol(protocol).max_resilience(n)
+        result = run_simulation(
+            cell_config(
+                protocol, n, mean=50.0, std=10.0,
+                attack=AttackConfig(name="failstop", params={"count": f}),
+            )
+        )
+        assert result.terminated
+
+
+class TestEnvironmentEdges:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_constant_delay_network(self, protocol):
+        config = cell_config(protocol, 4, mean=10.0, std=0.0)
+        config = config.replace(network={"distribution": "constant", "std": 0.0})
+        assert run_simulation(config).terminated
+
+    def test_gst_network_pbft(self):
+        """A partially-synchronous network that stabilizes at GST=2s."""
+        config = cell_config("pbft", 7, mean=50.0, std=10.0)
+        config = config.replace(network={"gst": 2_000.0, "pre_gst_factor": 20.0})
+        result = run_simulation(config)
+        assert result.terminated
+        assert result.latency > 100.0
+
+    def test_single_node_pbft(self):
+        """Degenerate n=1, f=0: a cluster of one decides alone."""
+        result = run_simulation(cell_config("pbft", 1, mean=10.0, std=1.0))
+        assert result.terminated

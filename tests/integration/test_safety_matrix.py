@@ -1,0 +1,98 @@
+"""Integration: agreement holds for every protocol under stress.
+
+Safety is checked online by the metrics collector (conflicting honest
+decisions raise immediately), so each cell only needs to complete; the
+explicit value-set assertions document the property being protected.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AttackConfig, run_simulation
+from repro.analysis import decisions_for, network_for
+from repro.core.config import SimulationConfig
+from repro.protocols import available_protocols
+
+PROTOCOLS = available_protocols()
+
+
+def run(protocol, seed, attack=None, mean=60.0, std=40.0, n=7, lam=300.0):
+    config = SimulationConfig(
+        protocol=protocol,
+        n=n,
+        lam=lam,
+        network=network_for(protocol, mean, std, lam),
+        attack=attack or AttackConfig(),
+        num_decisions=decisions_for(protocol),
+        seed=seed,
+        max_time=1_800_000.0,
+    )
+    return run_simulation(config)
+
+
+def assert_agreement(result):
+    per_slot: dict[int, set] = {}
+    for decision in result.decisions:
+        per_slot.setdefault(decision.slot, set()).add(decision.value)
+    assert per_slot, "no decisions recorded"
+    for slot, values in per_slot.items():
+        assert len(values) == 1, f"slot {slot} decided {values}"
+
+
+class TestAgreementUnderJitter:
+    """std close to the mean: stress reordering and phase windows."""
+
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_agreement(self, protocol, seed):
+        assert_agreement(run(protocol, seed))
+
+
+class TestAgreementUnderFailStop:
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_agreement_with_crashes(self, protocol):
+        attack = AttackConfig(name="failstop", params={"nodes": [6]})
+        assert_agreement(run(protocol, seed=5, attack=attack))
+
+
+class TestAgreementUnderPartition:
+    @pytest.mark.parametrize("protocol", ["pbft", "librabft", "algorand"])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_agreement_across_partition(self, protocol, seed):
+        attack = AttackConfig(name="partition", params={"end": 3_000.0})
+        assert_agreement(run(protocol, seed, attack=attack))
+
+    @pytest.mark.parametrize("mode", ["drop", "delay"])
+    def test_agreement_both_partition_modes(self, mode):
+        attack = AttackConfig(name="partition", params={"end": 3_000.0, "mode": mode})
+        assert_agreement(run("pbft", seed=2, attack=attack))
+
+
+class TestAgreementUnderByzantine:
+    def test_pbft_equivocating_leader(self):
+        attack = AttackConfig(name="pbft-equivocation", params={"target": 0})
+        assert_agreement(run("pbft", seed=1, attack=attack))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_addv2_under_adaptive_attack(self, seed):
+        attack = AttackConfig(name="add-adaptive", params={"budget": 2})
+        assert_agreement(run("add-v2", seed, attack=attack))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_addv3_under_adaptive_attack(self, seed):
+        attack = AttackConfig(name="add-adaptive", params={"budget": 2})
+        assert_agreement(run("add-v3", seed, attack=attack))
+
+    def test_addv1_under_static_attack(self):
+        attack = AttackConfig(name="add-static", params={"count": 2})
+        assert_agreement(run("add-v1", seed=1, attack=attack))
+
+
+class TestAgreementUnderTargetedDelay:
+    @pytest.mark.parametrize("protocol", ["pbft", "librabft"])
+    def test_agreement_with_slowed_nodes(self, protocol):
+        attack = AttackConfig(
+            name="targeted-delay", params={"targets": [0, 1], "factor": 3.0}
+        )
+        assert_agreement(run(protocol, seed=3, attack=attack))

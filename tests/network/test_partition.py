@@ -1,0 +1,88 @@
+"""Tests for partition specifications."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.network.partition import PartitionSpec
+
+
+def halves(n=8, start=0.0, end=100.0, mode="drop"):
+    return PartitionSpec.halves(n, start=start, end=end, mode=mode)
+
+
+class TestConstruction:
+    def test_halves_are_even_odd(self):
+        spec = halves(6)
+        assert spec.group_of(0) == spec.group_of(2) == spec.group_of(4)
+        assert spec.group_of(1) == spec.group_of(3) == spec.group_of(5)
+        assert spec.group_of(0) != spec.group_of(1)
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PartitionSpec.split([[0, 1], [1, 2]], start=0, end=10)
+
+    def test_single_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PartitionSpec.split([[0, 1, 2]], start=0, end=10)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PartitionSpec.split([[0], [1]], start=10, end=10)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PartitionSpec.split([[0], [1]], start=0, end=10, mode="explode")
+
+
+class TestSeparation:
+    def test_same_group_not_separated(self):
+        assert not halves().separated(0, 2)
+
+    def test_cross_group_separated(self):
+        assert halves().separated(0, 1)
+
+    def test_self_never_separated(self):
+        assert not halves().separated(3, 3)
+
+    def test_unlisted_nodes_are_singletons(self):
+        spec = PartitionSpec.split([[0], [1]], start=0, end=10)
+        assert spec.separated(5, 6)  # two unlisted nodes
+        assert spec.separated(5, 0)  # unlisted vs listed
+        assert not spec.separated(5, 5)
+
+    def test_three_way_partition(self):
+        spec = PartitionSpec.split([[0, 1], [2, 3], [4, 5]], start=0, end=10)
+        assert spec.separated(0, 2)
+        assert spec.separated(2, 4)
+        assert not spec.separated(4, 5)
+
+
+class TestTiming:
+    def test_active_window_half_open(self):
+        spec = halves(start=10.0, end=20.0)
+        assert not spec.active_at(9.999)
+        assert spec.active_at(10.0)
+        assert spec.active_at(19.999)
+        assert not spec.active_at(20.0)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=64),
+    a=st.integers(min_value=0, max_value=63),
+    b=st.integers(min_value=0, max_value=63),
+)
+def test_property_halves_separation_is_parity(n, a, b):
+    a, b = a % n, b % n
+    spec = PartitionSpec.halves(n)
+    expected = (a % 2 != b % 2) and a != b
+    assert spec.separated(a, b) == expected
+
+
+@given(st.integers(min_value=2, max_value=64))
+def test_property_halves_cover_all_nodes(n):
+    spec = PartitionSpec.halves(n)
+    covered = set().union(*spec.groups)
+    assert covered == set(range(n))

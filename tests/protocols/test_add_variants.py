@@ -1,0 +1,155 @@
+"""Tests for the ADD+ family (v1/v2/v3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AttackConfig, run_simulation
+
+from tests.conftest import sync_config
+
+VARIANTS = ["add-v1", "add-v2", "add-v3"]
+#: Iteration length in lambdas, per variant (propose..resolve schedule).
+ITERATION_LAMBDAS = {"add-v1": 3, "add-v2": 4, "add-v3": 3}
+
+
+def add(variant, **kwargs):
+    kwargs.setdefault("n", 7)
+    kwargs.setdefault("lam", 200.0)
+    return sync_config(variant, **kwargs)
+
+
+class TestHappyPath:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_decides_in_one_iteration(self, variant):
+        config = add(variant)
+        result = run_simulation(config)
+        assert result.terminated
+        expected = ITERATION_LAMBDAS[variant] * config.lam
+        assert result.latency == pytest.approx(expected)
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_latency_scales_with_lambda(self, variant):
+        """Synchronous protocols are clocked off lambda (Fig. 4)."""
+        small = run_simulation(add(variant, lam=100.0))
+        large = run_simulation(add(variant, lam=300.0))
+        assert large.latency == pytest.approx(3 * small.latency)
+
+    def test_v1_leader_is_round_robin(self):
+        result = run_simulation(add("add-v1"))
+        assert "proposer=0" in result.decided_values[0]
+
+    @pytest.mark.parametrize("variant", ["add-v2", "add-v3"])
+    def test_vrf_leaders_vary_with_seed(self, variant):
+        proposers = {
+            run_simulation(add(variant, seed=seed)).decided_values[0]
+            for seed in range(6)
+        }
+        assert len(proposers) > 1, "VRF election should pick different leaders"
+
+
+class TestFailStop:
+    def test_v1_crashed_scheduled_leader_costs_iterations(self):
+        crashed = run_simulation(
+            add("add-v1", attack=AttackConfig(name="failstop", params={"nodes": [0]}))
+        )
+        clean = run_simulation(add("add-v1"))
+        assert crashed.latency == pytest.approx(clean.latency * 2)
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_tolerates_minority_failstop(self, variant):
+        result = run_simulation(
+            add(
+                variant,
+                n=7,
+                attack=AttackConfig(name="failstop", params={"count": 3}),
+                max_time=600_000.0,
+            )
+        )
+        assert result.terminated
+
+
+class TestAttacks:
+    def test_static_attack_delays_v1_linearly(self):
+        budget = 3
+        result = run_simulation(
+            add(
+                "add-v1",
+                attack=AttackConfig(name="add-static", params={"count": budget}),
+                max_time=600_000.0,
+            )
+        )
+        clean = run_simulation(add("add-v1"))
+        assert result.latency == pytest.approx(clean.latency * (budget + 1))
+
+    @pytest.mark.parametrize("variant", ["add-v2", "add-v3"])
+    def test_static_attack_harmless_against_vrf(self, variant):
+        result = run_simulation(
+            add(
+                variant,
+                attack=AttackConfig(name="add-static", params={"count": 3}),
+                max_time=600_000.0,
+            )
+        )
+        clean = run_simulation(add(variant))
+        # One unlucky iteration is possible; linear-in-f delay is not.
+        assert result.latency <= clean.latency * 2
+
+    def test_adaptive_attack_burns_v2_budget(self):
+        budget = 3
+        result = run_simulation(
+            add(
+                "add-v2",
+                attack=AttackConfig(name="add-adaptive", params={"budget": budget}),
+                max_time=600_000.0,
+            )
+        )
+        clean = run_simulation(add("add-v2"))
+        assert result.latency == pytest.approx(clean.latency * (budget + 1))
+        assert len(result.faulty) == budget
+
+    def test_adaptive_attack_fails_against_v3(self):
+        """The prepare round: corruption comes too late to retract the
+        winning proposal (no-after-the-fact-removal)."""
+        result = run_simulation(
+            add(
+                "add-v3",
+                attack=AttackConfig(name="add-adaptive", params={"budget": 3}),
+                max_time=600_000.0,
+            )
+        )
+        clean = run_simulation(add("add-v3"))
+        assert result.latency == pytest.approx(clean.latency)
+
+    def test_adaptive_attacker_corrupts_the_actual_winner(self):
+        result = run_simulation(
+            add(
+                "add-v2",
+                attack=AttackConfig(name="add-adaptive", params={"budget": 1}),
+                max_time=600_000.0,
+                record_trace=True,
+            )
+        )
+        assert result.terminated
+        corruptions = result.trace.events(kind="corrupt")
+        assert len(corruptions) == 1
+
+
+class TestLocking:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_agreement_under_lossy_phases(self, variant):
+        """Delays close to the bound stress the phase windows; locking must
+        keep honest nodes agreed (regression test for the lock-respecting
+        vote rule)."""
+        for seed in range(3):
+            result = run_simulation(
+                add(
+                    variant,
+                    mean=190.0,
+                    std=60.0,
+                    seed=seed,
+                    max_time=1_800_000.0,
+                )
+            )
+            values = {d.value for d in result.decisions}
+            assert len(values) == 1

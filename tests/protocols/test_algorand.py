@@ -1,0 +1,78 @@
+"""Tests for Algorand Agreement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AttackConfig, run_simulation
+
+from tests.conftest import sync_config
+
+
+def algorand(**kwargs):
+    kwargs.setdefault("n", 7)
+    kwargs.setdefault("lam", 500.0)
+    return sync_config("algorand", **kwargs)
+
+
+class TestHappyPath:
+    def test_decides_in_first_period(self):
+        result = run_simulation(algorand(record_trace=True))
+        assert result.terminated
+        periods = {e.fields["view"] for e in result.trace.events(kind="view")}
+        assert periods == {0}
+
+    def test_latency_is_lambda_bound(self):
+        """Soft-votes fire at 2*lambda: latency is a multiple of lambda,
+        not of the network delay (non-responsive)."""
+        result = run_simulation(algorand(mean=20.0, std=4.0))
+        assert result.latency > 2 * 500.0
+
+    def test_leader_is_lowest_credential(self):
+        """All honest nodes adopt the same VRF-elected proposal."""
+        result = run_simulation(algorand())
+        values = {d.value for d in result.decisions}
+        assert len(values) == 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_deterministic_and_live_across_seeds(self, seed):
+        result = run_simulation(algorand(seed=seed))
+        assert result.terminated
+
+
+class TestFaults:
+    def test_tolerates_failstop_third(self):
+        result = run_simulation(
+            algorand(
+                n=7,  # f = 2
+                attack=AttackConfig(name="failstop", params={"count": 2}),
+                max_time=600_000.0,
+            )
+        )
+        assert result.terminated
+
+    def test_partition_resilience(self):
+        """Algorand holds position during a partition and recovers after
+        the heal — no exponential back-off accumulates."""
+        heal = 10_000.0
+        result = run_simulation(
+            algorand(
+                n=7,
+                attack=AttackConfig(name="partition", params={"end": heal}),
+                max_time=600_000.0,
+                record_trace=True,
+            )
+        )
+        assert result.terminated
+        assert result.latency < heal + 20 * 500.0
+
+    def test_safety_across_partition(self):
+        result = run_simulation(
+            algorand(
+                n=7,
+                attack=AttackConfig(name="partition", params={"end": 10_000.0}),
+                max_time=600_000.0,
+            )
+        )
+        values = {d.value for d in result.decisions}
+        assert len(values) == 1

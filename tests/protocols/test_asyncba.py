@@ -1,0 +1,80 @@
+"""Tests for Bracha's asynchronous binary agreement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import run_simulation
+
+from tests.conftest import quick_config
+
+
+def asyncba(**kwargs):
+    kwargs.setdefault("protocol", "async-ba")
+    kwargs.setdefault("n", 7)
+    return quick_config(**kwargs)
+
+
+class TestTermination:
+    def test_mixed_inputs_terminate(self):
+        result = run_simulation(asyncba())
+        assert result.terminated
+        assert result.decided_values[0] in (0, 1)
+
+    def test_unanimous_inputs_decide_round_one(self):
+        result = run_simulation(
+            asyncba(protocol_params={"unanimous": True}, record_trace=True)
+        )
+        assert result.terminated
+        assert result.decided_values[0] == 1
+        rounds = {e.fields["round"] for e in result.trace.events(kind="round")}
+        assert max(rounds) <= 2, "unanimous inputs decide in the first round"
+
+    def test_explicit_inputs_respected(self):
+        result = run_simulation(
+            asyncba(protocol_params={"inputs": [0] * 7})
+        )
+        assert result.decided_values[0] == 0
+
+    def test_validity(self):
+        """The decision must be some node's input (here: all inputs 1)."""
+        result = run_simulation(asyncba(protocol_params={"inputs": [1] * 7}))
+        assert result.decided_values[0] == 1
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_probabilistic_termination_across_seeds(self, seed):
+        result = run_simulation(asyncba(seed=seed, max_time=600_000.0))
+        assert result.terminated
+
+
+class TestAsynchrony:
+    def test_no_timers_used(self):
+        result = run_simulation(asyncba(record_trace=True))
+        assert result.trace.events(kind="timer") == []
+
+    def test_lambda_irrelevant(self):
+        """The latency of async BA must not depend on lambda at all."""
+        a = run_simulation(asyncba(lam=100.0, seed=3))
+        b = run_simulation(asyncba(lam=10_000.0, seed=3))
+        assert a.latency == b.latency
+
+    def test_latency_tracks_network_speed(self):
+        fast = run_simulation(asyncba(mean=10.0, std=2.0, seed=3))
+        slow = run_simulation(asyncba(mean=100.0, std=20.0, seed=3))
+        assert slow.latency > fast.latency * 3
+
+    def test_survives_unbounded_delays(self):
+        result = run_simulation(
+            asyncba(mean=100.0, std=150.0, max_time=600_000.0)
+        )
+        assert result.terminated
+
+    def test_coin_reported_when_rounds_disagree(self):
+        """With adversarially mixed inputs, some seeds need the coin."""
+        used_coin = False
+        for seed in range(8):
+            result = run_simulation(asyncba(seed=seed, record_trace=True))
+            if result.trace.events(kind="coin"):
+                used_coin = True
+                break
+        assert used_coin, "mixed inputs should exercise the common coin sometimes"

@@ -1,0 +1,112 @@
+"""Unit tests for the pacemaker timeout policies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.protocols.pacemakers import (
+    AdaptiveTimeoutPolicy,
+    PerNodeDoublingPolicy,
+    ViewDoublingPolicy,
+)
+
+
+class TestViewDoubling:
+    def test_duration_indexed_by_view(self):
+        policy = ViewDoublingPolicy(base=100.0)
+        assert policy.duration_of(1) == 100.0
+        assert policy.duration_of(2) == 200.0
+        assert policy.duration_of(5) == 1600.0
+
+    def test_views_before_anchor_are_base(self):
+        policy = ViewDoublingPolicy(base=100.0)
+        policy.on_commit(10)
+        assert policy.duration_of(3) == 100.0
+        assert policy.duration_of(10) == 100.0
+        assert policy.duration_of(12) == 400.0
+
+    def test_anchor_monotone(self):
+        policy = ViewDoublingPolicy(base=100.0)
+        policy.on_commit(10)
+        policy.on_commit(4)  # stale commit cannot move the anchor back
+        assert policy.anchor == 10
+
+    def test_exponent_capped(self):
+        policy = ViewDoublingPolicy(base=1.0, max_doublings=5)
+        assert policy.duration_of(1000) == 32.0
+
+    def test_bad_base_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ViewDoublingPolicy(base=0.0)
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ViewDoublingPolicy(base=1.0, max_doublings=0)
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_property_durations_double(self, view):
+        policy = ViewDoublingPolicy(base=10.0, max_doublings=24)
+        if view - 1 < 24:
+            assert policy.duration_of(view + 1) == 2 * policy.duration_of(view)
+
+
+class TestPerNodeDoubling:
+    def test_doubles_on_timeout(self):
+        policy = PerNodeDoublingPolicy(base=100.0)
+        assert policy.current() == 100.0
+        policy.on_timeout()
+        assert policy.current() == 200.0
+        policy.on_timeout()
+        assert policy.current() == 400.0
+
+    def test_progress_resets(self):
+        policy = PerNodeDoublingPolicy(base=100.0)
+        for _ in range(4):
+            policy.on_timeout()
+        policy.on_progress()
+        assert policy.current() == 100.0
+
+    def test_cap(self):
+        policy = PerNodeDoublingPolicy(base=1.0, max_doublings=3)
+        for _ in range(10):
+            policy.on_timeout()
+        assert policy.current() == 8.0
+
+    def test_bad_base_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PerNodeDoublingPolicy(base=-1.0)
+
+
+class TestAdaptiveTimeout:
+    def test_doubles_on_timeout(self):
+        policy = AdaptiveTimeoutPolicy(base=100.0)
+        policy.on_timeout()
+        assert policy.current() == 200.0
+
+    def test_decays_on_commit_with_floor(self):
+        policy = AdaptiveTimeoutPolicy(base=100.0, decay=0.5)
+        for _ in range(3):
+            policy.on_timeout()  # 800
+        policy.on_commit()
+        assert policy.current() == 400.0
+        for _ in range(5):
+            policy.on_commit()
+        assert policy.current() == 100.0  # floored at base
+
+    def test_settles_instead_of_oscillating(self):
+        """The Fig. 5 mechanism: with a working point above base, repeated
+        success keeps the timeout near the working point, not at base."""
+        policy = AdaptiveTimeoutPolicy(base=100.0, decay=0.9)
+        for _ in range(3):
+            policy.on_timeout()
+        before = policy.current()
+        policy.on_commit()
+        assert policy.current() > before * 0.8
+
+    def test_bad_decay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveTimeoutPolicy(base=1.0, decay=0.0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveTimeoutPolicy(base=1.0, decay=1.5)

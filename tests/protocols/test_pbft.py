@@ -1,0 +1,118 @@
+"""Tests for PBFT: happy path, view changes, safety mechanics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AttackConfig, run_simulation
+
+from tests.conftest import quick_config
+
+
+def pbft(**kwargs):
+    kwargs.setdefault("protocol", "pbft")
+    return quick_config(**kwargs)
+
+
+class TestHappyPath:
+    def test_single_decision(self):
+        result = run_simulation(pbft())
+        assert result.terminated
+        assert result.decided_values[0].startswith("value(")
+
+    def test_leader_zero_proposes_slot_zero(self):
+        result = run_simulation(pbft())
+        assert "proposer=0" in result.decided_values[0]
+
+    def test_three_phase_latency(self):
+        """One decision needs pre-prepare + prepare + commit: about three
+        network hops, well under one timeout at mean=50ms, lam=500ms."""
+        result = run_simulation(pbft(mean=50.0, std=5.0))
+        assert 100.0 < result.latency < 500.0
+
+    def test_quadratic_message_usage(self):
+        """PBFT sends ~2n^2 messages per decision."""
+        result = run_simulation(pbft(n=10))
+        expected = 9 + 2 * 10 * 9  # pre-prepare + prepare + commit
+        assert result.messages == pytest.approx(expected, rel=0.1)
+
+    def test_multi_slot_smr(self):
+        result = run_simulation(pbft(num_decisions=5))
+        assert sorted(result.decided_values) == [0, 1, 2, 3, 4]
+
+    def test_no_view_change_in_happy_path(self):
+        result = run_simulation(pbft(record_trace=True))
+        views = {e.fields["view"] for e in result.trace.events(kind="view")}
+        assert views == {0}
+
+
+class TestViewChange:
+    def test_crashed_leader_triggers_view_change(self):
+        config = pbft(
+            n=4,
+            attack=AttackConfig(name="failstop", params={"nodes": [0]}),
+            record_trace=True,
+        )
+        result = run_simulation(config)
+        assert result.terminated
+        views = {e.fields["view"] for e in result.trace.events(kind="view")}
+        assert 1 in views, "nodes must move to view 1"
+        assert "proposer=1" in result.decided_values[0], "leader 1 re-proposes"
+
+    def test_view_change_latency_includes_timeout(self):
+        config = pbft(n=4, attack=AttackConfig(name="failstop", params={"nodes": [0]}))
+        result = run_simulation(config)
+        assert result.latency > config.lam  # must wait out the view timer
+
+    def test_two_crashed_leaders(self):
+        config = pbft(
+            n=7,
+            attack=AttackConfig(name="failstop", params={"nodes": [0, 1]}),
+        )
+        result = run_simulation(config)
+        assert result.terminated
+        assert "proposer=2" in result.decided_values[0]
+
+    def test_mid_run_crash_after_first_decision(self):
+        config = pbft(
+            n=7,
+            num_decisions=3,
+            attack=AttackConfig(name="failstop", params={"nodes": [0], "at": 400.0}),
+            max_time=60_000.0,
+        )
+        result = run_simulation(config)
+        assert result.terminated
+        assert len(result.decided_values) == 3
+
+    def test_timeout_doubles_across_view_changes(self):
+        """With two crashed leaders the second view change waits 2x lam."""
+        one = run_simulation(
+            pbft(n=7, attack=AttackConfig(name="failstop", params={"nodes": [0]}))
+        )
+        two = run_simulation(
+            pbft(n=7, attack=AttackConfig(name="failstop", params={"nodes": [0, 1]}))
+        )
+        # view changes cost lam then 2*lam: the gap must exceed one lam.
+        assert two.latency - one.latency > 500.0 * 0.9
+
+
+class TestSafetyMechanics:
+    def test_safety_under_equivocation(self):
+        """A corrupted leader equivocates; honest nodes must still agree."""
+        config = pbft(
+            n=4,
+            attack=AttackConfig(name="pbft-equivocation", params={"target": 0}),
+            max_time=120_000.0,
+        )
+        result = run_simulation(config)
+        assert result.terminated
+        values = {d.value for d in result.decisions if d.slot == 0}
+        assert len(values) == 1, "equivocation must not split honest decisions"
+
+    def test_commit_carries_value_for_laggards(self):
+        result = run_simulation(pbft(record_trace=True))
+        assert result.terminated  # smoke: the value-carrying commit works
+
+    def test_decides_under_jittery_network(self):
+        result = run_simulation(pbft(mean=200.0, std=150.0, lam=1000.0, max_time=600_000.0))
+        assert result.terminated

@@ -1,0 +1,105 @@
+"""Tests for the Tendermint extension protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AttackConfig, run_simulation
+
+from tests.conftest import quick_config
+
+
+def tm(**kwargs):
+    kwargs.setdefault("protocol", "tendermint")
+    kwargs.setdefault("n", 7)
+    return quick_config(**kwargs)
+
+
+class TestHappyPath:
+    def test_three_hop_decision(self):
+        result = run_simulation(tm(mean=50.0, std=5.0))
+        assert result.terminated
+        # propose + prevote + precommit: about three network hops.
+        assert 120.0 < result.latency < 400.0
+
+    def test_multi_height_smr(self):
+        result = run_simulation(tm(num_decisions=4))
+        assert sorted(result.decided_values) == [0, 1, 2, 3]
+
+    def test_proposer_rotates_per_height(self):
+        result = run_simulation(tm(num_decisions=3))
+        proposers = {
+            result.decided_values[h].split("proposer=")[1][0] for h in range(3)
+        }
+        assert len(proposers) == 3
+
+    def test_quadratic_message_usage(self):
+        """Prevote and precommit are all-to-all: ~2n^2 per height."""
+        result = run_simulation(tm(n=10))
+        assert result.messages == pytest.approx(2 * 10 * 9 + 9, rel=0.15)
+
+    def test_responsive_to_lambda(self):
+        fast = run_simulation(tm(lam=500.0, seed=3))
+        slow = run_simulation(tm(lam=2_000.0, seed=3))
+        assert fast.latency == slow.latency
+
+
+class TestRounds:
+    def test_crashed_proposer_forces_new_round(self):
+        result = run_simulation(
+            tm(
+                attack=AttackConfig(name="failstop", params={"nodes": [0]}),
+                record_trace=True,
+                max_time=600_000.0,
+            )
+        )
+        assert result.terminated
+        assert result.max_view >= 1  # at least one round change at height 0
+
+    def test_round_timeout_grows_linearly(self):
+        """Two consecutive dead proposers cost lam*(1) + lam*(1.5)."""
+        one = run_simulation(
+            tm(attack=AttackConfig(name="failstop", params={"nodes": [0]}),
+               max_time=600_000.0)
+        )
+        two = run_simulation(
+            tm(attack=AttackConfig(name="failstop", params={"nodes": [0, 1]}),
+               max_time=600_000.0)
+        )
+        extra = two.latency - one.latency
+        assert 0.8 * 1.5 * 500.0 < extra < 2.5 * 1.5 * 500.0
+
+    def test_locking_prevents_disagreement_under_partition(self):
+        result = run_simulation(
+            tm(
+                attack=AttackConfig(name="partition", params={"end": 3_000.0}),
+                num_decisions=2,
+                max_time=600_000.0,
+            )
+        )
+        per_slot: dict[int, set] = {}
+        for d in result.decisions:
+            per_slot.setdefault(d.slot, set()).add(d.value)
+        assert all(len(v) == 1 for v in per_slot.values())
+
+
+class TestRegistryIntegration:
+    def test_listed_as_available(self):
+        from repro import available_protocols
+
+        assert "tendermint" in available_protocols()
+
+    def test_runs_on_baseline_engine(self):
+        from repro.baseline import run_baseline_simulation
+
+        result = run_baseline_simulation(tm(n=4, mean=50.0, std=5.0))
+        assert result.terminated
+
+    def test_validates_across_engines(self):
+        from repro.baseline import run_baseline_simulation
+        from repro.validator import compare_decisions, replay_simulation
+
+        config = tm(n=4, mean=50.0, std=5.0, record_trace=True)
+        ground_truth = run_baseline_simulation(config)
+        replayed = replay_simulation(config, ground_truth.trace)
+        assert compare_decisions(ground_truth.trace, replayed.trace).matches
