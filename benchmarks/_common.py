@@ -3,11 +3,27 @@
 Every bench renders its artifact as fixed-width text, prints it (visible
 with ``pytest -s``), and saves it under ``benchmarks/out/`` so results
 persist across runs and can be diffed against EXPERIMENTS.md.
+
+Parallelism: every bench that runs its cells through the
+:mod:`repro.analysis.experiments` harness honours ``REPRO_BENCH_JOBS``
+(``0`` = one worker per CPU).  Because runs are deterministic, the numbers
+in the artifacts are identical at any job count — only wall-clock time
+changes — so paper-scale statistics (``REPRO_BENCH_REPS=100``) become
+practical on a multi-core machine:
+
+    REPRO_BENCH_REPS=100 REPRO_BENCH_JOBS=0 python -m pytest benchmarks/
 """
 
 from __future__ import annotations
 
 import pathlib
+
+from repro.analysis.experiments import bench_jobs, bench_repetitions
+
+__all__ = [
+    "OUT_DIR", "PAPER_PROTOCOLS", "bench_jobs", "bench_repetitions",
+    "run_once", "save_artifact",
+]
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
 

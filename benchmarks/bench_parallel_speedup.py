@@ -1,0 +1,88 @@
+"""Parallel engine — wall-clock speedup and determinism cross-check.
+
+The paper repeats every experiment 100 times per configuration (§IV); those
+repetitions are independent deterministic runs, so the parallel engine
+should scale their wall-clock cost down with the number of cores while
+reproducing the serial results bit-for-bit (all deterministic fields; only
+``wall_clock_seconds`` — host time — differs).
+
+This bench runs the paper's standard PBFT cell (n=16, lambda=1000,
+N(250, 50)) 100 times serially and with ``jobs=4``, records both timings
+and the speedup under ``benchmarks/out/``, and asserts:
+
+* the two batches are fingerprint-identical (always), and
+* on a machine with >= 4 physical cores, ``jobs=4`` is at least 2x faster
+  (skipped on smaller hosts, where a process pool cannot beat serial —
+  the artifact still records the measured numbers).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro import SimulationConfig, NetworkConfig, repeat_simulation, result_fingerprint
+from repro.analysis import render_table
+
+from _common import run_once, save_artifact
+
+REPETITIONS = 100
+JOBS = 4
+
+
+def _config() -> SimulationConfig:
+    return SimulationConfig(
+        protocol="pbft",
+        n=16,
+        lam=1000.0,
+        network=NetworkConfig(mean=250.0, std=50.0),
+        num_decisions=1,
+        seed=1,
+    )
+
+
+def test_parallel_speedup(benchmark) -> None:
+    cores = os.cpu_count() or 1
+
+    def experiment():
+        t0 = time.perf_counter()
+        serial = repeat_simulation(_config(), REPETITIONS, jobs=1)
+        t_serial = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        parallel = repeat_simulation(_config(), REPETITIONS, jobs=JOBS)
+        t_parallel = time.perf_counter() - t0
+        return serial, parallel, t_serial, t_parallel
+
+    serial, parallel, t_serial, t_parallel = run_once(benchmark, experiment)
+    speedup = t_serial / t_parallel
+
+    save_artifact(
+        "parallel_speedup",
+        render_table(
+            f"Parallel engine: {REPETITIONS}x PBFT (n=16, lambda=1000, "
+            f"N(250,50)) on a {cores}-core host",
+            ["jobs", "wall-clock (s)", "speedup"],
+            [
+                (1, f"{t_serial:.2f}", "1.00x"),
+                (JOBS, f"{t_parallel:.2f}", f"{speedup:.2f}x"),
+            ],
+            note="deterministic fields of all 100 results are identical at "
+            "every job count; the >=2x speedup claim applies to hosts "
+            "with >= 4 cores.",
+        ),
+    )
+
+    # Determinism: the parallel batch reproduces the serial one exactly.
+    assert [result_fingerprint(r) for r in serial] == [
+        result_fingerprint(r) for r in parallel
+    ], "parallel execution changed deterministic results"
+    assert [r.config.seed for r in parallel] == [
+        1 + i for i in range(REPETITIONS)
+    ], "results must come back in seed order"
+
+    # Speedup: only a host with enough cores can honour the 2x claim.
+    if cores >= JOBS:
+        assert speedup >= 2.0, (
+            f"jobs={JOBS} on {cores} cores should be >= 2x faster, "
+            f"measured {speedup:.2f}x"
+        )

@@ -31,8 +31,9 @@ from .core.config import AttackConfig, NetworkConfig, SimulationConfig
 from .core.controller import Controller
 from .core.message import Message
 from .core.node import Node
-from .core.results import SimulationResult
-from .core.runner import repeat_simulation, run_simulation
+from .core.results import RunFailure, SimulationResult, result_fingerprint
+from .core.runner import repeat_simulation, run_simulation, sweep
+from .parallel import ParallelRunner, ProgressUpdate
 from .protocols.registry import available_protocols, get_protocol, register_protocol
 from .attacks.registry import available_attacks, get_attack, register_attack
 
@@ -44,6 +45,9 @@ __all__ = [
     "Message",
     "NetworkConfig",
     "Node",
+    "ParallelRunner",
+    "ProgressUpdate",
+    "RunFailure",
     "SimulationConfig",
     "SimulationResult",
     "available_attacks",
@@ -53,6 +57,8 @@ __all__ = [
     "register_attack",
     "register_protocol",
     "repeat_simulation",
+    "result_fingerprint",
     "run_simulation",
+    "sweep",
     "__version__",
 ]

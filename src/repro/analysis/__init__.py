@@ -1,11 +1,18 @@
 """Experiment harness, aggregation, and paper-artifact regeneration."""
 
-from .aggregate import RunSummary, SummaryStats, summarize, summarize_metric
+from .aggregate import (
+    RunSummary,
+    SummaryStats,
+    partition_results,
+    summarize,
+    summarize_metric,
+)
 from .compute import ComputationModel, ComputeEstimate, estimate_computation
 from .experiments import (
     DEFAULT_N,
     ExperimentCell,
     PIPELINED_DECISIONS,
+    bench_jobs,
     bench_repetitions,
     decisions_for,
     network_for,
@@ -33,9 +40,10 @@ __all__ = [
     "ATTACK_MODULES", "ComputationModel", "ComputeEstimate",
     "DEFAULT_N", "DesyncStats", "ExperimentCell", "estimate_computation",
     "LocEntry", "PIPELINED_DECISIONS", "PROTOCOL_MODULES", "RunSummary",
-    "SummaryStats", "ViewTimeline", "attack_loc_table", "bench_repetitions",
-    "count_code_lines", "decisions_for", "desync_statistics",
-    "extract_view_timelines", "format_ms", "network_for",
+    "SummaryStats", "ViewTimeline", "attack_loc_table", "bench_jobs",
+    "bench_repetitions", "count_code_lines", "decisions_for",
+    "desync_statistics", "extract_view_timelines", "format_ms", "network_for",
+    "partition_results",
     "protocol_loc_table", "render_series", "render_table", "render_view_chart",
     "run_cell", "run_cell_raw", "summarize", "summarize_metric",
 ]

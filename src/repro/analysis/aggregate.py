@@ -3,6 +3,11 @@
 The paper reports the mean and standard deviation of each metric over 100
 repetitions (§IV); this module computes those summaries from
 :class:`~repro.core.results.SimulationResult` lists.
+
+Batches produced by the parallel engine (or ``on_error="record"``) may
+contain :class:`~repro.core.results.RunFailure` entries alongside results;
+:func:`summarize` aggregates over the successful runs and reports the
+failure count explicitly instead of silently dropping or crashing on them.
 """
 
 from __future__ import annotations
@@ -11,7 +16,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
-from ..core.results import SimulationResult
+from ..core.results import RunFailure, SimulationResult
 
 
 @dataclass(frozen=True)
@@ -56,6 +61,8 @@ class RunSummary:
         terminated_fraction: fraction of runs that terminated before the
             horizon (1.0 in healthy regimes; below 1.0 flags a liveness
             pathology, reported explicitly rather than hidden).
+        failures: number of :class:`~repro.core.results.RunFailure` entries
+            excluded from the statistics (0 for fully-successful batches).
     """
 
     latency: SummaryStats
@@ -63,11 +70,30 @@ class RunSummary:
     messages: SummaryStats
     messages_per_decision: SummaryStats
     terminated_fraction: float
+    failures: int = 0
 
 
-def summarize(results: Iterable[SimulationResult]) -> RunSummary:
-    """Aggregate a list of results into a :class:`RunSummary`."""
-    results = list(results)
+def partition_results(
+    entries: Iterable[SimulationResult | RunFailure],
+) -> tuple[list[SimulationResult], list[RunFailure]]:
+    """Split a mixed batch into (successful results, failure records)."""
+    results: list[SimulationResult] = []
+    failures: list[RunFailure] = []
+    for entry in entries:
+        (failures if isinstance(entry, RunFailure) else results).append(entry)
+    return results, failures
+
+
+def summarize(entries: Iterable[SimulationResult | RunFailure]) -> RunSummary:
+    """Aggregate a batch into a :class:`RunSummary`.
+
+    ``RunFailure`` entries are excluded from every statistic and surfaced
+    via :attr:`RunSummary.failures`; a batch with no successful run at all
+    cannot be summarized and raises ``ValueError``.
+    """
+    results, failures = partition_results(entries)
+    if not results and failures:
+        raise ValueError(f"cannot summarize: all {len(failures)} runs failed")
     if not results:
         raise ValueError("cannot summarize zero results")
     return RunSummary(
@@ -76,12 +102,14 @@ def summarize(results: Iterable[SimulationResult]) -> RunSummary:
         messages=SummaryStats.of([float(r.messages) for r in results]),
         messages_per_decision=SummaryStats.of([r.messages_per_decision for r in results]),
         terminated_fraction=sum(r.terminated for r in results) / len(results),
+        failures=len(failures),
     )
 
 
 def summarize_metric(
-    results: Iterable[SimulationResult],
+    entries: Iterable[SimulationResult | RunFailure],
     metric: Callable[[SimulationResult], float],
 ) -> SummaryStats:
-    """Aggregate an arbitrary per-run metric."""
+    """Aggregate an arbitrary per-run metric (failures excluded)."""
+    results, _failures = partition_results(entries)
     return SummaryStats.of([metric(r) for r in results])

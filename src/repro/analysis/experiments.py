@@ -47,6 +47,21 @@ def bench_repetitions(default: int = 5) -> int:
     return max(1, int(os.environ.get("REPRO_BENCH_REPS", default)))
 
 
+def bench_jobs(default: int = 1) -> int:
+    """Worker processes per cell, configurable via ``REPRO_BENCH_JOBS``.
+
+    Defaults to 1 (serial) so bench timings stay comparable run-to-run;
+    export ``REPRO_BENCH_JOBS=$(nproc)`` to fan paper-scale repetition
+    counts across cores.  ``REPRO_BENCH_JOBS=0`` means one worker per CPU.
+    Because runs are deterministic, the reported statistics are identical
+    either way — only wall-clock time changes.
+    """
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", default))
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return max(1, jobs)
+
+
 def decisions_for(protocol: str) -> int:
     """The paper's measurement depth for ``protocol``."""
     return PIPELINED_DECISIONS if get_protocol(protocol).pipelined else 1
@@ -118,5 +133,10 @@ def run_cell(cell: ExperimentCell, repetitions: int | None = None) -> RunSummary
 
 
 def run_cell_raw(cell: ExperimentCell, repetitions: int) -> list[SimulationResult]:
-    """The individual results behind :func:`run_cell` (for custom metrics)."""
-    return repeat_simulation(cell.config(), repetitions)
+    """The individual results behind :func:`run_cell` (for custom metrics).
+
+    Honours ``REPRO_BENCH_JOBS`` (see :func:`bench_jobs`): every figure
+    bench that goes through the cell harness gains multi-core sweeps for
+    free, with results identical to the serial ones.
+    """
+    return repeat_simulation(cell.config(), repetitions, jobs=bench_jobs())

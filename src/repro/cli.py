@@ -26,6 +26,7 @@ from .analysis.report import render_table
 from .attacks.registry import available_attacks
 from .core.config import AttackConfig, NetworkConfig, SimulationConfig
 from .core.errors import SimulationError
+from .core.results import RunFailure
 from .core.runner import repeat_simulation, run_simulation
 from .protocols.registry import available_protocols, get_protocol
 
@@ -52,6 +53,15 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                         help="attack parameters as JSON")
     parser.add_argument("--max-time", type=float, default=3_600_000.0,
                         help="simulation horizon, ms")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for repeated runs "
+                             "(0 = one per CPU; results are identical to "
+                             "--jobs 1, only faster)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="wall-clock seconds allowed per run; hung runs "
+                             "are killed and recorded as failures")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="retries for runs whose worker crashed or hung")
 
 
 def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
@@ -114,9 +124,37 @@ def cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _jobs_from_args(args: argparse.Namespace) -> int | None:
+    """``--jobs 0`` means one worker per CPU (engine default)."""
+    return None if args.jobs == 0 else args.jobs
+
+
+def _progress_printer(args: argparse.Namespace):
+    """A stderr progress line for long parallel sweeps (stdout stays clean
+    for the result table)."""
+    if args.jobs == 1:
+        return None
+
+    def report(update) -> None:
+        end = "\n" if update.done == update.total else "\r"
+        print(f"  {update.summary()}", file=sys.stderr, end=end, flush=True)
+
+    return report
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
-    result = run_simulation(config)
+    if args.timeout is not None:
+        entry = repeat_simulation(
+            config, 1, timeout=args.timeout, retries=args.retries,
+            on_error="record",
+        )[0]
+        if isinstance(entry, RunFailure):
+            print(f"error: {entry.summary()}", file=sys.stderr)
+            return 1
+        result = entry
+    else:
+        result = run_simulation(config)
     if args.json:
         print(json.dumps(_result_dict(result), indent=2, sort_keys=True))
     else:
@@ -138,19 +176,36 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         else:
             print(f"unsupported sweep parameter: {args.param}", file=sys.stderr)
             return 1
-        summary = summarize(repeat_simulation(config, args.reps))
+        entries = repeat_simulation(
+            config,
+            args.reps,
+            jobs=_jobs_from_args(args),
+            timeout=args.timeout,
+            retries=args.retries,
+            on_error="record",
+            progress=_progress_printer(args),
+        )
+        try:
+            summary = summarize(entries)
+        except ValueError:
+            failures = [e for e in entries if isinstance(e, RunFailure)]
+            print(f"error: all {len(failures)} runs failed at "
+                  f"{args.param}={value}: {failures[0].summary()}",
+                  file=sys.stderr)
+            return 1
         rows.append(
             (
                 value,
                 summary.latency_per_decision.format(1 / 1000, "s"),
                 f"{summary.messages_per_decision.mean:.0f}",
                 f"{summary.terminated_fraction:.0%}",
+                str(summary.failures),
             )
         )
     print(
         render_table(
             f"{args.protocol}: sweep over {args.param} ({args.reps} runs per point)",
-            [args.param, "latency/decision", "msgs/decision", "terminated"],
+            [args.param, "latency/decision", "msgs/decision", "terminated", "failed"],
             rows,
         )
     )
@@ -212,7 +267,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     }[args.command]
     try:
         return handler(args)
-    except SimulationError as error:
+    except (SimulationError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 

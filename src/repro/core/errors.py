@@ -63,6 +63,26 @@ class ProtocolViolationError(SimulationError):
     """
 
 
+class ExperimentFailureError(SimulationError):
+    """A batch of runs contained failures and the caller asked to raise.
+
+    ``repeat_simulation``/``sweep`` collect per-run
+    :class:`~repro.core.results.RunFailure` records; under the default
+    ``on_error="raise"`` policy the first failure is re-raised as this
+    exception (with every failure attached) once the batch finishes, so a
+    parallel batch still completes its healthy runs before reporting.
+
+    Attributes:
+        failures: every :class:`~repro.core.results.RunFailure` in the batch.
+    """
+
+    def __init__(self, failures) -> None:
+        self.failures = list(failures)
+        first = self.failures[0]
+        more = f" (+{len(self.failures) - 1} more)" if len(self.failures) > 1 else ""
+        super().__init__(f"{first.summary()}{more}")
+
+
 class BaselineCapacityError(SimulationError):
     """The baseline (BFTSim-style) simulator exceeded its memory budget.
 

@@ -1,8 +1,21 @@
-"""Result objects returned by a simulation run."""
+"""Result objects returned by a simulation run.
+
+Everything here is part of the **picklable result contract**: results and
+failure records cross process boundaries (the :mod:`repro.parallel` engine
+runs simulations in worker processes and ships results back over pipes), so
+every field must survive a pickle round-trip.  A dedicated test guards this.
+
+:func:`result_fingerprint` digests the deterministic fields of a result.
+Two runs of the same configuration — serial or parallel, today or on a
+future version — must produce the same fingerprint; the golden determinism
+tests and the serial/parallel equivalence tests are built on it.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 from typing import Any
 
 from .config import SimulationConfig
@@ -67,3 +80,94 @@ class SimulationResult:
             f"msgs={self.messages} ({self.messages_per_decision:.1f}/decision) "
             f"events={self.events_processed}"
         )
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """Structured record of one run that did not produce a result.
+
+    The parallel engine (and ``repeat_simulation(..., on_error="record")``)
+    puts a ``RunFailure`` in the failed run's output slot instead of raising
+    a batch-wide exception, so a single bad run never discards the rest of
+    an experiment.  :func:`repro.analysis.aggregate.summarize` excludes
+    failures from the statistics and reports their count.
+
+    Attributes:
+        config: the configuration whose run failed (seed already resolved).
+        kind: ``"error"`` for an exception raised by the simulation itself
+            (deterministic — never retried), ``"crash"`` for a worker
+            process that died without replying, ``"timeout"`` for a run
+            that exceeded the per-run wall-clock deadline.
+        error_type: exception class name for ``"error"`` failures, else the
+            kind itself.
+        message: human-readable failure description.
+        run_index: the run's slot in its batch (seed order).
+        attempts: how many times the run was attempted in total.
+        traceback: formatted traceback text for ``"error"`` failures
+            (empty for crashes and timeouts — the worker could not report).
+    """
+
+    config: SimulationConfig
+    kind: str
+    error_type: str
+    message: str
+    run_index: int
+    attempts: int = 1
+    traceback: str = ""
+
+    def summary(self) -> str:
+        """One-line human-readable summary, mirroring the result form."""
+        return (
+            f"{self.config.protocol}: FAILED ({self.kind}) run={self.run_index} "
+            f"seed={self.config.seed} attempts={self.attempts}: "
+            f"{self.error_type}: {self.message}"
+        )
+
+
+def is_failure(entry: Any) -> bool:
+    """True when a batch entry is a :class:`RunFailure`."""
+    return isinstance(entry, RunFailure)
+
+
+def deterministic_dict(result: SimulationResult, include_trace: bool = False) -> dict:
+    """The deterministic fields of ``result`` as a JSON-friendly dict.
+
+    Excludes ``wall_clock_seconds`` (host time, varies between otherwise
+    identical runs) and, unless requested, the trace (deterministic but
+    bulky, and only recorded when ``record_trace`` is set).
+    """
+    data = {
+        "config": result.config.to_dict(),
+        "terminated": result.terminated,
+        "latency": result.latency,
+        "latency_per_decision": result.latency_per_decision,
+        "messages": result.messages,
+        "messages_per_decision": result.messages_per_decision,
+        "counts": asdict(result.counts),
+        "decisions": [
+            [d.node, d.slot, d.value, d.time] for d in result.decisions
+        ],
+        "decided_values": {str(k): v for k, v in result.decided_values.items()},
+        "faulty": sorted(result.faulty),
+        "events_processed": result.events_processed,
+        "max_view": result.max_view,
+    }
+    if include_trace:
+        data["trace"] = result.trace.to_jsonl()
+    return data
+
+
+def result_fingerprint(result: SimulationResult, include_trace: bool = False) -> str:
+    """Stable hex digest of every deterministic field of ``result``.
+
+    Two runs of an equal configuration must yield equal fingerprints,
+    whether executed serially or by the parallel engine — this is the
+    determinism contract the golden-digest and serial/parallel-equivalence
+    tests enforce.
+    """
+    payload = json.dumps(
+        deterministic_dict(result, include_trace=include_trace),
+        sort_keys=True,
+        default=repr,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()

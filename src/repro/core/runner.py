@@ -2,7 +2,12 @@
 
 :func:`run_simulation` executes one configuration; :func:`repeat_simulation`
 re-runs it under different seeds — the paper repeats every experiment 100
-times and reports mean and standard deviation (§IV).
+times and reports mean and standard deviation (§IV).  Both
+:func:`repeat_simulation` and :func:`sweep` accept ``jobs`` to fan the
+(independent, deterministic) runs across CPU cores via
+:class:`repro.parallel.ParallelRunner`; parallel execution returns exactly
+the results serial execution would, in the same order — only
+``wall_clock_seconds`` (host time) differs.
 """
 
 from __future__ import annotations
@@ -11,7 +16,11 @@ from typing import Callable, Iterable
 
 from .config import SimulationConfig
 from .controller import Controller
-from .results import SimulationResult
+from .errors import ExperimentFailureError
+from .results import RunFailure, SimulationResult
+
+#: Allowed ``on_error`` policies for batched runs.
+ON_ERROR_POLICIES = ("raise", "record")
 
 
 def run_simulation(config: SimulationConfig) -> SimulationResult:
@@ -24,46 +33,183 @@ def run_simulation(config: SimulationConfig) -> SimulationResult:
     return Controller(config).run()
 
 
+def seed_window(
+    config: SimulationConfig,
+    repetitions: int,
+    seed_offset: int = 0,
+) -> list[SimulationConfig]:
+    """The configurations of one repetition batch, in seed order.
+
+    **Seed-window contract:** run ``i`` (``0 <= i < repetitions``) uses seed
+    ``config.seed + seed_offset + i``, i.e. the batch covers the half-open
+    window ``[config.seed + seed_offset, config.seed + seed_offset +
+    repetitions)``.  Callers splitting one experiment across several calls
+    must pick offsets that keep the windows disjoint — consecutive chunks of
+    ``k`` runs use offsets ``0, k, 2k, ...``.  Overlap across calls cannot be
+    detected here (each call only sees its own window), which is exactly why
+    the contract is explicit: reusing a seed silently duplicates a run.
+
+    Raises:
+        ValueError: if ``repetitions < 1`` or ``seed_offset < 0`` (a negative
+            offset shifts the window below the base seed and collides with
+            the windows of smaller base seeds).
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    if seed_offset < 0:
+        raise ValueError(
+            f"seed_offset must be >= 0, got {seed_offset}; negative offsets "
+            "make seed windows overlap those of smaller base seeds"
+        )
+    return [
+        config.replace(seed=config.seed + seed_offset + index)
+        for index in range(repetitions)
+    ]
+
+
+def _check_batch_options(jobs: int | None, timeout: float | None, retries: int,
+                         on_error: str) -> None:
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be > 0 seconds, got {timeout}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if on_error not in ON_ERROR_POLICIES:
+        raise ValueError(
+            f"on_error must be one of {ON_ERROR_POLICIES}, got {on_error!r}"
+        )
+
+
+def _raise_failures(entries: list[SimulationResult | RunFailure]) -> None:
+    failures = [e for e in entries if isinstance(e, RunFailure)]
+    if failures:
+        raise ExperimentFailureError(failures)
+
+
 def repeat_simulation(
     config: SimulationConfig,
     repetitions: int,
     seed_offset: int = 0,
     callback: Callable[[int, SimulationResult], None] | None = None,
-) -> list[SimulationResult]:
+    *,
+    jobs: int | None = 1,
+    timeout: float | None = None,
+    retries: int = 1,
+    on_error: str = "raise",
+    progress: Callable[..., None] | None = None,
+) -> list[SimulationResult | RunFailure]:
     """Run ``config`` under ``repetitions`` consecutive seeds.
+
+    Run ``i`` uses seed ``config.seed + seed_offset + i`` — see
+    :func:`seed_window` for the full seed-window contract (and the
+    ``ValueError`` cases: ``repetitions < 1``, ``seed_offset < 0``).
 
     Args:
         config: the base configuration; its own ``seed`` is the first seed.
         repetitions: number of runs.
-        seed_offset: shifts the seed window (useful for splitting work).
-        callback: optional per-run hook ``callback(run_index, result)``.
+        seed_offset: shifts the seed window (useful for splitting work
+            across calls; keep windows disjoint).
+        callback: optional per-run hook ``callback(run_index, result)``,
+            invoked in seed order (streamed during serial execution, after
+            the batch during parallel execution).
+        jobs: worker processes; ``1`` (default) runs serially in-process,
+            ``None`` uses one worker per CPU.  Parallel results are
+            field-identical to serial ones except ``wall_clock_seconds``.
+        timeout: wall-clock seconds allowed per run; ``None`` disables the
+            deadline.  Any timeout (even with ``jobs=1``) routes execution
+            through the worker-process engine so hung runs can be killed.
+        retries: extra attempts for runs whose worker crashed or hung
+            (simulation exceptions are deterministic and never retried).
+        on_error: ``"raise"`` (default) raises
+            :class:`~repro.core.errors.ExperimentFailureError` after the
+            batch finishes if any run failed; ``"record"`` leaves a
+            :class:`~repro.core.results.RunFailure` in the failed run's
+            slot and returns the mixed list.
+        progress: optional :class:`repro.parallel.ProgressUpdate` callback
+            (parallel engine only).
 
     Returns:
-        One result per run, in seed order.
+        One entry per run, in seed order: :class:`SimulationResult`, or
+        :class:`RunFailure` under ``on_error="record"``.
     """
-    if repetitions < 1:
-        raise ValueError("repetitions must be >= 1")
-    results: list[SimulationResult] = []
-    for index in range(repetitions):
-        run_config = config.replace(seed=config.seed + seed_offset + index)
-        result = run_simulation(run_config)
-        if callback is not None:
-            callback(index, result)
-        results.append(result)
-    return results
+    _check_batch_options(jobs, timeout, retries, on_error)
+    configs = seed_window(config, repetitions, seed_offset)
+
+    if jobs == 1 and timeout is None:
+        entries: list[SimulationResult | RunFailure] = []
+        for index, run_config in enumerate(configs):
+            if on_error == "raise":
+                result: SimulationResult | RunFailure = run_simulation(run_config)
+            else:
+                try:
+                    result = run_simulation(run_config)
+                except Exception as exc:
+                    result = RunFailure(
+                        config=run_config,
+                        kind="error",
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                        run_index=index,
+                    )
+            if callback is not None:
+                callback(index, result)
+            entries.append(result)
+        return entries
+
+    from ..parallel import ParallelRunner
+
+    runner = ParallelRunner(
+        jobs=jobs, timeout=timeout, retries=retries, progress=progress
+    )
+    entries = runner.map(configs)
+    if on_error == "raise":
+        _raise_failures(entries)
+    if callback is not None:
+        for index, entry in enumerate(entries):
+            callback(index, entry)
+    return entries
 
 
 def sweep(
     base: SimulationConfig,
     variations: Iterable[dict],
     repetitions: int = 1,
-) -> list[list[SimulationResult]]:
+    *,
+    jobs: int | None = 1,
+    timeout: float | None = None,
+    retries: int = 1,
+    on_error: str = "raise",
+    progress: Callable[..., None] | None = None,
+) -> list[list[SimulationResult | RunFailure]]:
     """Run ``base`` once per variation, each repeated ``repetitions`` times.
 
     Each variation is a dict of ``SimulationConfig.replace`` keyword
     arguments (nested ``network``/``attack`` dicts merge).
+
+    With ``jobs > 1`` the whole ``variations x repetitions`` grid is
+    flattened into a single batch for the parallel engine, so workers stay
+    saturated across variation boundaries; the grouped result order is
+    identical to the serial one.  ``timeout``, ``retries``, ``on_error``,
+    and ``progress`` behave as in :func:`repeat_simulation`.
     """
-    return [
-        repeat_simulation(base.replace(**variation), repetitions)
-        for variation in variations
-    ]
+    _check_batch_options(jobs, timeout, retries, on_error)
+    variations = list(variations)
+
+    if jobs == 1 and timeout is None:
+        return [
+            repeat_simulation(
+                base.replace(**variation), repetitions, on_error=on_error
+            )
+            for variation in variations
+        ]
+
+    from ..parallel import ParallelRunner
+
+    runner = ParallelRunner(
+        jobs=jobs, timeout=timeout, retries=retries, progress=progress
+    )
+    groups = runner.run_sweep(base, variations, repetitions)
+    if on_error == "raise":
+        _raise_failures([entry for group in groups for entry in group])
+    return groups

@@ -1,0 +1,13 @@
+"""Parallel experiment execution.
+
+The engine behind ``repeat_simulation(..., jobs=N)`` and
+``sweep(..., jobs=N)``: a process pool that fans deterministic simulation
+runs across CPU cores, returns results in seed/variation order, and
+degrades gracefully (per-run timeout, crash retry, structured
+:class:`~repro.core.results.RunFailure` records).  See
+:mod:`repro.parallel.engine` for the full semantics.
+"""
+
+from .engine import ParallelRunner, ProgressUpdate, default_jobs
+
+__all__ = ["ParallelRunner", "ProgressUpdate", "default_jobs"]

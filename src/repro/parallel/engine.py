@@ -1,0 +1,395 @@
+"""The process-pool experiment engine.
+
+The paper's evaluation repeats every experiment 100 times per configuration
+and sweeps node counts, delay distributions, and attacks (§IV) — a workload
+that is embarrassingly parallel because every run is a deterministic
+function of its configuration (including the seed).  :class:`ParallelRunner`
+fans independent runs across worker processes while preserving exactly the
+results a serial execution would produce:
+
+* **Deterministic ordering** — results come back in task (seed / variation)
+  order regardless of which worker finishes first.
+* **Deterministic content** — workers execute :func:`repro.core.runner.
+  run_simulation` on pickled configurations, so every deterministic field of
+  a :class:`~repro.core.results.SimulationResult` is identical to a serial
+  run's (only ``wall_clock_seconds``, which measures host time, differs).
+* **Fault isolation** — a run that raises inside the simulation yields a
+  structured :class:`~repro.core.results.RunFailure` for its slot; a worker
+  process that crashes (killed, segfault) or hangs past the per-run timeout
+  is replaced with a fresh worker and the run is retried up to ``retries``
+  times before being marked failed.  Other runs are never affected: no
+  pool-wide exception, no lost batch.
+* **Observability** — an optional progress callback receives a
+  :class:`ProgressUpdate` (runs completed / failed / elapsed wall time /
+  accumulated simulated time) after every terminal run, so long sweeps can
+  render live status.
+
+Failure semantics in detail:
+
+* An exception raised by the simulation itself (``SafetyViolationError``,
+  ``LivenessTimeoutError``, a protocol bug...) is **not retried** — runs are
+  deterministic, so the retry would fail identically.  It becomes a
+  ``RunFailure(kind="error")`` immediately, carrying the exception type,
+  message, and traceback text.
+* A worker that dies without replying (``kind="crash"``) or exceeds the
+  per-run wall-clock ``timeout`` (``kind="timeout"``) *is* retried — those
+  failures come from the host (OOM killer, resource exhaustion), not from
+  the deterministic simulation.  Each retry runs on a freshly spawned
+  worker; after ``retries`` additional attempts the run is marked failed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import connection, get_all_start_methods, get_context
+from typing import Callable, Iterable, Sequence
+
+from ..core.config import SimulationConfig
+from ..core.results import RunFailure, SimulationResult
+
+#: Seconds the dispatch loop waits for worker replies before re-checking
+#: deadlines; bounds timeout-detection latency without busy-waiting.
+_POLL_SECONDS = 0.05
+
+#: Seconds to wait for a worker to exit cleanly before escalating to kill.
+_JOIN_SECONDS = 1.0
+
+
+def default_jobs() -> int:
+    """The engine's default degree of parallelism: one worker per CPU."""
+    return os.cpu_count() or 1
+
+
+def _start_method() -> str:
+    """Prefer ``fork`` (cheap, inherits registered protocols) when available."""
+    return "fork" if "fork" in get_all_start_methods() else "spawn"
+
+
+def _worker_main(conn: connection.Connection) -> None:
+    """Worker-process loop: receive configs, run them, reply with results.
+
+    Replies are ``(task_index, "ok", SimulationResult)`` or
+    ``(task_index, "error", exc_type_name, message, traceback_text)``.  A
+    ``None`` task is the shutdown sentinel.
+    """
+    # Imported here so the module import stays cheap under ``spawn``.
+    from ..core.runner import run_simulation
+
+    while True:
+        try:
+            item = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if item is None:
+            return
+        index, config = item
+        try:
+            reply = (index, "ok", run_simulation(config))
+        except KeyboardInterrupt:
+            return
+        except BaseException as exc:  # deliberate: report, don't die
+            reply = (index, "error", type(exc).__name__, str(exc),
+                     traceback.format_exc())
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+        except Exception as exc:  # unpicklable result — report instead
+            conn.send((index, "error", type(exc).__name__,
+                       f"result could not be pickled: {exc}", ""))
+
+
+@dataclass(frozen=True)
+class ProgressUpdate:
+    """Snapshot handed to the progress callback after each terminal run.
+
+    Attributes:
+        total: number of runs in the batch.
+        completed: runs finished successfully so far.
+        failed: runs that ended as :class:`RunFailure` so far.
+        elapsed_seconds: wall-clock time since the batch started.
+        sim_time_ms: accumulated *simulated* time (sum of per-run latency)
+            across completed runs — how much protocol time the batch has
+            already explored.
+    """
+
+    total: int
+    completed: int
+    failed: int
+    elapsed_seconds: float
+    sim_time_ms: float
+
+    @property
+    def done(self) -> int:
+        """Runs with a terminal outcome (completed + failed)."""
+        return self.completed + self.failed
+
+    def summary(self) -> str:
+        """One-line status, e.g. ``"37/100 done (2 failed) 12.3s wall, 84000ms sim"``."""
+        failed = f" ({self.failed} failed)" if self.failed else ""
+        return (
+            f"{self.done}/{self.total} done{failed} "
+            f"{self.elapsed_seconds:.1f}s wall, {self.sim_time_ms:.0f}ms sim"
+        )
+
+
+class _Task:
+    """One run: its slot in the output list, its config, attempts so far."""
+
+    __slots__ = ("index", "config", "attempts")
+
+    def __init__(self, index: int, config: SimulationConfig) -> None:
+        self.index = index
+        self.config = config
+        self.attempts = 0
+
+
+class _Worker:
+    """A worker process plus the duplex pipe the parent drives it through."""
+
+    def __init__(self, ctx) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.conn = parent_conn
+        self.process = ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        self.process.start()
+        child_conn.close()  # parent keeps only its end
+        self.task: _Task | None = None
+        self.deadline: float | None = None
+
+    def assign(self, task: _Task, timeout: float | None) -> None:
+        self.task = task
+        self.deadline = (time.monotonic() + timeout) if timeout else None
+        self.conn.send((task.index, task.config))
+
+    def timed_out(self, now: float) -> bool:
+        return self.deadline is not None and now > self.deadline
+
+    def shutdown(self) -> None:
+        """Best-effort clean exit, escalating to terminate/kill."""
+        try:
+            if self.process.is_alive() and self.task is None:
+                self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(_JOIN_SECONDS)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(_JOIN_SECONDS)
+        if self.process.is_alive():  # pragma: no cover - stubborn child
+            self.process.kill()
+            self.process.join(_JOIN_SECONDS)
+        self.conn.close()
+
+    def kill(self) -> None:
+        """Hard-stop a crashed or hung worker."""
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(_JOIN_SECONDS)
+            if self.process.is_alive():  # pragma: no cover - stubborn child
+                self.process.kill()
+                self.process.join(_JOIN_SECONDS)
+        self.conn.close()
+
+
+class ParallelRunner:
+    """Fans independent simulation runs across a pool of worker processes.
+
+    Args:
+        jobs: worker processes; ``None`` means one per CPU
+            (:func:`default_jobs`).
+        timeout: wall-clock seconds allowed per run attempt; ``None``
+            disables the deadline.
+        retries: additional attempts granted to a run whose worker crashed
+            or hung (deterministic simulation errors are never retried).
+        progress: optional callback receiving a :class:`ProgressUpdate`
+            after every terminal run.
+
+    The three entry points (:meth:`map`, :meth:`run_repeat`,
+    :meth:`run_sweep`) all return results in deterministic task order; a
+    failed run occupies its slot as a :class:`RunFailure` instead of
+    aborting the batch.
+    """
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        timeout: float | None = None,
+        retries: int = 1,
+        progress: Callable[[ProgressUpdate], None] | None = None,
+    ) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be > 0 seconds, got {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.jobs = jobs if jobs is not None else default_jobs()
+        self.timeout = timeout
+        self.retries = retries
+        self.progress = progress
+        self._ctx = get_context(_start_method())
+
+    # -- entry points --------------------------------------------------------
+
+    def map(
+        self, configs: Iterable[SimulationConfig]
+    ) -> list[SimulationResult | RunFailure]:
+        """Run every configuration; results in input order."""
+        configs = list(configs)
+        if not configs:
+            return []
+        return self._execute([_Task(i, c) for i, c in enumerate(configs)])
+
+    def run_repeat(
+        self,
+        config: SimulationConfig,
+        repetitions: int,
+        seed_offset: int = 0,
+    ) -> list[SimulationResult | RunFailure]:
+        """Parallel counterpart of :func:`repro.core.runner.repeat_simulation`.
+
+        Same seed-window contract: run ``i`` uses seed
+        ``config.seed + seed_offset + i``.
+        """
+        from ..core.runner import seed_window
+
+        return self.map(seed_window(config, repetitions, seed_offset))
+
+    def run_sweep(
+        self,
+        base: SimulationConfig,
+        variations: Iterable[dict],
+        repetitions: int = 1,
+    ) -> list[list[SimulationResult | RunFailure]]:
+        """Parallel counterpart of :func:`repro.core.runner.sweep`.
+
+        The whole ``variations x repetitions`` grid is flattened into one
+        batch so workers stay saturated across variation boundaries, then
+        regrouped into one result list per variation.
+        """
+        from ..core.runner import seed_window
+
+        variations = list(variations)
+        flat: list[SimulationConfig] = []
+        for variation in variations:
+            flat.extend(seed_window(base.replace(**variation), repetitions))
+        results = self.map(flat)
+        return [
+            results[i * repetitions : (i + 1) * repetitions]
+            for i in range(len(variations))
+        ]
+
+    # -- engine --------------------------------------------------------------
+
+    def _execute(
+        self, tasks: Sequence[_Task]
+    ) -> list[SimulationResult | RunFailure]:
+        total = len(tasks)
+        queue: deque[_Task] = deque(tasks)
+        out: dict[int, SimulationResult | RunFailure] = {}
+        started = time.monotonic()
+        completed = failed = 0
+        sim_time_ms = 0.0
+        workers = [_Worker(self._ctx) for _ in range(min(self.jobs, total))]
+
+        def record(index: int, value: SimulationResult | RunFailure) -> None:
+            nonlocal completed, failed, sim_time_ms
+            out[index] = value
+            if isinstance(value, RunFailure):
+                failed += 1
+            else:
+                completed += 1
+                sim_time_ms += value.latency
+            if self.progress is not None:
+                self.progress(
+                    ProgressUpdate(
+                        total=total,
+                        completed=completed,
+                        failed=failed,
+                        elapsed_seconds=time.monotonic() - started,
+                        sim_time_ms=sim_time_ms,
+                    )
+                )
+
+        def fail_or_retry(worker: _Worker, kind: str, message: str) -> None:
+            """Handle a crashed or hung worker: replace it, retry or fail."""
+            task = worker.task
+            worker.task = None
+            worker.kill()
+            workers[workers.index(worker)] = _Worker(self._ctx)
+            assert task is not None
+            task.attempts += 1
+            if task.attempts <= self.retries:
+                queue.appendleft(task)
+            else:
+                record(
+                    task.index,
+                    RunFailure(
+                        config=task.config,
+                        kind=kind,
+                        error_type=kind,
+                        message=message,
+                        run_index=task.index,
+                        attempts=task.attempts,
+                    ),
+                )
+
+        try:
+            while len(out) < total:
+                for worker in workers:
+                    if worker.task is None and queue:
+                        worker.assign(queue.popleft(), self.timeout)
+                busy = {w.conn: w for w in workers if w.task is not None}
+                if not busy:  # pragma: no cover - defensive
+                    break
+                ready = connection.wait(list(busy), timeout=_POLL_SECONDS)
+                for conn in ready:
+                    worker = busy[conn]
+                    try:
+                        reply = conn.recv()
+                    except (EOFError, OSError):
+                        fail_or_retry(
+                            worker, "crash",
+                            "worker process died without reporting a result",
+                        )
+                        continue
+                    task = worker.task
+                    worker.task = None
+                    worker.deadline = None
+                    assert task is not None
+                    index, status, *payload = reply
+                    assert index == task.index, "worker replied out of turn"
+                    if status == "ok":
+                        record(task.index, payload[0])
+                    else:
+                        error_type, message, tb = payload
+                        record(
+                            task.index,
+                            RunFailure(
+                                config=task.config,
+                                kind="error",
+                                error_type=error_type,
+                                message=message,
+                                run_index=task.index,
+                                attempts=task.attempts + 1,
+                                traceback=tb,
+                            ),
+                        )
+                now = time.monotonic()
+                for worker in list(workers):
+                    if worker.task is not None and worker.timed_out(now):
+                        seconds = self.timeout
+                        fail_or_retry(
+                            worker, "timeout",
+                            f"run exceeded the per-run timeout of {seconds}s",
+                        )
+        finally:
+            for worker in workers:
+                worker.shutdown()
+        return [out[i] for i in range(total)]

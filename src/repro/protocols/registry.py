@@ -20,6 +20,9 @@ P = TypeVar("P", bound=Type[BFTProtocol])
 def register_protocol(name: str) -> Callable[[P], P]:
     """Class decorator: register a protocol under ``name``.
 
+    A leading underscore in ``name`` registers the protocol as *unlisted*:
+    usable from configurations, invisible to :func:`available_protocols`.
+
     Example::
 
         @register_protocol("my-bft")
@@ -49,9 +52,16 @@ def get_protocol(name: str) -> Type[BFTProtocol]:
 
 
 def available_protocols() -> list[str]:
-    """Sorted names of every registered protocol."""
+    """Sorted names of every *listed* registered protocol.
+
+    Names starting with an underscore are registered but unlisted: they
+    stay resolvable through :func:`get_protocol` (so configurations can
+    name them explicitly) but are hidden from enumeration — the convention
+    for crash-test doubles and experimental protocols, which must never
+    leak into the protocol matrices, the CLI listing, or the benches.
+    """
     _ensure_builtins()
-    return sorted(_REGISTRY)
+    return sorted(name for name in _REGISTRY if not name.startswith("_"))
 
 
 def _ensure_builtins() -> None:

@@ -1,0 +1,59 @@
+"""Aggregation over batches that contain :class:`RunFailure` entries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RunFailure, repeat_simulation, run_simulation
+from repro.analysis.aggregate import partition_results, summarize, summarize_metric
+
+from tests.conftest import quick_config
+
+
+def _failure(seed: int = 1, index: int = 0) -> RunFailure:
+    return RunFailure(
+        config=quick_config(seed=seed),
+        kind="error",
+        error_type="RuntimeError",
+        message="boom",
+        run_index=index,
+    )
+
+
+class TestPartition:
+    def test_partition_splits_and_preserves_order(self):
+        results = repeat_simulation(quick_config(), 2)
+        mixed = [results[0], _failure(index=1), results[1], _failure(index=3)]
+        ok, failed = partition_results(mixed)
+        assert ok == [results[0], results[1]]
+        assert [f.run_index for f in failed] == [1, 3]
+
+
+class TestSummarizeWithFailures:
+    def test_failures_excluded_and_counted(self):
+        results = repeat_simulation(quick_config(seed=5), 3)
+        mixed = list(results) + [_failure(index=3), _failure(seed=9, index=4)]
+        summary = summarize(mixed)
+        clean = summarize(results)
+        assert summary.failures == 2
+        assert clean.failures == 0
+        # Statistics come from the successful runs only.
+        assert summary.latency == clean.latency
+        assert summary.messages == clean.messages
+        assert summary.terminated_fraction == clean.terminated_fraction
+
+    def test_all_failed_raises(self):
+        with pytest.raises(ValueError, match="all 2 runs failed"):
+            summarize([_failure(index=0), _failure(index=1)])
+
+    def test_empty_still_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_summarize_metric_skips_failures(self):
+        result = run_simulation(quick_config(seed=2))
+        stats = summarize_metric(
+            [result, _failure()], metric=lambda r: float(r.events_processed)
+        )
+        assert stats.count == 1
+        assert stats.mean == float(result.events_processed)

@@ -96,6 +96,28 @@ class TestSweep:
         ])
         assert code == 1
 
+    def test_sweep_parallel_jobs(self, capsys):
+        """--jobs 2 must produce the same table a serial sweep does."""
+        argv_tail = [
+            "--protocol", "pbft", "-n", "4", "--mean", "50", "--std", "10",
+            "--param", "lam", "--values", "400,800", "--reps", "4",
+        ]
+        assert main(["sweep", *argv_tail, "--jobs", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["sweep", *argv_tail, "--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+        assert "failed" in parallel_out  # failure column present
+        assert " 0" in parallel_out
+
+    def test_sweep_with_timeout_flag(self, capsys):
+        code = main([
+            "sweep", "--protocol", "pbft", "-n", "4", "--mean", "50",
+            "--std", "10", "--param", "n", "--values", "4", "--reps", "2",
+            "--jobs", "2", "--timeout", "120", "--retries", "0",
+        ])
+        assert code == 0
+
 
 class TestValidate:
     def test_validate_matches(self, capsys):

@@ -1,0 +1,298 @@
+"""Tests for the parallel experiment engine.
+
+Covers the determinism contract (serial and parallel batches are
+field-identical apart from ``wall_clock_seconds``), deterministic result
+ordering, failure isolation (simulation errors, killed workers, hung
+workers), retry accounting, progress reporting, and the picklable result
+contract.
+
+The crash-test protocols below register under underscore-prefixed names;
+the golden determinism suite skips those by convention.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+
+import pytest
+
+from repro import (
+    ParallelRunner,
+    ProgressUpdate,
+    RunFailure,
+    repeat_simulation,
+    result_fingerprint,
+    run_simulation,
+)
+from repro.core.errors import ConfigurationError, ExperimentFailureError
+from repro.core.runner import sweep
+from repro.protocols.base import BFTProtocol
+from repro.protocols.registry import register_protocol
+
+from tests.conftest import quick_config
+
+
+def _register_crash_protocols() -> None:
+    """Idempotently register the misbehaving protocols used below.
+
+    They are inherited by fork-started workers, so a worker process runs
+    them exactly as the parent would.
+    """
+    try:
+        @register_protocol("_test-raise")
+        class RaisingProtocol(BFTProtocol):
+            """Raises inside a protocol hook — a deterministic failure."""
+
+            def on_start(self) -> None:
+                raise RuntimeError("injected failure in on_start")
+
+        @register_protocol("_test-kill")
+        class KilledProtocol(BFTProtocol):
+            """Kills its own worker process mid-run — a crash failure."""
+
+            def on_start(self) -> None:
+                os._exit(42)
+
+        @register_protocol("_test-hang")
+        class HangingProtocol(BFTProtocol):
+            """Blocks forever — a timeout failure."""
+
+            def on_start(self) -> None:
+                time.sleep(600)
+    except ConfigurationError:
+        pass  # already registered by a previous import of this module
+
+
+_register_crash_protocols()
+
+
+def fingerprints(entries) -> list[str]:
+    return [result_fingerprint(r) for r in entries]
+
+
+class TestUnlistedRegistration:
+    def test_crash_doubles_resolvable_but_unlisted(self):
+        """Underscore-named protocols must stay out of every enumeration
+        (protocol matrices, CLI listing, golden table) while remaining
+        usable from explicit configurations."""
+        from repro import available_protocols, get_protocol
+
+        listed = available_protocols()
+        assert "_test-raise" not in listed
+        assert "_test-kill" not in listed
+        assert "_test-hang" not in listed
+        assert get_protocol("_test-raise").protocol_name == "_test-raise"
+
+
+class TestSerialParallelEquivalence:
+    @pytest.mark.parametrize("protocol", ["pbft", "hotstuff-ns", "algorand"])
+    def test_repeat_jobs4_equals_jobs1(self, protocol):
+        """The acceptance contract: jobs=1 and jobs=4 produce
+        field-identical result lists for the same config."""
+        config = quick_config(protocol=protocol, seed=11)
+        serial = repeat_simulation(config, 8, jobs=1)
+        parallel = repeat_simulation(config, 8, jobs=4)
+        assert len(parallel) == 8
+        assert fingerprints(serial) == fingerprints(parallel)
+        for s, p in zip(serial, parallel):
+            assert s.config == p.config
+            assert s.latency == p.latency
+            assert s.messages == p.messages
+            assert s.counts == p.counts
+            assert s.decisions == p.decisions
+            assert s.decided_values == p.decided_values
+            assert s.faulty == p.faulty
+            assert s.events_processed == p.events_processed
+            assert s.max_view == p.max_view
+            assert s.terminated == p.terminated
+
+    def test_traces_identical_too(self):
+        config = quick_config(seed=3, record_trace=True)
+        serial = repeat_simulation(config, 3, jobs=1)
+        parallel = repeat_simulation(config, 3, jobs=3)
+        for s, p in zip(serial, parallel):
+            assert s.trace.to_jsonl() == p.trace.to_jsonl()
+
+    def test_results_in_seed_order_regardless_of_completion(self):
+        """Mix slow (large) and fast (small) configs: output order must be
+        input order, not completion order."""
+        configs = [
+            quick_config(n=16, seed=50),  # slowest first
+            quick_config(n=4, seed=51),
+            quick_config(n=7, seed=52),
+            quick_config(n=4, seed=53),
+        ]
+        out = ParallelRunner(jobs=4).map(configs)
+        assert [r.config.n for r in out] == [16, 4, 7, 4]
+        assert [r.config.seed for r in out] == [50, 51, 52, 53]
+        assert fingerprints(out) == [
+            result_fingerprint(run_simulation(c)) for c in configs
+        ]
+
+    def test_sweep_jobs_equals_serial(self):
+        variations = [{"n": 4}, {"n": 7}]
+        serial = sweep(quick_config(seed=9), variations, repetitions=2, jobs=1)
+        parallel = sweep(quick_config(seed=9), variations, repetitions=2, jobs=4)
+        assert [[f for f in fingerprints(g)] for g in serial] == [
+            [f for f in fingerprints(g)] for g in parallel
+        ]
+        assert parallel[0][0].config.n == 4
+        assert parallel[1][0].config.n == 7
+
+    def test_empty_map(self):
+        assert ParallelRunner(jobs=2).map([]) == []
+
+
+class TestFailureIsolation:
+    def test_simulation_error_becomes_run_failure(self):
+        """A config that raises in a protocol hook yields a RunFailure and
+        does not abort the remaining runs (the acceptance criterion)."""
+        configs = [
+            quick_config(seed=1),
+            quick_config(protocol="_test-raise", seed=2),
+            quick_config(seed=3),
+        ]
+        out = ParallelRunner(jobs=2).map(configs)
+        assert out[0].terminated and out[2].terminated
+        failure = out[1]
+        assert isinstance(failure, RunFailure)
+        assert failure.kind == "error"
+        assert failure.error_type == "RuntimeError"
+        assert "injected failure in on_start" in failure.message
+        assert "on_start" in failure.traceback
+        assert failure.run_index == 1
+        assert failure.config.seed == 2
+        assert failure.attempts == 1, "deterministic errors are not retried"
+
+    def test_killed_worker_is_retried_then_recorded(self):
+        configs = [quick_config(protocol="_test-kill", seed=1), quick_config(seed=2)]
+        out = ParallelRunner(jobs=2, retries=2).map(configs)
+        failure = out[0]
+        assert isinstance(failure, RunFailure)
+        assert failure.kind == "crash"
+        assert failure.attempts == 3, "initial attempt + 2 retries"
+        assert out[1].terminated, "the healthy run must survive the crashes"
+
+    def test_hung_worker_times_out(self):
+        configs = [quick_config(protocol="_test-hang", seed=1), quick_config(seed=2)]
+        started = time.monotonic()
+        out = ParallelRunner(jobs=2, timeout=0.5, retries=0).map(configs)
+        elapsed = time.monotonic() - started
+        failure = out[0]
+        assert isinstance(failure, RunFailure)
+        assert failure.kind == "timeout"
+        assert out[1].terminated
+        assert elapsed < 30, "the hung worker must be killed, not awaited"
+
+    def test_on_error_raise_after_batch(self):
+        with pytest.raises(ExperimentFailureError) as excinfo:
+            repeat_simulation(quick_config(protocol="_test-raise"), 2, jobs=2)
+        assert len(excinfo.value.failures) == 2
+        assert all(f.kind == "error" for f in excinfo.value.failures)
+
+    def test_serial_on_error_record_matches_parallel(self):
+        config = quick_config(protocol="_test-raise", seed=5)
+        serial = repeat_simulation(config, 2, jobs=1, on_error="record")
+        parallel = repeat_simulation(config, 2, jobs=2, on_error="record")
+        for s, p in zip(serial, parallel):
+            assert isinstance(s, RunFailure) and isinstance(p, RunFailure)
+            assert (s.kind, s.error_type, s.message, s.run_index) == (
+                p.kind, p.error_type, p.message, p.run_index
+            )
+
+    def test_serial_on_error_raise_propagates(self):
+        with pytest.raises(RuntimeError):
+            repeat_simulation(quick_config(protocol="_test-raise"), 1, jobs=1)
+
+
+class TestProgressAndOptions:
+    def test_progress_callback_counts(self):
+        updates: list[ProgressUpdate] = []
+        out = repeat_simulation(
+            quick_config(seed=1), 4, jobs=2, progress=updates.append
+        )
+        assert len(updates) == 4
+        final = updates[-1]
+        assert (final.total, final.completed, final.failed) == (4, 4, 0)
+        assert final.done == 4
+        assert final.sim_time_ms == pytest.approx(sum(r.latency for r in out))
+        assert final.elapsed_seconds > 0
+        assert "4/4 done" in final.summary()
+
+    def test_progress_counts_failures(self):
+        updates: list[ProgressUpdate] = []
+        ParallelRunner(jobs=2, progress=updates.append).map(
+            [quick_config(seed=1), quick_config(protocol="_test-raise", seed=2)]
+        )
+        final = updates[-1]
+        assert final.completed == 1 and final.failed == 1
+        assert "(1 failed)" in final.summary()
+
+    def test_callback_invoked_in_order_with_jobs(self):
+        seen: list[int] = []
+        repeat_simulation(
+            quick_config(), 4, callback=lambda i, r: seen.append(i), jobs=2
+        )
+        assert seen == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"jobs": 0},
+            {"jobs": -1},
+            {"timeout": 0},
+            {"timeout": -1.0},
+            {"retries": -1},
+            {"on_error": "ignore"},
+        ],
+    )
+    def test_invalid_batch_options_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            repeat_simulation(quick_config(), 1, **kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"jobs": 0}, {"timeout": -2}, {"retries": -1}]
+    )
+    def test_runner_rejects_invalid_options(self, kwargs):
+        with pytest.raises(ValueError):
+            ParallelRunner(**kwargs)
+
+    def test_timeout_with_single_job_uses_engine(self):
+        """jobs=1 plus a timeout still protects against hangs."""
+        out = repeat_simulation(
+            quick_config(protocol="_test-hang"), 1,
+            jobs=1, timeout=0.5, retries=0, on_error="record",
+        )
+        assert isinstance(out[0], RunFailure)
+        assert out[0].kind == "timeout"
+
+
+class TestPicklableContract:
+    def test_result_round_trips_through_pickle(self):
+        result = run_simulation(quick_config(seed=4, record_trace=True))
+        clone = pickle.loads(pickle.dumps(result))
+        assert result_fingerprint(clone, include_trace=True) == result_fingerprint(
+            result, include_trace=True
+        )
+        assert clone.trace.to_jsonl() == result.trace.to_jsonl()
+
+    def test_failure_round_trips_through_pickle(self):
+        failure = RunFailure(
+            config=quick_config(),
+            kind="crash",
+            error_type="crash",
+            message="worker died",
+            run_index=3,
+            attempts=2,
+        )
+        clone = pickle.loads(pickle.dumps(failure))
+        assert clone == failure
+        assert "FAILED (crash)" in clone.summary()
+
+    def test_fingerprint_ignores_wall_clock(self):
+        result = run_simulation(quick_config(seed=8))
+        slower = pickle.loads(pickle.dumps(result))
+        slower.wall_clock_seconds = result.wall_clock_seconds + 1.0
+        assert result_fingerprint(slower) == result_fingerprint(result)

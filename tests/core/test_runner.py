@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro import run_simulation, repeat_simulation
-from repro.core.runner import sweep
+from repro.core.runner import seed_window, sweep
 
 from tests.conftest import quick_config
 
@@ -51,6 +51,43 @@ class TestRepeat:
     def test_zero_repetitions_rejected(self):
         with pytest.raises(ValueError):
             repeat_simulation(quick_config(), repetitions=0)
+
+    def test_negative_repetitions_rejected(self):
+        with pytest.raises(ValueError, match="repetitions must be >= 1"):
+            repeat_simulation(quick_config(), repetitions=-3)
+
+    def test_negative_seed_offset_rejected(self):
+        """A negative offset shifts the window below the base seed and
+        silently collides with other windows — now a ValueError."""
+        with pytest.raises(ValueError, match="seed_offset must be >= 0"):
+            repeat_simulation(quick_config(seed=10), repetitions=2, seed_offset=-1)
+
+    def test_seed_window_contract(self):
+        """Disjoint windows for work-splitting: offsets 0, k, 2k...
+        partition the seed space with no overlap and no gaps."""
+        base = quick_config(seed=100)
+        first = seed_window(base, repetitions=3, seed_offset=0)
+        second = seed_window(base, repetitions=3, seed_offset=3)
+        seeds = [c.seed for c in first + second]
+        assert seeds == [100, 101, 102, 103, 104, 105]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_seed_window_validation(self):
+        with pytest.raises(ValueError):
+            seed_window(quick_config(), repetitions=0)
+        with pytest.raises(ValueError):
+            seed_window(quick_config(), repetitions=1, seed_offset=-5)
+
+    def test_split_windows_match_one_big_window(self):
+        """Splitting N reps into disjoint offset windows reproduces the
+        single-call results exactly."""
+        base = quick_config(seed=30)
+        whole = repeat_simulation(base, repetitions=4)
+        halves = repeat_simulation(base, 2, seed_offset=0) + repeat_simulation(
+            base, 2, seed_offset=2
+        )
+        assert [r.latency for r in whole] == [r.latency for r in halves]
+        assert [r.config.seed for r in whole] == [r.config.seed for r in halves]
 
     def test_repeat_matches_individual_runs(self):
         base = quick_config(seed=20)
