@@ -11,6 +11,9 @@ The package provides:
   distributions and partition support — :mod:`repro.network`;
 * an abstracted *global attacker* with capability-enforced threat models —
   :mod:`repro.attacks`;
+* a declarative environmental fault layer (message loss, duplication,
+  corruption, link churn, node crash/recovery) plus a liveness watchdog —
+  :mod:`repro.faults`;
 * eight reference BFT protocols (ADD+ v1/v2/v3, Algorand Agreement,
   Bracha's async BA, PBFT, HotStuff+NS, LibraBFT) — :mod:`repro.protocols`;
 * a validator module for trace cross-checking — :mod:`repro.validator`;
@@ -27,21 +30,35 @@ Quickstart::
     print(result.summary())
 """
 
-from .core.config import AttackConfig, NetworkConfig, SimulationConfig
+from .core.config import (
+    AttackConfig,
+    FaultScheduleConfig,
+    FaultSpec,
+    NetworkConfig,
+    SimulationConfig,
+)
 from .core.controller import Controller
 from .core.message import Message
 from .core.node import Node
-from .core.results import RunFailure, SimulationResult, result_fingerprint
+from .core.results import (
+    RunFailure,
+    SimulationResult,
+    StallReport,
+    result_fingerprint,
+)
 from .core.runner import repeat_simulation, run_simulation, sweep
+from .faults import parse_faults_spec
 from .parallel import ParallelRunner, ProgressUpdate
 from .protocols.registry import available_protocols, get_protocol, register_protocol
 from .attacks.registry import available_attacks, get_attack, register_attack
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AttackConfig",
     "Controller",
+    "FaultScheduleConfig",
+    "FaultSpec",
     "Message",
     "NetworkConfig",
     "Node",
@@ -50,10 +67,12 @@ __all__ = [
     "RunFailure",
     "SimulationConfig",
     "SimulationResult",
+    "StallReport",
     "available_attacks",
     "available_protocols",
     "get_attack",
     "get_protocol",
+    "parse_faults_spec",
     "register_attack",
     "register_protocol",
     "repeat_simulation",

@@ -63,6 +63,11 @@ class RunSummary:
             pathology, reported explicitly rather than hidden).
         failures: number of :class:`~repro.core.results.RunFailure` entries
             excluded from the statistics (0 for fully-successful batches).
+        stalled_fraction: fraction of runs the liveness watchdog stopped
+            with a :class:`~repro.core.results.StallReport` (0.0 when the
+            watchdog is disabled or never fired).
+        fault_events: mean number of environmental fault events per run
+            (``FaultCounts.total()``; 0.0 for fault-free runs).
     """
 
     latency: SummaryStats
@@ -71,6 +76,8 @@ class RunSummary:
     messages_per_decision: SummaryStats
     terminated_fraction: float
     failures: int = 0
+    stalled_fraction: float = 0.0
+    fault_events: float = 0.0
 
 
 def partition_results(
@@ -103,6 +110,8 @@ def summarize(entries: Iterable[SimulationResult | RunFailure]) -> RunSummary:
         messages_per_decision=SummaryStats.of([r.messages_per_decision for r in results]),
         terminated_fraction=sum(r.terminated for r in results) / len(results),
         failures=len(failures),
+        stalled_fraction=sum(r.stalled for r in results) / len(results),
+        fault_events=sum(r.fault_counts.total() for r in results) / len(results),
     )
 
 

@@ -17,6 +17,7 @@ Python API can do too.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import Sequence
@@ -24,10 +25,17 @@ from typing import Sequence
 from .analysis.aggregate import summarize
 from .analysis.report import render_table
 from .attacks.registry import available_attacks
-from .core.config import AttackConfig, NetworkConfig, SimulationConfig
+from .core.config import (
+    AttackConfig,
+    FaultScheduleConfig,
+    FaultSpec,
+    NetworkConfig,
+    SimulationConfig,
+)
 from .core.errors import SimulationError
 from .core.results import RunFailure
 from .core.runner import repeat_simulation, run_simulation
+from .faults import available_presets, parse_faults_spec
 from .protocols.registry import available_protocols, get_protocol
 
 
@@ -35,7 +43,7 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--config", help="JSON SimulationConfig file (overrides flags)")
     parser.add_argument("--protocol", default="pbft", help="protocol registry name")
     parser.add_argument("-n", type=int, default=16, help="number of nodes")
-    parser.add_argument("-f", type=int, default=None, dest="faults",
+    parser.add_argument("-f", type=int, default=None, dest="f",
                         help="tolerated faults (default: protocol maximum)")
     parser.add_argument("--lam", type=float, default=1000.0,
                         help="timeout parameter lambda, ms")
@@ -51,6 +59,14 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--attack", default="null", help="attack registry name")
     parser.add_argument("--attack-params", default="{}",
                         help="attack parameters as JSON")
+    parser.add_argument("--faults", default=None,
+                        help="environmental fault schedule, e.g. "
+                             "'loss=0.1; delay=0.2x5; crash=3@1000:8000' "
+                             "or a preset name like 'unreliable-network'")
+    parser.add_argument("--stall-timeout", type=float, default=None,
+                        help="liveness watchdog window in simulated ms: runs "
+                             "without honest progress for this long stop "
+                             "with a stall report instead of raising")
     parser.add_argument("--max-time", type=float, default=3_600_000.0,
                         help="simulation horizon, ms")
     parser.add_argument("--jobs", type=int, default=1,
@@ -74,7 +90,7 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
     return SimulationConfig(
         protocol=args.protocol,
         n=args.n,
-        f=args.faults,
+        f=args.f,
         lam=args.lam,
         network=NetworkConfig(
             distribution=args.distribution,
@@ -83,6 +99,12 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
             max_delay=args.max_delay,
         ),
         attack=AttackConfig(name=args.attack, params=json.loads(args.attack_params)),
+        faults=(
+            parse_faults_spec(args.faults)
+            if args.faults
+            else FaultScheduleConfig()
+        ),
+        stall_timeout=args.stall_timeout,
         num_decisions=decisions,
         seed=args.seed,
         max_time=args.max_time,
@@ -91,7 +113,7 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
 
 
 def _result_dict(result) -> dict:
-    return {
+    data = {
         "protocol": result.config.protocol,
         "terminated": result.terminated,
         "latency_ms": result.latency,
@@ -105,6 +127,11 @@ def _result_dict(result) -> dict:
         "wall_clock_seconds": result.wall_clock_seconds,
         "decided_values": {str(k): v for k, v in result.decided_values.items()},
     }
+    if result.fault_counts.any():
+        data["fault_counts"] = dataclasses.asdict(result.fault_counts)
+    if result.stalled:
+        data["stall"] = dataclasses.asdict(result.stall)
+    return data
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -120,6 +147,9 @@ def cmd_list(_args: argparse.Namespace) -> int:
         print(f"  {name:<12} {cls.network_model}{suffix}")
     print("attacks:")
     for name in available_attacks():
+        print(f"  {name}")
+    print("fault presets:")
+    for name in available_presets():
         print(f"  {name}")
     return 0
 
@@ -159,6 +189,17 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(json.dumps(_result_dict(result), indent=2, sort_keys=True))
     else:
         print(result.summary())
+        if result.stalled:
+            print(result.stall.summary())
+        if result.fault_counts.any():
+            fc = result.fault_counts
+            print(
+                f"faults: lost={fc.lost} dup={fc.duplicated} "
+                f"corrupt={fc.corrupted} rejected={fc.rejected} "
+                f"delayed={fc.delayed} link-down={fc.link_down} "
+                f"crashes={fc.crashes} recoveries={fc.recoveries} "
+                f"crash-dropped={fc.crash_dropped}"
+            )
     return 0 if result.terminated else 2
 
 
@@ -173,6 +214,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             config = config.replace(network={args.param: value})
         elif args.param == "n":
             config = config.replace(n=int(value))
+        elif args.param == "loss":
+            # Sweep environmental message loss, composing with any --faults
+            # schedule already configured.
+            specs = [s for s in config.faults.specs if s.kind != "loss"]
+            if value > 0:
+                specs.append(FaultSpec(kind="loss", rate=value))
+            config = config.replace(faults=specs)
+        elif args.param == "stall_timeout":
+            config = config.replace(stall_timeout=value if value > 0 else None)
         else:
             print(f"unsupported sweep parameter: {args.param}", file=sys.stderr)
             return 1
@@ -199,13 +249,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 summary.latency_per_decision.format(1 / 1000, "s"),
                 f"{summary.messages_per_decision.mean:.0f}",
                 f"{summary.terminated_fraction:.0%}",
+                f"{summary.stalled_fraction:.0%}",
+                f"{summary.fault_events:.0f}",
                 str(summary.failures),
             )
         )
     print(
         render_table(
             f"{args.protocol}: sweep over {args.param} ({args.reps} runs per point)",
-            [args.param, "latency/decision", "msgs/decision", "terminated", "failed"],
+            [args.param, "latency/decision", "msgs/decision", "terminated",
+             "stalled", "faults/run", "failed"],
             rows,
         )
     )
@@ -242,7 +295,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser = sub.add_parser("sweep", help="sweep one parameter")
     _add_run_options(sweep_parser)
     sweep_parser.add_argument("--param", required=True,
-                              help="lam | mean | std | max_delay | n")
+                              help="lam | mean | std | max_delay | n | "
+                                   "loss | stall_timeout")
     sweep_parser.add_argument("--values", required=True,
                               help="comma-separated values")
     sweep_parser.add_argument("--reps", type=int, default=3)

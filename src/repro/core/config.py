@@ -66,6 +66,161 @@ class NetworkConfig:
             raise ConfigurationError("pre_gst_factor must be >= 1")
 
 
+#: Fault kinds accepted by :class:`FaultSpec`.
+FAULT_KINDS = ("loss", "duplicate", "corrupt", "delay", "link-down", "crash")
+
+#: Fault kinds applied per message on a link (everything except ``crash``).
+LINK_FAULT_KINDS = ("loss", "duplicate", "corrupt", "delay", "link-down")
+
+
+@dataclass
+class FaultSpec:
+    """One environmental fault process (see :mod:`repro.faults`).
+
+    These are *benign environment* faults — lossy links, flaky hardware,
+    node churn — applied by the network/controller layers independently of
+    the attacker module.  They are never charged against the attacker's
+    capabilities or corruption budget.
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`:
+
+            * ``"loss"`` — drop each matching message with probability
+              ``rate``;
+            * ``"duplicate"`` — deliver an extra copy (independent delay)
+              with probability ``rate``;
+            * ``"corrupt"`` — tamper the payload with probability ``rate``;
+              receivers reject tampered messages (failed signature /
+              checksum verification), they are never dispatched to protocol
+              logic;
+            * ``"delay"`` — multiply the sampled delay by ``factor`` with
+              probability ``rate``;
+            * ``"link-down"`` — drop *every* matching message inside the
+              window (timed link churn);
+            * ``"crash"`` — crash ``node`` at ``start``; recover it at
+              ``end`` (``None`` = never: a permanent fail-stop).
+        rate: per-message probability for the stochastic kinds.
+        factor: delay multiplier for ``kind="delay"``.
+        start: window start in ms (for ``crash``: the crash time).
+        end: window end in ms, exclusive (``None`` = open / never; for
+            ``crash``: the recovery time).
+        node: crash target (``crash`` only).
+        src: restrict to messages from these sources (``None`` = all).
+        dst: restrict to messages to these destinations (``None`` = all).
+    """
+
+    kind: str
+    rate: float = 0.0
+    factor: float = 1.0
+    start: float = 0.0
+    end: float | None = None
+    node: int | None = None
+    src: list[int] | None = None
+    dst: list[int] | None = None
+
+    def validate(self, n: int | None = None) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; available: {list(FAULT_KINDS)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(
+                f"fault rate must be in [0, 1], got {self.rate} for {self.kind!r}"
+            )
+        if self.factor < 1.0:
+            raise ConfigurationError(
+                f"delay fault factor must be >= 1, got {self.factor}"
+            )
+        if self.start < 0:
+            raise ConfigurationError(f"fault window start must be >= 0, got {self.start}")
+        if self.end is not None and self.end <= self.start:
+            raise ConfigurationError(
+                f"fault window end must be > start, got [{self.start}, {self.end})"
+            )
+        if self.kind == "crash":
+            if self.node is None:
+                raise ConfigurationError("crash fault requires a target node")
+            if n is not None and not 0 <= self.node < n:
+                raise ConfigurationError(
+                    f"crash fault targets node {self.node}, but n={n}"
+                )
+        elif self.kind in ("loss", "duplicate", "corrupt", "delay") and self.rate == 0.0:
+            raise ConfigurationError(f"{self.kind!r} fault with rate=0 has no effect")
+        if n is not None:
+            for label, nodes in (("src", self.src), ("dst", self.dst)):
+                for node in nodes or ():
+                    if not 0 <= node < n:
+                        raise ConfigurationError(
+                            f"fault {label} scope names node {node}, but n={n}"
+                        )
+
+    def in_window(self, time: float) -> bool:
+        """True when ``time`` falls inside ``[start, end)``."""
+        return time >= self.start and (self.end is None or time < self.end)
+
+    def matches_link(self, source: int, dest: int) -> bool:
+        """True when the spec's src/dst scope covers the given link."""
+        if self.src is not None and source not in self.src:
+            return False
+        return self.dst is None or dest in self.dst
+
+    def describe(self) -> str:
+        window = f"@{self.start:g}:{'' if self.end is None else f'{self.end:g}'}"
+        if self.kind == "crash":
+            return f"crash(node={self.node}){window}"
+        extra = f"x{self.factor:g}" if self.kind == "delay" else ""
+        return f"{self.kind}({self.rate:g}{extra}){window}"
+
+
+@dataclass
+class FaultScheduleConfig:
+    """The declarative environmental fault schedule of a run.
+
+    An empty schedule (the default) adds zero overhead and leaves every
+    existing configuration byte-identical in serialized form, so
+    fingerprints of fault-free runs are unchanged across versions.
+
+    Attributes:
+        specs: the fault processes, applied in order per message.
+    """
+
+    specs: list[FaultSpec] = field(default_factory=list)
+
+    def active(self) -> bool:
+        """True when the schedule contains any fault process."""
+        return bool(self.specs)
+
+    def link_specs(self) -> list[FaultSpec]:
+        """The per-message (link-level) fault processes, in schedule order."""
+        return [s for s in self.specs if s.kind in LINK_FAULT_KINDS]
+
+    def crash_specs(self) -> list[FaultSpec]:
+        """The node crash/recovery processes, in schedule order."""
+        return [s for s in self.specs if s.kind == "crash"]
+
+    def requires_recovery(self) -> bool:
+        """True when any crash is followed by a scheduled recovery."""
+        return any(s.end is not None for s in self.crash_specs())
+
+    def validate(self, n: int | None = None) -> None:
+        for spec in self.specs:
+            spec.validate(n)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultScheduleConfig":
+        specs = [
+            spec if isinstance(spec, FaultSpec) else FaultSpec(**spec)
+            for spec in data.get("specs", [])
+        ]
+        unknown = set(data) - {"specs"}
+        if unknown:
+            raise ConfigurationError(f"unknown fault schedule keys: {sorted(unknown)}")
+        return cls(specs=specs)
+
+    def describe(self) -> str:
+        return "; ".join(spec.describe() for spec in self.specs) or "<none>"
+
+
 @dataclass
 class AttackConfig:
     """Selects and parameterizes an attack from :mod:`repro.attacks`.
@@ -99,6 +254,16 @@ class SimulationConfig:
             partially-synchronous protocols are configured with (§IV).
         network: network model parameters.
         attack: optional attack scenario.
+        faults: declarative environmental fault schedule (message loss,
+            duplication, corruption, link churn, node crash/recovery) —
+            applied by the environment, orthogonally to the attacker and
+            never charged against its capabilities.  Empty by default.
+        stall_timeout: liveness-watchdog window in simulated ms.  When set,
+            a run in which no honest node makes progress (decision, view
+            advance, or delivered message) for this long stops gracefully
+            with a :class:`~repro.core.results.StallReport` instead of
+            spinning to the horizon and raising.  ``None`` (default)
+            disables the watchdog.
         num_decisions: how many values must be decided before the run
             terminates.  The paper uses 10 for the pipelined protocols
             (HotStuff+NS, LibraBFT) and 1 for the rest (§IV).
@@ -123,6 +288,8 @@ class SimulationConfig:
     lam: float = 1000.0
     network: NetworkConfig = field(default_factory=NetworkConfig)
     attack: AttackConfig = field(default_factory=AttackConfig)
+    faults: FaultScheduleConfig = field(default_factory=FaultScheduleConfig)
+    stall_timeout: float | None = None
     num_decisions: int = 1
     seed: int = 0
     max_time: float = 3_600_000.0
@@ -150,13 +317,29 @@ class SimulationConfig:
             raise ConfigurationError("max_time must be > 0")
         if self.max_events < 1:
             raise ConfigurationError("max_events must be >= 1")
+        if self.stall_timeout is not None and self.stall_timeout <= 0:
+            raise ConfigurationError(
+                f"stall_timeout must be > 0 ms (or None), got {self.stall_timeout}"
+            )
         self.network.validate()
+        self.faults.validate(self.n)
 
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        """Plain-dict form, suitable for JSON."""
-        return asdict(self)
+        """Plain-dict form, suitable for JSON.
+
+        Fields at their benign defaults (an empty fault schedule, a disabled
+        watchdog) are omitted, so the serialized form — and therefore the
+        ``result_fingerprint`` of fault-free runs — is identical to what
+        older versions produced.
+        """
+        data = asdict(self)
+        if not self.faults.active():
+            data.pop("faults")
+        if self.stall_timeout is None:
+            data.pop("stall_timeout")
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "SimulationConfig":
@@ -164,6 +347,7 @@ class SimulationConfig:
         data = dict(data)
         network = data.pop("network", None)
         attack = data.pop("attack", None)
+        faults = data.pop("faults", None)
         known = {f_.name for f_ in cls.__dataclass_fields__.values()}
         unknown = set(data) - known
         if unknown:
@@ -171,6 +355,11 @@ class SimulationConfig:
         config = cls(
             network=NetworkConfig(**network) if isinstance(network, dict) else NetworkConfig(),
             attack=AttackConfig(**attack) if isinstance(attack, dict) else AttackConfig(),
+            faults=(
+                FaultScheduleConfig.from_dict(faults)
+                if isinstance(faults, dict)
+                else FaultScheduleConfig()
+            ),
             **data,
         )
         return config
@@ -187,8 +376,10 @@ class SimulationConfig:
         data = self.to_dict()
         network = data.pop("network")
         attack = data.pop("attack")
+        faults = data.pop("faults", None)
         network_changes = changes.pop("network", None)
         attack_changes = changes.pop("attack", None)
+        faults_changes = changes.pop("faults", None)
         data.update(changes)
         if isinstance(network_changes, NetworkConfig):
             network = asdict(network_changes)
@@ -198,4 +389,16 @@ class SimulationConfig:
             attack = asdict(attack_changes)
         elif isinstance(attack_changes, dict):
             attack.update(attack_changes)
-        return SimulationConfig.from_dict({**data, "network": network, "attack": attack})
+        if isinstance(faults_changes, FaultScheduleConfig):
+            faults = asdict(faults_changes)
+        elif isinstance(faults_changes, dict):
+            faults = dict(faults_changes)
+        elif isinstance(faults_changes, list):
+            faults = {"specs": [
+                asdict(s) if isinstance(s, FaultSpec) else dict(s)
+                for s in faults_changes
+            ]}
+        merged = {**data, "network": network, "attack": attack}
+        if faults is not None:
+            merged["faults"] = faults
+        return SimulationConfig.from_dict(merged)

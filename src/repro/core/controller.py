@@ -14,10 +14,12 @@ from __future__ import annotations
 
 import random
 import time as _time
+from collections import Counter
 from typing import Any
 
 from ..attacks.base import Attacker, AttackerContext
 from ..attacks.registry import make_attacker
+from ..faults.engine import FaultInjector
 from ..network.module import NetworkModule
 from ..protocols.registry import get_protocol
 from .clock import SimulationClock
@@ -25,6 +27,7 @@ from .config import SimulationConfig
 from .errors import ConfigurationError, LivenessTimeoutError
 from .events import (
     ATTACKER_OWNER,
+    CONTROLLER_OWNER,
     EventQueue,
     MessageEvent,
     TimeEvent,
@@ -32,7 +35,7 @@ from .events import (
 from .message import Message
 from .metrics import MetricsCollector
 from .node import Node, TimerHandle
-from .results import SimulationResult
+from .results import SimulationResult, StallReport
 from .rng import RandomSource
 from .tracing import Trace
 
@@ -54,6 +57,12 @@ class Controller:
         if self.f >= config.n:
             raise ConfigurationError(f"f={self.f} must be < n={config.n}")
         protocol_cls.check_resilience(self.n, self.f)
+        if config.faults.requires_recovery() and not protocol_cls.supports_recovery:
+            raise ConfigurationError(
+                f"protocol {config.protocol!r} does not support crash recovery; "
+                "schedule a permanent crash (omit the recovery time) or pick a "
+                "protocol whose class sets supports_recovery = True"
+            )
 
         self.clock = SimulationClock()
         self.queue = EventQueue()
@@ -66,21 +75,40 @@ class Controller:
         self.attacker_ctx = AttackerContext(self, self.attacker.capabilities)
         self.attacker.bind(self.attacker_ctx)
 
+        self._timer_ids = iter(range(1, 1 << 62))
+        self._message_ids = iter(range(1, 1 << 62))
+
+        self.fault_injector: FaultInjector | None = None
+        if config.faults.link_specs():
+            self.fault_injector = FaultInjector(
+                config.faults,
+                self.random_source,
+                config.network,
+                self.metrics,
+                self.trace,
+                self.next_message_id,
+            )
+
         self.network = NetworkModule(
             self,
             config.network,
             self.random_source.numpy("network.delay"),
             self.attacker,
             self.attacker_ctx,
+            faults=self.fault_injector,
         )
 
         self.nodes: list[Node] = [protocol_cls(i, self) for i in range(self.n)]
         self._halted: set[int] = set()
-        self._timer_ids = iter(range(1, 1 << 62))
-        self._message_ids = iter(range(1, 1 << 62))
+        self._down: set[int] = set()
+        self._permanent_crashes: set[int] = set()
         self._events_processed = 0
         self._max_view = 0
         self._stop_reason: str | None = None
+        self._stall: StallReport | None = None
+        self._last_progress = 0.0
+        self._node_activity: dict[int, float] = {i: 0.0 for i in range(self.n)}
+        self._schedule_crash_events()
 
     # ------------------------------------------------------------------
     # NodeEnvironment facade
@@ -104,6 +132,8 @@ class Controller:
     def send_message(self, message: Message) -> None:
         if message.source in self._halted and not message.forged:
             return  # a halted replica's late sends vanish silently
+        if message.source in self._down and not message.forged:
+            return  # a crashed node cannot transmit while down
         self.network.submit(message)
 
     def register_timer(self, owner: int, delay: float, name: str, data: Any) -> TimerHandle:
@@ -125,6 +155,8 @@ class Controller:
 
     def report_decision(self, node_id: int, slot: int, value: Any) -> None:
         self.metrics.on_decision(node_id, slot, value, self.clock.now)
+        self._last_progress = self.clock.now
+        self._node_activity[node_id] = self.clock.now
         self.trace.record(self.clock.now, "decide", node_id, slot=slot, value=value)
 
     def report_to_system(self, node_id: int, kind: str, **fields: Any) -> None:
@@ -135,6 +167,9 @@ class Controller:
             view = int(fields["view"])
             if view > self._max_view:
                 self._max_view = view
+            # A view advance counts as liveness progress for the watchdog.
+            self._last_progress = self.clock.now
+        self._node_activity[node_id] = self.clock.now
         self.trace.record(self.clock.now, kind, node_id, **fields)
 
     def rng(self, name: str) -> random.Random:
@@ -165,6 +200,60 @@ class Controller:
         self.trace.record(self.clock.now, "corrupt", node)
 
     # ------------------------------------------------------------------
+    # Environmental faults (crash/recovery lifecycle)
+    # ------------------------------------------------------------------
+
+    @property
+    def down_nodes(self) -> frozenset[int]:
+        """Nodes currently crashed by the environment (not the attacker)."""
+        return frozenset(self._down)
+
+    def _schedule_crash_events(self) -> None:
+        """Register controller-owned timers for every crash/recovery spec."""
+        for spec in self.config.faults.crash_specs():
+            assert spec.node is not None  # guaranteed by FaultSpec.validate
+            if spec.end is None:
+                self._permanent_crashes.add(spec.node)
+            self.queue.push(TimeEvent(
+                time=spec.start, owner=CONTROLLER_OWNER,
+                name="env-crash", data=spec.node, timer_id=next(self._timer_ids),
+            ))
+            if spec.end is not None:
+                self.queue.push(TimeEvent(
+                    time=spec.end, owner=CONTROLLER_OWNER,
+                    name="env-recover", data=spec.node, timer_id=next(self._timer_ids),
+                ))
+
+    def _on_env_event(self, event: TimeEvent) -> None:
+        """Handle a controller-owned environment lifecycle event."""
+        node = int(event.data)
+        if event.name == "env-crash":
+            if node in self._down:
+                return  # overlapping crash windows: already down
+            self._down.add(node)
+            # In-memory timers do not survive a crash; pending deliveries
+            # are dropped at delivery time (see _dispatch).
+            cancelled = self.queue.cancel_if(
+                lambda e: isinstance(e, TimeEvent) and e.owner == node
+            )
+            self.metrics.faults.crashes += 1
+            self.trace.record(event.time, "env-crash", node, timers_cancelled=cancelled)
+            if node in self._permanent_crashes:
+                # A permanent fail-stop leaves the honest set for good;
+                # a temporary crash stays in honest accounting (it must
+                # still decide every slot after recovering).
+                self.metrics.mark_faulty(node)
+        elif event.name == "env-recover":
+            if node not in self._down:
+                return
+            self._down.discard(node)
+            self.metrics.faults.recoveries += 1
+            self.trace.record(event.time, "env-recover", node)
+            self.nodes[node].on_recover()
+        else:  # pragma: no cover - only the two lifecycle events exist
+            raise ConfigurationError(f"unknown controller event {event.name!r}")
+
+    # ------------------------------------------------------------------
     # Run loop
     # ------------------------------------------------------------------
 
@@ -172,16 +261,20 @@ class Controller:
         """Execute the simulation to termination (or horizon).
 
         Returns:
-            The complete :class:`SimulationResult`.
+            The complete :class:`SimulationResult`.  When the liveness
+            watchdog (``config.stall_timeout``) detects a stall, the result
+            carries a :class:`StallReport` instead of the run raising — a
+            diagnosed stall is a *finding*, not an error.
 
         Raises:
             LivenessTimeoutError: the run hit ``max_time``/``max_events`` or
-                ran out of events before termination, and ``allow_horizon``
-                is False.
+                ran out of events before termination, the watchdog is
+                disabled, and ``allow_horizon`` is False.
             SafetyViolationError: two honest nodes disagreed.
         """
         started = _time.perf_counter()
         config = self.config
+        stall_timeout = config.stall_timeout
 
         self.attacker.setup()
         for node in self.nodes:
@@ -190,9 +283,27 @@ class Controller:
 
         while not self.metrics.terminated():
             if not self.queue:
-                self._stop_reason = "event queue empty before termination"
+                if stall_timeout is not None:
+                    self._stall = self._build_stall(
+                        "event queue drained before termination", self.clock.now
+                    )
+                    self._stop_reason = "stalled: event queue drained"
+                else:
+                    self._stop_reason = "event queue empty before termination"
                 break
             next_time = self.queue.peek_time()
+            if stall_timeout is not None and next_time is not None:
+                deadline = self._last_progress + stall_timeout
+                if next_time > deadline and deadline <= config.max_time:
+                    # No decision, view advance, or honest delivery for a
+                    # full watchdog window of simulated time — and nothing
+                    # scheduled that could change that before the deadline.
+                    self.clock.advance_to(deadline)
+                    self._stall = self._build_stall(
+                        f"no honest progress for {stall_timeout:g} ms", deadline
+                    )
+                    self._stop_reason = "stalled: liveness watchdog"
+                    break
             if next_time is not None and next_time > config.max_time:
                 self._stop_reason = f"horizon max_time={config.max_time} reached"
                 self.clock.advance_to(config.max_time)
@@ -206,7 +317,7 @@ class Controller:
             self._dispatch(event)
 
         terminated = self.metrics.terminated()
-        if not terminated and not config.allow_horizon:
+        if not terminated and self._stall is None and not config.allow_horizon:
             raise LivenessTimeoutError(
                 f"{config.protocol} did not terminate: {self._stop_reason} "
                 f"(decisions: { {i: self.metrics.decisions_of(i) for i in range(self.n)} })"
@@ -218,13 +329,33 @@ class Controller:
     def _dispatch(self, event: Any) -> None:
         if isinstance(event, MessageEvent):
             message = event.message
+            if message.dest in self._down:
+                # The destination is crashed: the packet arrives at a dead
+                # host and is lost (recovery does not replay it).
+                self.metrics.faults.crash_dropped += 1
+                self.trace.record(
+                    event.time, "env-crash-drop", message.dest,
+                    source=message.source, msg_type=message.type, msg_id=message.msg_id,
+                )
+                return
             if message.dest in self._halted:
                 self.trace.record(
                     event.time, "suppress", message.dest,
                     msg_type=message.type, msg_id=message.msg_id,
                 )
                 return
+            if message.corrupted:
+                # Environmental corruption: signature/checksum verification
+                # fails at the receiver; protocol logic never sees it.
+                self.metrics.faults.rejected += 1
+                self.trace.record(
+                    event.time, "env-reject", message.dest,
+                    source=message.source, msg_type=message.type, msg_id=message.msg_id,
+                )
+                return
             self.metrics.on_delivered()
+            self._last_progress = event.time
+            self._node_activity[message.dest] = event.time
             self.trace.record(
                 event.time, "deliver", message.dest,
                 source=message.source, msg_type=message.type, msg_id=message.msg_id,
@@ -234,12 +365,36 @@ class Controller:
             if event.owner == ATTACKER_OWNER:
                 self.attacker.on_timer(event)
                 return
-            if event.owner in self._halted:
+            if event.owner == CONTROLLER_OWNER:
+                self._on_env_event(event)
                 return
+            if event.owner in self._halted or event.owner in self._down:
+                return
+            self._node_activity[event.owner] = event.time
             self.trace.record(event.time, "timer", event.owner, name=event.name)
             self.nodes[event.owner].on_timer(event)
         else:  # pragma: no cover - no other event kinds exist
             raise ConfigurationError(f"unknown event type {type(event).__name__}")
+
+    def _build_stall(self, reason: str, detected_at: float) -> StallReport:
+        """Snapshot the run state into a structured stall diagnosis."""
+        census: Counter[str] = Counter()
+        for pending in self.queue.live_events():
+            if isinstance(pending, MessageEvent):
+                census[f"message:{pending.message.type}"] += 1
+            elif isinstance(pending, TimeEvent):
+                census[f"timer:{pending.name}"] += 1
+        return StallReport(
+            detected_at=detected_at,
+            last_progress=self._last_progress,
+            stall_timeout=float(self.config.stall_timeout or 0.0),
+            reason=reason,
+            node_last_activity=dict(self._node_activity),
+            pending_events=dict(census),
+            fault_counts=self.metrics.faults,
+            down_nodes=tuple(sorted(self._down)),
+            halted_nodes=tuple(sorted(self._halted)),
+        )
 
     def _build_result(self, terminated: bool, wall: float) -> SimulationResult:
         metrics = self.metrics
@@ -261,4 +416,6 @@ class Controller:
             max_view=self._max_view,
             wall_clock_seconds=wall,
             trace=self.trace,
+            fault_counts=metrics.faults,
+            stall=self._stall,
         )

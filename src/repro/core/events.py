@@ -16,7 +16,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from .errors import SchedulingError
 from .message import Message
@@ -124,6 +124,33 @@ class EventQueue:
                 continue
             return time_
         return None
+
+    def cancel_if(self, predicate: "Callable[[Event], bool]") -> int:
+        """Cancel every live event satisfying ``predicate``; returns count.
+
+        O(queue size); used for rare structural operations such as a node
+        crash discarding that node's pending timers.
+        """
+        removed = 0
+        for _time, handle, event in self._heap:
+            if handle in self._pending and predicate(event):
+                self._pending.discard(handle)
+                removed += 1
+        return removed
+
+    def live_events(self) -> list[Event]:
+        """Every live (non-cancelled) event in firing order, without popping.
+
+        Diagnostic view used by the liveness watchdog's pending-event
+        census; O(n log n), never on the hot path.
+        """
+        entries = [
+            (time_, handle, event)
+            for time_, handle, event in self._heap
+            if handle in self._pending
+        ]
+        entries.sort(key=lambda item: (item[0], item[1]))
+        return [event for _time, _handle, event in entries]
 
     def drain(self) -> Iterator[Event]:
         """Pop every remaining live event, in order (mainly for tests)."""

@@ -43,6 +43,10 @@ class Message:
         msg_id: unique id, used for tracing and deterministic tie-breaking.
         forged: True when the attacker inserted this message rather than an
             honest node sending it.
+        corrupted: True when an environmental ``corrupt`` fault tampered the
+            payload in flight.  Receivers reject corrupted messages at
+            delivery (the signature/checksum verification stand-in); they
+            are never dispatched to protocol logic.
     """
 
     source: int
@@ -52,6 +56,7 @@ class Message:
     delay: float | None = None
     msg_id: int = field(default_factory=_next_message_id)
     forged: bool = False
+    corrupted: bool = False
 
     @property
     def type(self) -> str:

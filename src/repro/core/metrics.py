@@ -48,6 +48,51 @@ class MessageCounts:
     bytes_sent: int = 0
 
 
+@dataclass
+class FaultCounts:
+    """Counters of environmental fault events during a run.
+
+    These count *benign environment* effects (the :mod:`repro.faults`
+    layer), never attacker actions — keeping the attacker-vs-environment
+    boundary visible in every result.  Like ``wall_clock_seconds``, fault
+    counters are excluded from :func:`~repro.core.results.result_fingerprint`.
+
+    Attributes:
+        lost: messages dropped by a ``loss`` fault process.
+        duplicated: extra copies injected by a ``duplicate`` process.
+        corrupted: messages tampered by a ``corrupt`` process.
+        rejected: tampered messages rejected at delivery (the receiver's
+            signature/checksum verification stand-in).
+        delayed: messages re-timed by a ``delay`` process.
+        link_down: messages dropped inside a ``link-down`` window.
+        crashes: node crash events.
+        recoveries: node recovery events.
+        crash_dropped: messages addressed to a crashed node at delivery time.
+    """
+
+    lost: int = 0
+    duplicated: int = 0
+    corrupted: int = 0
+    rejected: int = 0
+    delayed: int = 0
+    link_down: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    crash_dropped: int = 0
+
+    def total(self) -> int:
+        """Total number of fault events (all counters summed)."""
+        return (
+            self.lost + self.duplicated + self.corrupted + self.rejected
+            + self.delayed + self.link_down + self.crashes + self.recoveries
+            + self.crash_dropped
+        )
+
+    def any(self) -> bool:
+        """True when any environmental fault occurred."""
+        return self.total() > 0
+
+
 class MetricsCollector:
     """Accumulates metrics for a single simulation run.
 
@@ -61,6 +106,7 @@ class MetricsCollector:
         self.n = n
         self.num_decisions = num_decisions
         self.counts = MessageCounts()
+        self.faults = FaultCounts()
         self.decisions: list[Decision] = []
         self._by_slot: dict[int, dict[int, Decision]] = defaultdict(dict)
         self._per_node: dict[int, int] = defaultdict(int)

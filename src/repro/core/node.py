@@ -88,9 +88,16 @@ class Node:
         env: the controller facade (see :class:`NodeEnvironment`).
     """
 
+    #: Whether this protocol supports a crashed replica rejoining the run
+    #: (the environmental crash–recovery fault, :mod:`repro.faults`).
+    #: Protocols that cannot support rejoin leave this False and the
+    #: controller rejects crash+recovery schedules for them up front.
+    supports_recovery: bool = False
+
     def __init__(self, node_id: int, env: NodeEnvironment) -> None:
         self.id = node_id
         self.env = env
+        self._decided_log: list[tuple[int, Any]] = []
 
     # -- lifecycle callbacks (override in subclasses) ----------------------
 
@@ -102,6 +109,20 @@ class Node:
 
     def on_timer(self, timer: TimeEvent) -> None:
         """Called when a time event registered by this node fires."""
+
+    def on_recover(self) -> None:
+        """Called when the environment recovers this node from a crash.
+
+        The crash model assumes stable storage: in-memory protocol state
+        survives, but every pending timer was lost and messages addressed to
+        the node while it was down were dropped.  The safe default replays
+        the node's own decided slots (idempotent — the metrics collector
+        deduplicates equal reports), so a recovered replica re-asserts what
+        it already agreed to.  Protocols that set ``supports_recovery``
+        extend this to re-arm their timers and resume participation.
+        """
+        for slot, value in self._decided_log:
+            self.env.report_decision(self.id, slot, value)
 
     # -- convenience properties --------------------------------------------
 
@@ -173,6 +194,7 @@ class Node:
         terminates the run once every honest node has decided the configured
         number of slots.
         """
+        self._decided_log.append((slot, value))
         self.env.report_decision(self.id, slot, value)
 
     def report(self, kind: str, **fields: Any) -> None:

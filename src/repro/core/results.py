@@ -19,8 +19,56 @@ from dataclasses import asdict, dataclass, field
 from typing import Any
 
 from .config import SimulationConfig
-from .metrics import Decision, MessageCounts
+from .metrics import Decision, FaultCounts, MessageCounts
 from .tracing import Trace
+
+
+@dataclass(frozen=True)
+class StallReport:
+    """Structured diagnosis of a run the liveness watchdog stopped.
+
+    Produced when ``SimulationConfig.stall_timeout`` is set and no honest
+    node made progress (decision, view advance, or delivered message) for
+    that long: the run degrades into a result carrying this report instead
+    of spinning to the horizon and raising an opaque
+    :class:`~repro.core.errors.LivenessTimeoutError`.
+
+    Like ``wall_clock_seconds`` and :class:`~repro.core.metrics.FaultCounts`,
+    stall reports are excluded from :func:`result_fingerprint`.
+
+    Attributes:
+        detected_at: simulation time (ms) at which the stall was declared.
+        last_progress: time of the last honest progress event.
+        stall_timeout: the configured watchdog window (ms).
+        reason: human-readable cause (watchdog window exceeded, event queue
+            drained, ...).
+        node_last_activity: per-node time of last observed activity.
+        pending_events: census of the live event queue at detection, keyed
+            by event label (``"message:<type>"`` / ``"timer:<name>"``).
+        fault_counts: environmental fault counters at detection.
+        down_nodes: nodes crashed (environment) at detection.
+        halted_nodes: nodes corrupted (attacker) at detection.
+    """
+
+    detected_at: float
+    last_progress: float
+    stall_timeout: float
+    reason: str
+    node_last_activity: dict[int, float]
+    pending_events: dict[str, int]
+    fault_counts: FaultCounts
+    down_nodes: tuple[int, ...] = ()
+    halted_nodes: tuple[int, ...] = ()
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        pending = sum(self.pending_events.values())
+        return (
+            f"STALLED at {self.detected_at:.1f}ms ({self.reason}); "
+            f"last progress at {self.last_progress:.1f}ms, "
+            f"{pending} pending events, "
+            f"{len(self.down_nodes)} down / {len(self.halted_nodes)} halted nodes"
+        )
 
 
 @dataclass
@@ -49,6 +97,11 @@ class SimulationResult:
             against the baseline simulator in the paper's Fig. 2.
         trace: full event trace when ``record_trace`` was enabled, else an
             empty disabled trace.
+        fault_counts: environmental fault counters (:mod:`repro.faults`);
+            all zeros for fault-free runs.  Excluded from the fingerprint.
+        stall: the liveness watchdog's :class:`StallReport` when the run was
+            stopped as stalled, else ``None``.  Excluded from the
+            fingerprint.
     """
 
     config: SimulationConfig
@@ -65,6 +118,13 @@ class SimulationResult:
     max_view: int
     wall_clock_seconds: float
     trace: Trace = field(default_factory=lambda: Trace(enabled=False))
+    fault_counts: FaultCounts = field(default_factory=FaultCounts)
+    stall: StallReport | None = None
+
+    @property
+    def stalled(self) -> bool:
+        """True when the liveness watchdog stopped this run."""
+        return self.stall is not None
 
     @property
     def bytes_sent(self) -> int:
@@ -73,7 +133,12 @@ class SimulationResult:
 
     def summary(self) -> str:
         """One-line human-readable summary."""
-        status = "terminated" if self.terminated else "HORIZON"
+        if self.terminated:
+            status = "terminated"
+        elif self.stalled:
+            status = "STALLED"
+        else:
+            status = "HORIZON"
         return (
             f"{self.config.protocol}: {status} latency={self.latency:.1f}ms "
             f"({self.latency_per_decision:.1f}ms/decision) "
@@ -133,8 +198,11 @@ def deterministic_dict(result: SimulationResult, include_trace: bool = False) ->
     """The deterministic fields of ``result`` as a JSON-friendly dict.
 
     Excludes ``wall_clock_seconds`` (host time, varies between otherwise
-    identical runs) and, unless requested, the trace (deterministic but
-    bulky, and only recorded when ``record_trace`` is set).
+    identical runs), the fault/stall diagnostics (``fault_counts`` and
+    ``stall`` — diagnostic observability, kept out of the fingerprint by
+    the same policy as wall-clock time) and, unless requested, the trace
+    (deterministic but bulky, and only recorded when ``record_trace`` is
+    set).
     """
     data = {
         "config": result.config.to_dict(),

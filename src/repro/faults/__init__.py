@@ -1,0 +1,36 @@
+"""Environmental faults: declarative, seed-deterministic benign failures.
+
+The attacker module (:mod:`repro.attacks`) models an *adversary* with
+declared capabilities; this package models the *environment* — lossy links,
+duplicated packets, bit-flipped payloads, flaky links going down and up,
+and nodes crashing and recovering.  The two compose: an attack scenario can
+run on top of a fault schedule, and environmental effects are never charged
+against the attacker's capabilities or corruption budget.
+
+Faults are declared as data (:class:`~repro.core.config.FaultSpec` entries
+in ``SimulationConfig.faults``) or as a compact CLI string parsed by
+:func:`parse_faults_spec`::
+
+    loss=0.1; delay=0.2x5; crash=3@1000:8000
+
+Every fault process draws from its own named random substream
+(``faults.<index>``), so identical configurations produce byte-identical
+results at any parallelism, and adding fault processes never perturbs the
+network's delay stream.
+"""
+
+from ..core.config import FAULT_KINDS, FaultScheduleConfig, FaultSpec
+from .engine import FaultInjector
+from .presets import available_presets, get_preset, register_preset
+from .spec import parse_faults_spec
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultScheduleConfig",
+    "FaultSpec",
+    "available_presets",
+    "get_preset",
+    "parse_faults_spec",
+    "register_preset",
+]

@@ -1,0 +1,76 @@
+"""Named fault-schedule presets.
+
+A preset is a reusable bundle of :class:`~repro.core.config.FaultSpec`
+entries registered under a short name, usable anywhere a fault clause is —
+``--faults unreliable-network`` on the CLI, or ``get_preset(...)``
+programmatically.  Presets return fresh spec objects on every lookup, so
+callers may re-window or otherwise mutate them freely.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.config import FaultSpec
+from ..core.errors import ConfigurationError
+
+_PRESETS: dict[str, Callable[[], list[FaultSpec]]] = {}
+
+
+def register_preset(name: str, factory: Callable[[], list[FaultSpec]]) -> None:
+    """Register ``factory`` under ``name`` (overwrites silently, as with
+    protocol/attacker registries)."""
+    _PRESETS[name] = factory
+
+
+def get_preset(name: str) -> list[FaultSpec]:
+    """Fresh fault specs for preset ``name``.
+
+    Raises:
+        ConfigurationError: unknown preset.
+    """
+    try:
+        factory = _PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown fault preset {name!r}; available: {available_presets()}"
+        ) from None
+    return factory()
+
+
+def available_presets() -> list[str]:
+    """Registered preset names, sorted."""
+    return sorted(_PRESETS)
+
+
+# ---------------------------------------------------------------------------
+# Built-in presets
+# ---------------------------------------------------------------------------
+
+# The semantics the chaos fuzzing suite exercised via its ad-hoc test-chaos
+# attacker, promoted to a first-class environment: 10% loss, 20% of
+# messages re-timed by a factor of 5.
+register_preset(
+    "unreliable-network",
+    lambda: [
+        FaultSpec(kind="loss", rate=0.1),
+        FaultSpec(kind="delay", rate=0.2, factor=5.0),
+    ],
+)
+
+# Pure packet loss, the textbook fair-lossy link.
+register_preset(
+    "lossy-network",
+    lambda: [FaultSpec(kind="loss", rate=0.1)],
+)
+
+# Low-grade background noise on every link: occasional loss, duplication,
+# and payload corruption.
+register_preset(
+    "noisy-network",
+    lambda: [
+        FaultSpec(kind="loss", rate=0.05),
+        FaultSpec(kind="duplicate", rate=0.05),
+        FaultSpec(kind="corrupt", rate=0.02),
+    ],
+)

@@ -1,0 +1,141 @@
+"""Compact CLI grammar for fault schedules.
+
+:func:`parse_faults_spec` turns the ``--faults`` command-line string into a
+:class:`~repro.core.config.FaultScheduleConfig`.  The grammar is a
+``;``-separated list of clauses, each ``kind[=arg][@start:end]``::
+
+    loss=0.1                    drop 10% of messages
+    duplicate=0.05              deliver an extra copy of 5% of messages
+    corrupt=0.02                tamper 2% of payloads (receivers reject them)
+    delay=0.2x5                 re-time 20% of messages by a factor of 5
+    link-down@1000:2500         drop everything in the window [1000, 2500) ms
+    crash=3@1000:8000           crash node 3 at 1000 ms, recover at 8000 ms
+    crash=3@1000                crash node 3 at 1000 ms, permanently
+
+A window ``@start:end`` can be attached to any clause; ``@start`` and
+``@start:`` leave the end open.  A bare clause that is not a fault kind
+names a registered preset (see :mod:`repro.faults.presets`), optionally
+windowed — ``unreliable-network@0:5000`` confines the whole preset to the
+first five simulated seconds.
+
+Clauses compose: ``"loss=0.05; delay=0.1x3; crash=0@2000:6000"`` is a
+three-process schedule.  Validation beyond the grammar (rates in range,
+crash targets in ``range(n)``) happens in ``FaultSpec.validate`` when the
+schedule joins a :class:`~repro.core.config.SimulationConfig`.
+"""
+
+from __future__ import annotations
+
+from ..core.config import FAULT_KINDS, FaultScheduleConfig, FaultSpec
+from ..core.errors import ConfigurationError
+from .presets import get_preset
+
+
+def parse_faults_spec(text: str) -> FaultScheduleConfig:
+    """Parse a ``--faults`` string into a fault schedule.
+
+    Raises:
+        ConfigurationError: on any grammar violation, with the offending
+            clause named.
+    """
+    specs: list[FaultSpec] = []
+    for clause in text.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        specs.extend(_parse_clause(clause))
+    return FaultScheduleConfig(specs=specs)
+
+
+def _parse_clause(clause: str) -> list[FaultSpec]:
+    head, window = _split_window(clause)
+    start, end = window
+    kind, sep, arg = head.partition("=")
+    kind = kind.strip()
+    arg = arg.strip()
+
+    if kind not in FAULT_KINDS:
+        if sep:
+            raise ConfigurationError(
+                f"unknown fault kind {kind!r} in clause {clause!r}; "
+                f"available: {list(FAULT_KINDS)} or a preset name"
+            )
+        return _windowed_preset(kind, start, end)
+
+    if kind == "link-down":
+        if sep:
+            raise ConfigurationError(
+                f"link-down takes no argument, got {clause!r} "
+                "(use a window, e.g. link-down@1000:2500)"
+            )
+        return [FaultSpec(kind="link-down", start=start, end=end)]
+
+    if not sep or not arg:
+        raise ConfigurationError(
+            f"fault clause {clause!r} needs an argument, e.g. {kind}=0.1"
+        )
+
+    if kind == "crash":
+        return [FaultSpec(kind="crash", node=_parse_int(arg, clause), start=start, end=end)]
+
+    if kind == "delay":
+        rate_s, x, factor_s = arg.partition("x")
+        if not x or not factor_s:
+            raise ConfigurationError(
+                f"delay fault needs rate and factor, e.g. delay=0.2x5; got {clause!r}"
+            )
+        return [
+            FaultSpec(
+                kind="delay",
+                rate=_parse_float(rate_s, clause),
+                factor=_parse_float(factor_s, clause),
+                start=start,
+                end=end,
+            )
+        ]
+
+    # loss / duplicate / corrupt: the argument is the per-message rate.
+    return [FaultSpec(kind=kind, rate=_parse_float(arg, clause), start=start, end=end)]
+
+
+def _split_window(clause: str) -> tuple[str, tuple[float, float | None]]:
+    if "@" not in clause:
+        return clause, (0.0, None)
+    head, _, window = clause.partition("@")
+    start_s, sep, end_s = window.partition(":")
+    try:
+        start = float(start_s) if start_s.strip() else 0.0
+        end = float(end_s) if sep and end_s.strip() else None
+    except ValueError:
+        raise ConfigurationError(
+            f"bad fault window {window!r} in clause {clause!r}; "
+            "expected @start, @start:, or @start:end"
+        ) from None
+    return head.strip(), (start, end)
+
+
+def _windowed_preset(name: str, start: float, end: float | None) -> list[FaultSpec]:
+    specs = get_preset(name)
+    if start != 0.0 or end is not None:
+        for spec in specs:
+            spec.start = start
+            spec.end = end
+    return specs
+
+
+def _parse_float(text: str, clause: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise ConfigurationError(
+            f"bad number {text!r} in fault clause {clause!r}"
+        ) from None
+
+
+def _parse_int(text: str, clause: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        raise ConfigurationError(
+            f"bad node id {text!r} in fault clause {clause!r}"
+        ) from None

@@ -17,7 +17,7 @@ silently producing results under a stronger adversary than advertised.
 from __future__ import annotations
 
 import copy
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 import numpy as np
 
@@ -30,6 +30,7 @@ from .topology import Topology
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.controller import Controller
+    from ..faults.engine import FaultInjector
 
 
 class NetworkModule:
@@ -41,6 +42,9 @@ class NetworkModule:
         rng: dedicated numpy generator for delay sampling.
         attacker: the attack scenario; a pass-through ``NullAttacker`` in
             benign runs.
+        faults: the run's environmental fault injector, or ``None`` for a
+            fault-free environment.  Applied *after* the attacker, so the
+            adversary never observes or controls environment effects.
     """
 
     def __init__(
@@ -50,6 +54,7 @@ class NetworkModule:
         rng: np.random.Generator,
         attacker: Attacker,
         attacker_ctx: AttackerContext,
+        faults: "FaultInjector | None" = None,
     ) -> None:
         self._controller = controller
         self.config = config
@@ -57,6 +62,20 @@ class NetworkModule:
         self.topology = Topology(controller.n)
         self.attacker = attacker
         self._attacker_ctx = attacker_ctx
+        self.faults = faults
+        self._delay_override: Callable[[Message], float | None] | None = None
+
+    def set_delay_override(self, hook: Callable[[Message], float | None] | None) -> None:
+        """Install (or clear) a delay-override hook.
+
+        When set, the hook is consulted before the delay model for every
+        message that still needs a delay; returning a value in ms uses it
+        verbatim, returning ``None`` falls through to the configured
+        distribution.  This is the supported way to pin transit delays from
+        outside — the replay validator uses it to impose recorded delays —
+        replacing ad-hoc monkey-patching of internals.
+        """
+        self._delay_override = hook
 
     # -- public entry point -------------------------------------------------
 
@@ -99,9 +118,19 @@ class NetworkModule:
             size=estimate_message_bytes(message),
         )
         if message.delay is None:
-            message.delay = self.delay_model.sample_delay(message.sent_at)
+            if self._delay_override is not None:
+                message.delay = self._delay_override(message)
+            if message.delay is None:
+                message.delay = self.delay_model.sample_delay(message.sent_at)
         for survivor in self._run_attacker(message):
-            controller.schedule_delivery(survivor)
+            if self.faults is None:
+                controller.schedule_delivery(survivor)
+            else:
+                # Environmental faults act after the adversary: the attacker
+                # has no visibility into (or control over) what the benign
+                # environment then loses, duplicates, corrupts, or re-times.
+                for delivered in self.faults.apply(survivor):
+                    controller.schedule_delivery(delivered)
 
     def _run_attacker(self, message: Message) -> Iterable[Message]:
         """Pass one message through the attacker and enforce capabilities."""

@@ -115,6 +115,9 @@ class ProgressUpdate:
         sim_time_ms: accumulated *simulated* time (sum of per-run latency)
             across completed runs — how much protocol time the batch has
             already explored.
+        stalled: completed runs the liveness watchdog stopped with a
+            :class:`~repro.core.results.StallReport` (they count as
+            completed, not failed — a diagnosed stall is a result).
     """
 
     total: int
@@ -122,6 +125,7 @@ class ProgressUpdate:
     failed: int
     elapsed_seconds: float
     sim_time_ms: float
+    stalled: int = 0
 
     @property
     def done(self) -> int:
@@ -131,8 +135,9 @@ class ProgressUpdate:
     def summary(self) -> str:
         """One-line status, e.g. ``"37/100 done (2 failed) 12.3s wall, 84000ms sim"``."""
         failed = f" ({self.failed} failed)" if self.failed else ""
+        stalled = f" ({self.stalled} stalled)" if self.stalled else ""
         return (
-            f"{self.done}/{self.total} done{failed} "
+            f"{self.done}/{self.total} done{failed}{stalled} "
             f"{self.elapsed_seconds:.1f}s wall, {self.sim_time_ms:.0f}ms sim"
         )
 
@@ -294,18 +299,20 @@ class ParallelRunner:
         queue: deque[_Task] = deque(tasks)
         out: dict[int, SimulationResult | RunFailure] = {}
         started = time.monotonic()
-        completed = failed = 0
+        completed = failed = stalled = 0
         sim_time_ms = 0.0
         workers = [_Worker(self._ctx) for _ in range(min(self.jobs, total))]
 
         def record(index: int, value: SimulationResult | RunFailure) -> None:
-            nonlocal completed, failed, sim_time_ms
+            nonlocal completed, failed, sim_time_ms, stalled
             out[index] = value
             if isinstance(value, RunFailure):
                 failed += 1
             else:
                 completed += 1
                 sim_time_ms += value.latency
+                if value.stalled:
+                    stalled += 1
             if self.progress is not None:
                 self.progress(
                     ProgressUpdate(
@@ -314,6 +321,7 @@ class ParallelRunner:
                         failed=failed,
                         elapsed_seconds=time.monotonic() - started,
                         sim_time_ms=sim_time_ms,
+                        stalled=stalled,
                     )
                 )
 

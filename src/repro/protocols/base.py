@@ -33,12 +33,18 @@ class BFTProtocol(Node):
             to the ``lambda`` parameter (the synchronous protocols).
         pipelined: True for protocols the paper measures over ten decisions
             (HotStuff+NS, LibraBFT).
+        supports_recovery: True when a replica crashed by the environment
+            (:mod:`repro.faults` ``crash`` with a recovery time) can rejoin
+            the run; such protocols override ``on_recover`` to re-arm their
+            timers.  The controller rejects crash+recovery schedules for
+            protocols that leave this False.
     """
 
     protocol_name: str = "abstract"
     network_model: str = PARTIALLY_SYNCHRONOUS
     responsive: bool = False
     pipelined: bool = False
+    supports_recovery: bool = False
 
     @classmethod
     def max_resilience(cls, n: int) -> int:

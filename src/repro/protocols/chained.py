@@ -106,6 +106,7 @@ class ChainedHotStuffBase(BFTProtocol):
     network_model = PARTIALLY_SYNCHRONOUS
     responsive = True
     pipelined = True
+    supports_recovery = True
 
     def __init__(self, node_id: int, env: Any) -> None:
         super().__init__(node_id, env)
@@ -155,6 +156,22 @@ class ChainedHotStuffBase(BFTProtocol):
                 self.on_local_timeout(self.view)
         else:
             self.on_protocol_timer(timer)
+
+    def on_recover(self) -> None:
+        """Rejoin after an environmental crash: replay own decisions, re-arm
+        the pacemaker timer (lost with the crash), ask peers to backfill the
+        block tree, and — if this replica is the current leader — retry the
+        proposal it may have missed making.
+
+        The backfill matters because the commit rule is gap-intolerant: a
+        replica whose ancestry has a hole (proposals broadcast while it was
+        down are never retransmitted) would otherwise refuse to commit
+        forever and the run could not terminate.
+        """
+        super().on_recover()
+        self.broadcast(type="SYNC-REQ")
+        self._arm_timer()
+        self._try_propose()
 
     # -- pacemaker contract (implemented by subclasses) ---------------------
 
@@ -254,6 +271,10 @@ class ChainedHotStuffBase(BFTProtocol):
             self._on_proposal(message)
         elif kind == "VOTE":
             self._on_vote(message)
+        elif kind == "SYNC-REQ":
+            self._on_sync_req(message)
+        elif kind == "SYNC-RESP":
+            self._on_sync_resp(message)
         else:
             self.on_extra_message(message)
 
@@ -329,6 +350,52 @@ class ChainedHotStuffBase(BFTProtocol):
             qc = make_qc(view, digest, self.votes.voters((view, digest)))
             self.update_high_qc(qc)
             self._try_propose()
+
+    # ------------------------------------------------------------------
+    # crash-recovery catch-up
+    # ------------------------------------------------------------------
+
+    def _on_sync_req(self, message: Message) -> None:
+        """A recovered replica asked for our chain: ship every block from
+        our high QC's tip back to genesis.  Each block travels with the QC
+        that justified it, so the receiver can validate the transfer without
+        trusting us."""
+        blocks = [
+            self._proposal_payload(block)
+            for block in self.tree.ancestors(self.high_qc.ref)
+            if block.digest != GENESIS_DIGEST
+        ]
+        if not blocks:
+            return
+        self.send(
+            message.source,
+            type="SYNC-RESP",
+            blocks=list(reversed(blocks)),  # genesis-adjacent first
+            high_qc=self.high_qc.to_payload(),
+        )
+
+    def _on_sync_resp(self, message: Message) -> None:
+        """Ingest a peer's chain transfer: validated blocks fill ancestry
+        gaps, and the commit rule is re-run from the freshest tip we now
+        hold — a single filled gap can unlock a whole chain of commits."""
+        for payload in message.payload.get("blocks", []):
+            qc = QuorumCertificate.from_payload(payload.get("qc"))
+            if qc is None or not self._justification_valid(payload, qc):
+                continue
+            self.tree.add(
+                Block(
+                    digest=str(payload["digest"]),
+                    parent=payload.get("parent"),
+                    view=int(payload["view"]),
+                    value=payload["value"],
+                    qc=qc,
+                    height=int(payload["height"]),
+                )
+            )
+        self.update_high_qc(QuorumCertificate.from_payload(message.payload.get("high_qc")))
+        tip = self.tree.get(self.high_qc.ref)
+        if tip is not None:
+            self._apply_commit_rules(tip)
 
     # ------------------------------------------------------------------
     # commit rule

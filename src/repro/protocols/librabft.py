@@ -81,6 +81,13 @@ class LibraBFTNode(ChainedHotStuffBase):
     def on_commit(self, view: int) -> None:
         self.policy.on_commit()
 
+    def on_recover(self) -> None:
+        """Also restart timeout-vote retransmission if the replica crashed
+        while voting to time its round out."""
+        super().on_recover()
+        if self.view in self._timeout_sent:
+            self._arm_retransmit()
+
     def proposal_ready(self, view: int) -> bool:
         if super().proposal_ready(view):
             return True

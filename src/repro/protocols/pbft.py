@@ -27,6 +27,7 @@ from typing import Any
 
 from ..core.events import TimeEvent
 from ..core.message import Message
+from ..crypto.quorum import QuorumCertificate, make_qc
 from .base import BFTProtocol, PARTIALLY_SYNCHRONOUS, VoteCounter
 from .registry import register_protocol
 
@@ -42,6 +43,7 @@ class PBFTNode(BFTProtocol):
     network_model = PARTIALLY_SYNCHRONOUS
     responsive = True
     pipelined = False
+    supports_recovery = True
 
     def __init__(self, node_id: int, env: Any) -> None:
         super().__init__(node_id, env)
@@ -62,6 +64,10 @@ class PBFTNode(BFTProtocol):
         self._sent_viewchange: set[tuple[int, int]] = set()
         self._sent_newview: set[tuple[int, int]] = set()
         self._decided: set[int] = set()
+        # slot -> (value, commit certificate): transferable evidence of the
+        # decision, served to recovering replicas (see _on_sync_req).
+        self._decision_certs: dict[int, tuple[Any, QuorumCertificate]] = {}
+        self._catchup: dict[int, tuple[Any, QuorumCertificate]] = {}
         self._timer = None
 
     # ------------------------------------------------------------------
@@ -118,6 +124,20 @@ class PBFTNode(BFTProtocol):
         self._restart_timer()
         self._recheck()
 
+    def on_recover(self) -> None:
+        """Rejoin after an environmental crash.
+
+        Protocol state survived (stable storage), but the view timer was
+        lost with the crash: replay own decisions, re-arm the timer, ask
+        peers for decisions this replica slept through (their COMMIT quorums
+        formed while messages to it were being dropped and are never
+        retransmitted), and re-evaluate buffered votes.
+        """
+        super().on_recover()
+        self.broadcast(type="SYNC-REQ", slot=self.slot)
+        self._restart_timer()
+        self._recheck()
+
     # ------------------------------------------------------------------
     # message handling
     # ------------------------------------------------------------------
@@ -135,6 +155,10 @@ class PBFTNode(BFTProtocol):
             self._on_view_change(message)
         elif kind == "NEW-VIEW":
             self._on_new_view(message)
+        elif kind == "SYNC-REQ":
+            self._on_sync_req(message)
+        elif kind == "DECIDED":
+            self._on_decided(message)
         # Unknown kinds are ignored: Byzantine senders may emit garbage.
 
     def _on_pre_prepare(self, message: Message) -> None:
@@ -194,6 +218,43 @@ class PBFTNode(BFTProtocol):
             self._enter_view(view)
         else:
             self._recheck()
+
+    # ------------------------------------------------------------------
+    # crash-recovery catch-up
+    # ------------------------------------------------------------------
+
+    def _on_sync_req(self, message: Message) -> None:
+        """A recovered replica asked for decisions from ``slot`` onward:
+        answer with one DECIDED per slot, each carrying the commit
+        certificate so the receiver need not trust this replica."""
+        since = int(message.payload.get("slot", 0))
+        for slot in sorted(self._decision_certs):
+            if slot < since:
+                continue
+            value, cert = self._decision_certs[slot]
+            self.send(
+                message.source,
+                type="DECIDED",
+                slot=slot,
+                value=value,
+                cert=cert.to_payload(),
+            )
+
+    def _on_decided(self, message: Message) -> None:
+        """Adopt a transferred decision once its commit certificate checks
+        out (a quorum of distinct signers over the value's digest — the same
+        trust level as the commit quorum it summarizes)."""
+        payload = message.payload
+        slot, value = int(payload["slot"]), payload["value"]
+        cert = QuorumCertificate.from_payload(payload.get("cert"))
+        if cert is None or not cert.valid(self.quorum()):
+            return
+        if cert.ref != self._digest(value):
+            return
+        self._catchup.setdefault(slot, (value, cert))
+        while self.slot in self._catchup and self.slot not in self._decided:
+            adopted, adopted_cert = self._catchup[self.slot]
+            self._decide(self.slot, adopted, adopted_cert.view, adopted_cert.signers)
 
     # ------------------------------------------------------------------
     # timers
@@ -283,11 +344,12 @@ class PBFTNode(BFTProtocol):
                 if pre is None or pre[0] != digest:
                     continue
                 value = pre[1]
-            self._decide(slot, value, view)
+            self._decide(slot, value, view, self.commit_votes.voters(key))
             return
 
-    def _decide(self, slot: int, value: Any, view: int) -> None:
+    def _decide(self, slot: int, value: Any, view: int, voters: frozenset[int]) -> None:
         self._decided.add(slot)
+        self._decision_certs[slot] = (value, make_qc(view, self._digest(value), voters))
         self.cancel_timer(self._timer)
         if view > self.view:
             self.view = view

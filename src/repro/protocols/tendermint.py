@@ -36,6 +36,7 @@ from typing import Any
 
 from ..core.events import TimeEvent
 from ..core.message import Message
+from ..crypto.quorum import QuorumCertificate, make_qc
 from .base import BFTProtocol, PARTIALLY_SYNCHRONOUS, VoteCounter
 from .registry import register_protocol
 
@@ -50,6 +51,7 @@ class TendermintNode(BFTProtocol):
     network_model = PARTIALLY_SYNCHRONOUS
     responsive = True
     pipelined = False
+    supports_recovery = True
 
     def __init__(self, node_id: int, env: Any) -> None:
         super().__init__(node_id, env)
@@ -66,6 +68,10 @@ class TendermintNode(BFTProtocol):
         self._prevoted: set[tuple[int, int]] = set()
         self._precommitted: set[tuple[int, int]] = set()
         self._decided_heights: set[int] = set()
+        # height -> (value, precommit certificate): transferable evidence of
+        # the decision, served to recovering replicas (see _on_sync_req).
+        self._decision_certs: dict[int, tuple[Any, QuorumCertificate]] = {}
+        self._catchup: dict[int, tuple[Any, QuorumCertificate]] = {}
         self._round_started: set[tuple[int, int]] = set()
         self._timer = None
 
@@ -112,6 +118,21 @@ class TendermintNode(BFTProtocol):
             )
         self._recheck()
 
+    def on_recover(self) -> None:
+        """Rejoin after an environmental crash: replay own decisions, ask
+        peers for heights decided while this replica was down (precommit
+        quorums are never retransmitted), re-arm the current round's timer
+        (lost with the crash — ``_start_round`` cannot be reused, the round
+        is already marked started), and recheck buffered votes."""
+        super().on_recover()
+        self.broadcast(type="SYNC-REQ", height=self.height)
+        self.cancel_timer(self._timer)
+        self._timer = self.set_timer(
+            self._timeout(self.round), "round-timeout",
+            height=self.height, round=self.round,
+        )
+        self._recheck()
+
     def on_timer(self, timer: TimeEvent) -> None:
         if timer.name != "round-timeout":
             return
@@ -147,9 +168,52 @@ class TendermintNode(BFTProtocol):
                 return
             self.precommit_seen.add((height, round_), message.source)
             self.precommits.add((height, round_, payload["value"]), message.source)
+        elif kind == "SYNC-REQ":
+            self._on_sync_req(message)
+            return
+        elif kind == "DECIDED":
+            self._on_decided(message)
+            return
         else:
             return
         self._recheck()
+
+    # ------------------------------------------------------------------
+    # crash-recovery catch-up
+    # ------------------------------------------------------------------
+
+    def _on_sync_req(self, message: Message) -> None:
+        """A recovered replica asked for decisions from ``height`` onward:
+        answer with one DECIDED per height, each carrying the precommit
+        certificate so the receiver need not trust this replica."""
+        since = int(message.payload.get("height", 0))
+        for height in sorted(self._decision_certs):
+            if height < since:
+                continue
+            value, cert = self._decision_certs[height]
+            self.send(
+                message.source,
+                type="DECIDED",
+                height=height,
+                value=value,
+                cert=cert.to_payload(),
+            )
+
+    def _on_decided(self, message: Message) -> None:
+        """Adopt a transferred decision once its precommit certificate
+        checks out (a quorum of distinct signers over the value — the same
+        trust level as the precommit quorum it summarizes)."""
+        payload = message.payload
+        height, value = int(payload["height"]), payload["value"]
+        cert = QuorumCertificate.from_payload(payload.get("cert"))
+        if cert is None or not cert.valid(self.quorum()):
+            return
+        if cert.ref != str(value):
+            return
+        self._catchup.setdefault(height, (value, cert))
+        while self.height in self._catchup and self.height not in self._decided_heights:
+            adopted, adopted_cert = self._catchup[self.height]
+            self._decide(self.height, adopted, adopted_cert.view, adopted_cert.signers)
 
     # ------------------------------------------------------------------
     # step transitions
@@ -213,7 +277,7 @@ class TendermintNode(BFTProtocol):
             if h != height or value == NIL:
                 continue
             if self.precommits.count(key) >= quorum:
-                self._decide(height, value)
+                self._decide(height, value, r, self.precommits.voters(key))
                 return
 
         # A precommit quorum that cannot decide: next round.
@@ -229,10 +293,11 @@ class TendermintNode(BFTProtocol):
             if not decided_possible:
                 self._start_round(round_ + 1)
 
-    def _decide(self, height: int, value: Any) -> None:
+    def _decide(self, height: int, value: Any, round_: int, voters: frozenset[int]) -> None:
         if height in self._decided_heights:
             return
         self._decided_heights.add(height)
+        self._decision_certs[height] = (value, make_qc(round_, str(value), voters))
         self.cancel_timer(self._timer)
         self.decide(height, value)
         self._start_height(height + 1)

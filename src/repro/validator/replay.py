@@ -62,24 +62,25 @@ class ReplayController(Controller):
             raise ValidationError("ground-truth trace contains no deliveries to replay")
         self._fallback_delay = statistics.median(all_delays)
         self.unmatched_messages = 0
-        self._install_replay_delays()
+        # First-class extension point: the network consults the override for
+        # every message that still needs a delay (loopback self-deliveries
+        # are pinned to zero before the hook and never reach it).
+        self.network.set_delay_override(self._replay_delay)
 
-    def _install_replay_delays(self) -> None:
-        network = self.network
-        submit_single = network._submit_single
+    def _replay_delay(self, message: Message) -> float:
+        """The ground-truth transit delay for ``message``.
 
-        def replayed_submit(message: Message) -> None:
-            if message.dest != message.source and message.delay is None:
-                key = (message.source, message.dest, message.type)
-                pending = self._schedule.get(key)
-                if pending:
-                    message.delay = pending.popleft()
-                else:
-                    message.delay = self._fallback_delay
-                    self.unmatched_messages += 1
-            submit_single(message)
-
-        network._submit_single = replayed_submit  # type: ignore[method-assign]
+        Delays are matched by ``(source, dest, message type)`` stream in
+        send order; a message the ground truth never sent (the replayed run
+        drifted) gets the median recorded delay and is counted in
+        :attr:`unmatched_messages`.
+        """
+        key = (message.source, message.dest, message.type)
+        pending = self._schedule.get(key)
+        if pending:
+            return pending.popleft()
+        self.unmatched_messages += 1
+        return self._fallback_delay
 
 
 def replay_simulation(config: SimulationConfig, ground_truth: Trace) -> SimulationResult:

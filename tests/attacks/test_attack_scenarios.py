@@ -59,6 +59,39 @@ class TestFailStop:
         result = run_simulation(config)
         assert all(e.node != 3 for e in result.trace.events(kind="send"))
 
+    def test_delayed_crash_victim_participates_before_at(self):
+        """A mid-run crash (at > 0) is not retroactive: the victim's traffic
+        and decisions from before the crash time stand."""
+        config = quick_config(
+            n=7,
+            num_decisions=3,
+            attack=AttackConfig(name="failstop", params={"nodes": [6], "at": 400.0}),
+            record_trace=True,
+            max_time=600_000.0,
+        )
+        result = run_simulation(config)
+        sends = [e for e in result.trace.events(kind="send") if e.node == 6]
+        assert sends, "victim must have spoken before the crash"
+        assert all(e.time < 400.0 for e in sends)
+        assert result.terminated
+        assert result.faulty == frozenset({6})
+        # Termination only needs the surviving honest nodes to finish.
+        deciders = {d.node for d in result.decisions if d.time > 400.0}
+        assert 6 not in deciders
+
+    def test_delayed_crash_preserves_safety(self):
+        config = quick_config(
+            n=7,
+            num_decisions=3,
+            attack=AttackConfig(name="failstop", params={"nodes": [6], "at": 400.0}),
+            max_time=600_000.0,
+        )
+        result = run_simulation(config)
+        per_slot: dict[int, set] = {}
+        for decision in result.decisions:
+            per_slot.setdefault(decision.slot, set()).add(decision.value)
+        assert all(len(values) == 1 for values in per_slot.values())
+
 
 class TestPartitionAttack:
     def _config(self, mode="drop", end=2_000.0, **kwargs):

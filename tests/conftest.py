@@ -2,9 +2,28 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro import AttackConfig, NetworkConfig, SimulationConfig
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    # Pinned deterministic profile for CI: derandomized example generation
+    # and no deadline/health-check flakiness from loaded shared runners.
+    settings.register_profile(
+        "ci",
+        derandomize=True,
+        deadline=None,
+        print_blob=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    if os.environ.get("HYPOTHESIS_PROFILE"):
+        settings.load_profile(os.environ["HYPOTHESIS_PROFILE"])
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    pass
 
 
 def quick_config(

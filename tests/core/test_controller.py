@@ -117,3 +117,23 @@ class TestHaltedNodes:
         # No send event may target its own source (loopbacks bypass the wire).
         assert all(e.fields["dest"] != e.node for e in sends)
         assert result.messages == len(sends)
+
+
+class TestStopReasons:
+    """LivenessTimeoutError must say *why* the run stopped — the error is
+    the only diagnostic a caller gets when the watchdog is disabled."""
+
+    def test_horizon_reason_in_error(self):
+        config = quick_config(max_time=0.5)
+        with pytest.raises(LivenessTimeoutError, match=r"horizon max_time=0\.5"):
+            Controller(config).run()
+
+    def test_max_events_reason_in_error(self):
+        config = quick_config(max_events=10)
+        with pytest.raises(LivenessTimeoutError, match="max_events=10 reached"):
+            Controller(config).run()
+
+    def test_error_reports_per_node_decision_counts(self):
+        config = quick_config(max_time=0.5)
+        with pytest.raises(LivenessTimeoutError, match="decisions"):
+            Controller(config).run()

@@ -1,0 +1,143 @@
+"""The fault injection engine: determinism, counters, scoping, composition."""
+
+import pytest
+
+from repro import repeat_simulation, result_fingerprint, run_simulation
+from repro.core.results import deterministic_dict
+from repro.core.config import (
+    AttackConfig,
+    FaultScheduleConfig,
+    FaultSpec,
+    NetworkConfig,
+    SimulationConfig,
+)
+from repro.faults import parse_faults_spec
+
+
+def faulty_config(spec_text, protocol="pbft", seed=11, **overrides):
+    defaults = dict(
+        protocol=protocol,
+        n=4,
+        lam=300.0,
+        network=NetworkConfig(mean=50.0, std=15.0),
+        faults=parse_faults_spec(spec_text),
+        num_decisions=2,
+        seed=seed,
+        max_time=120_000.0,
+        allow_horizon=True,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestDeterminism:
+    def test_identical_configs_identical_fingerprints(self):
+        config = faulty_config("loss=0.1; duplicate=0.1; corrupt=0.05; delay=0.2x3")
+        first, second = run_simulation(config), run_simulation(config)
+        assert result_fingerprint(first) == result_fingerprint(second)
+
+    def test_crash_recovery_runs_are_deterministic(self):
+        config = faulty_config("loss=0.05; crash=1@200:2000", num_decisions=3)
+        first, second = run_simulation(config), run_simulation(config)
+        assert result_fingerprint(first) == result_fingerprint(second)
+        assert first.fault_counts == second.fault_counts
+
+    def test_serial_and_parallel_fingerprints_match(self):
+        config = faulty_config("unreliable-network; crash=2@500:3000", num_decisions=3)
+        serial = repeat_simulation(config, 4, jobs=1)
+        parallel = repeat_simulation(config, 4, jobs=2)
+        assert [result_fingerprint(r) for r in serial] == [
+            result_fingerprint(r) for r in parallel
+        ]
+
+    def test_seed_changes_fault_outcomes(self):
+        a = run_simulation(faulty_config("loss=0.3", seed=1))
+        b = run_simulation(faulty_config("loss=0.3", seed=2))
+        assert result_fingerprint(a) != result_fingerprint(b)
+
+    def test_fault_counters_excluded_from_fingerprint_payload(self):
+        result = run_simulation(faulty_config("loss=0.2"))
+        assert result.fault_counts.lost > 0
+        data = deterministic_dict(result)
+        assert "fault_counts" not in data
+        assert "stall" not in data
+
+
+class TestCounters:
+    def test_loss_counter(self):
+        result = run_simulation(faulty_config("loss=0.3"))
+        assert result.fault_counts.lost > 0
+        # Environmental drops are not charged to the attacker's column.
+        assert result.counts.dropped == 0
+
+    def test_duplicate_counter_and_idempotence(self):
+        result = run_simulation(faulty_config("duplicate=1.0"))
+        assert result.terminated
+        assert result.fault_counts.duplicated > 0
+        for slot, values in _values_per_slot(result).items():
+            assert len(values) == 1, f"slot {slot} split under duplication"
+
+    def test_corrupt_messages_are_rejected_not_delivered(self):
+        result = run_simulation(faulty_config("corrupt=0.3"))
+        counts = result.fault_counts
+        assert counts.corrupted > 0
+        assert counts.rejected > 0
+        assert counts.rejected <= counts.corrupted + counts.duplicated
+
+    def test_delay_counter(self):
+        result = run_simulation(faulty_config("delay=0.5x4"))
+        assert result.fault_counts.delayed > 0
+        assert result.terminated
+
+    def test_link_down_window_counter(self):
+        result = run_simulation(faulty_config("link-down@0:400"))
+        assert result.fault_counts.link_down > 0
+        assert result.terminated  # the window closes, the protocol recovers
+
+
+class TestScoping:
+    def test_src_scope_limits_the_blast_radius(self):
+        schedule = FaultScheduleConfig(
+            specs=[FaultSpec(kind="loss", rate=1.0, src=[0])]
+        )
+        config = faulty_config("loss=0.1").replace(faults=schedule)
+        result = run_simulation(config)
+        # Only node 0's outbound traffic is silenced; a view change routes
+        # around it and the run still terminates.
+        assert result.terminated
+        assert result.fault_counts.lost > 0
+
+    def test_window_expires(self):
+        result = run_simulation(faulty_config("loss=1.0@0:300"))
+        assert result.terminated
+        assert result.fault_counts.lost > 0
+
+
+class TestComposition:
+    def test_faults_compose_with_attacker(self):
+        # The fail-stop victim consumes the whole fault budget f, so the
+        # environment must not destroy messages (quorums need every
+        # survivor) — delay inflation composes without breaking liveness.
+        config = faulty_config(
+            "delay=0.3x3", protocol="pbft", num_decisions=2,
+        ).replace(attack=AttackConfig(name="failstop", params={"nodes": [3]}))
+        result = run_simulation(config)
+        assert result.terminated
+        assert 3 in result.faulty
+        assert result.fault_counts.delayed > 0
+        for slot, values in _values_per_slot(result).items():
+            assert len(values) == 1
+
+    def test_schedule_order_is_stable(self):
+        # Spec order is part of the substream naming: permuting the schedule
+        # is a different experiment and may produce different outcomes.
+        a = run_simulation(faulty_config("loss=0.2; corrupt=0.2"))
+        b = run_simulation(faulty_config("corrupt=0.2; loss=0.2"))
+        assert result_fingerprint(a) != result_fingerprint(b)
+
+
+def _values_per_slot(result):
+    per_slot = {}
+    for decision in result.decisions:
+        per_slot.setdefault(decision.slot, set()).add(decision.value)
+    return per_slot

@@ -1,0 +1,104 @@
+"""The liveness watchdog: stalls become structured reports, not exceptions."""
+
+import pytest
+
+from repro import run_simulation
+from repro.core.config import NetworkConfig, SimulationConfig
+from repro.core.errors import LivenessTimeoutError
+from repro.core.results import StallReport, deterministic_dict
+from repro.faults import parse_faults_spec
+from repro.protocols.base import BFTProtocol
+from repro.protocols.registry import register_protocol
+
+
+@register_protocol("_inert")
+class InertProtocol(BFTProtocol):
+    """Crash-test double: sends nothing, schedules nothing.  The event
+    queue drains immediately, which is the watchdog's other trigger."""
+
+    def on_start(self) -> None:
+        pass
+
+
+def stalling_config(spec="loss=1.0", stall_timeout=20_000.0, **overrides):
+    defaults = dict(
+        protocol="pbft",
+        n=4,
+        lam=300.0,
+        network=NetworkConfig(mean=50.0, std=15.0),
+        faults=parse_faults_spec(spec),
+        stall_timeout=stall_timeout,
+        num_decisions=1,
+        seed=3,
+        max_time=600_000.0,
+        allow_horizon=True,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+class TestWatchdog:
+    def test_total_loss_stalls_instead_of_spinning_to_horizon(self):
+        result = run_simulation(stalling_config())
+        assert result.stalled
+        assert not result.terminated
+        report = result.stall
+        assert isinstance(report, StallReport)
+        assert "no honest progress" in report.reason
+        assert report.detected_at == pytest.approx(report.last_progress + 20_000.0)
+        assert report.detected_at < result.config.max_time
+        assert report.stall_timeout == 20_000.0
+
+    def test_stall_returns_result_even_when_horizon_would_raise(self):
+        """The acceptance bar: a stalled run degrades into a result with a
+        report, never into an opaque LivenessTimeoutError."""
+        result = run_simulation(stalling_config(allow_horizon=False))
+        assert result.stalled
+
+    def test_without_watchdog_total_loss_raises_at_horizon(self):
+        config = stalling_config(
+            stall_timeout=None, allow_horizon=False, max_time=30_000.0
+        )
+        with pytest.raises(LivenessTimeoutError, match="horizon"):
+            run_simulation(config)
+
+    def test_report_contents(self):
+        report = run_simulation(stalling_config()).stall
+        # PBFT keeps rescheduling exponentially backed-off view timers, so
+        # the pending census sees timers, not messages (all are dropped).
+        assert any(label.startswith("timer:") for label in report.pending_events)
+        assert set(report.node_last_activity) == {0, 1, 2, 3}
+        assert report.fault_counts.lost > 0
+        assert report.down_nodes == ()
+        assert report.halted_nodes == ()
+        assert "STALLED" in report.summary()
+
+    def test_permanent_link_down_stalls(self):
+        result = run_simulation(stalling_config(spec="link-down@0:"))
+        assert result.stalled
+        assert result.fault_counts.link_down > 0
+
+    def test_stall_excluded_from_deterministic_payload(self):
+        result = run_simulation(stalling_config())
+        assert "stall" not in deterministic_dict(result)
+
+    def test_summary_shows_stalled_status(self):
+        result = run_simulation(stalling_config())
+        assert "STALLED" in result.summary()
+
+
+class TestQueueDrain:
+    def test_drained_queue_with_watchdog_stalls(self):
+        result = run_simulation(
+            stalling_config(protocol="_inert", spec="", stall_timeout=1000.0)
+        )
+        assert result.stalled
+        assert "queue drained" in result.stall.reason
+        assert result.stall.pending_events == {}
+
+    def test_drained_queue_without_watchdog_raises(self):
+        config = stalling_config(
+            protocol="_inert", spec="", stall_timeout=None, allow_horizon=False
+        )
+        with pytest.raises(LivenessTimeoutError, match="queue"):
+            run_simulation(config)

@@ -1,64 +1,52 @@
-"""Property-based chaos fuzzing: random network faults never break safety.
+"""Property-based chaos fuzzing: random environmental faults never break safety.
 
-A randomized NETWORK-capability attacker drops and delays honest messages
-at configurable rates.  That is semantically an unreliable/asynchronous
-network: protocols may lose *liveness* (runs are horizon-bounded and
-allowed to not terminate) but an execution in which two honest nodes decide
-different values is a bug — in the protocol implementation, the quorum
-arithmetic, or the framework.  The metrics collector raises on conflicting
-decisions, so every fuzz case doubles as an end-to-end safety check.
+The fuzz harness drives the first-class environmental fault layer
+(:mod:`repro.faults`) — message loss, delay inflation, duplication, payload
+corruption — at randomized rates.  Semantically this is an
+unreliable/asynchronous network: protocols may lose *liveness* (runs are
+horizon-bounded and allowed to not terminate) but an execution in which two
+honest nodes decide different values is a bug — in the protocol
+implementation, the quorum arithmetic, or the framework.  The metrics
+collector raises on conflicting decisions, so every fuzz case doubles as an
+end-to-end safety check.
+
+Historically this suite carried an ad-hoc ``test-chaos`` attacker; its
+semantics (10% loss, 20% of messages delayed 5x) are now the registered
+``unreliable-network`` fault preset, and the fuzzing goes through the
+declarative schedule instead — the attacker module stays free to model an
+*adversary* on top of whatever the environment does.
 """
 
 from __future__ import annotations
 
 from hypothesis import given, settings, strategies as st
 
-from repro import AttackConfig, Message, run_simulation
-from repro.attacks import Attacker, Capability, register_attack
-from repro.core.config import SimulationConfig
-from repro.core.errors import ConfigurationError
+from repro import run_simulation
+from repro.core.config import FaultScheduleConfig, FaultSpec, NetworkConfig, SimulationConfig
+from repro.faults import get_preset, parse_faults_spec
 
 
-@register_attack("test-chaos")
-class ChaosAttacker(Attacker):
-    """Drops or delays each honest message independently at random.
-
-    Parameters:
-        drop_rate: probability of dropping each message.
-        delay_rate: probability of inflating a surviving message's delay.
-        delay_factor: multiplier applied when inflating.
-    """
-
-    capabilities = Capability.NETWORK
-
-    def setup(self) -> None:
-        self.drop_rate = float(self.params.get("drop_rate", 0.1))
-        self.delay_rate = float(self.params.get("delay_rate", 0.2))
-        self.delay_factor = float(self.params.get("delay_factor", 5.0))
-        self._rng = self.ctx.rng("chaos")
-
-    def attack(self, message: Message):
-        roll = self._rng.random()
-        if roll < self.drop_rate:
-            return []
-        if roll < self.drop_rate + self.delay_rate:
-            message.delay = (message.delay or 1.0) * self.delay_factor
-            return [message]
-        return None
+def chaos_schedule(loss_rate, delay_rate, dup_rate=0.0, corrupt_rate=0.0):
+    """A fault schedule equivalent to the old chaos attacker, extended."""
+    specs = []
+    if loss_rate > 0:
+        specs.append(FaultSpec(kind="loss", rate=loss_rate))
+    if delay_rate > 0:
+        specs.append(FaultSpec(kind="delay", rate=delay_rate, factor=5.0))
+    if dup_rate > 0:
+        specs.append(FaultSpec(kind="duplicate", rate=dup_rate))
+    if corrupt_rate > 0:
+        specs.append(FaultSpec(kind="corrupt", rate=corrupt_rate))
+    return FaultScheduleConfig(specs=specs)
 
 
-def build(protocol, seed, drop_rate, delay_rate, n=7):
-    from repro.core.config import NetworkConfig
-
+def build(protocol, seed, loss_rate, delay_rate, n=7, **extra_rates):
     return SimulationConfig(
         protocol=protocol,
         n=n,
         lam=300.0,
         network=NetworkConfig(mean=50.0, std=15.0),
-        attack=AttackConfig(
-            name="test-chaos",
-            params={"drop_rate": drop_rate, "delay_rate": delay_rate},
-        ),
+        faults=chaos_schedule(loss_rate, delay_rate, **extra_rates),
         num_decisions=1,
         seed=seed,
         max_time=120_000.0,
@@ -77,38 +65,38 @@ def assert_safe(result) -> None:
 @settings(max_examples=12, deadline=None)
 @given(
     seed=st.integers(min_value=0, max_value=10_000),
-    drop_rate=st.floats(min_value=0.0, max_value=0.3),
+    loss_rate=st.floats(min_value=0.0, max_value=0.3),
     delay_rate=st.floats(min_value=0.0, max_value=0.4),
 )
-def test_pbft_safe_under_chaos(seed, drop_rate, delay_rate):
-    assert_safe(run_simulation(build("pbft", seed, drop_rate, delay_rate)))
+def test_pbft_safe_under_chaos(seed, loss_rate, delay_rate):
+    assert_safe(run_simulation(build("pbft", seed, loss_rate, delay_rate)))
 
 
 @settings(max_examples=10, deadline=None)
 @given(
     seed=st.integers(min_value=0, max_value=10_000),
-    drop_rate=st.floats(min_value=0.0, max_value=0.25),
+    loss_rate=st.floats(min_value=0.0, max_value=0.25),
 )
-def test_hotstuff_safe_under_chaos(seed, drop_rate):
-    assert_safe(run_simulation(build("hotstuff-ns", seed, drop_rate, 0.2)))
+def test_hotstuff_safe_under_chaos(seed, loss_rate):
+    assert_safe(run_simulation(build("hotstuff-ns", seed, loss_rate, 0.2)))
 
 
 @settings(max_examples=10, deadline=None)
 @given(
     seed=st.integers(min_value=0, max_value=10_000),
-    drop_rate=st.floats(min_value=0.0, max_value=0.25),
+    loss_rate=st.floats(min_value=0.0, max_value=0.25),
 )
-def test_librabft_safe_under_chaos(seed, drop_rate):
-    assert_safe(run_simulation(build("librabft", seed, drop_rate, 0.2)))
+def test_librabft_safe_under_chaos(seed, loss_rate):
+    assert_safe(run_simulation(build("librabft", seed, loss_rate, 0.2)))
 
 
 @settings(max_examples=10, deadline=None)
 @given(
     seed=st.integers(min_value=0, max_value=10_000),
-    drop_rate=st.floats(min_value=0.0, max_value=0.3),
+    loss_rate=st.floats(min_value=0.0, max_value=0.3),
 )
-def test_asyncba_safe_under_chaos(seed, drop_rate):
-    assert_safe(run_simulation(build("async-ba", seed, drop_rate, 0.3)))
+def test_asyncba_safe_under_chaos(seed, loss_rate):
+    assert_safe(run_simulation(build("async-ba", seed, loss_rate, 0.3)))
 
 
 @settings(max_examples=8, deadline=None)
@@ -123,6 +111,42 @@ def test_sync_protocols_safe_under_chaos(seed, protocol):
     assert_safe(run_simulation(build(protocol, seed, 0.15, 0.2)))
 
 
-def test_chaos_attacker_requires_registration_once():
-    with __import__("pytest").raises(ConfigurationError):
-        register_attack("test-chaos")(ChaosAttacker)
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    dup_rate=st.floats(min_value=0.0, max_value=0.3),
+    corrupt_rate=st.floats(min_value=0.0, max_value=0.2),
+)
+def test_pbft_safe_under_duplication_and_corruption(seed, dup_rate, corrupt_rate):
+    """Duplicated deliveries must be idempotent (vote counters dedupe) and
+    corrupted payloads must be rejected, never acted on."""
+    result = run_simulation(
+        build("pbft", seed, 0.0, 0.0, dup_rate=dup_rate, corrupt_rate=corrupt_rate)
+    )
+    assert_safe(result)
+    assert result.fault_counts.rejected <= result.fault_counts.corrupted + (
+        result.fault_counts.duplicated
+    )
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_unreliable_network_preset_matches_legacy_chaos(seed):
+    """The registered preset carries the old chaos semantics: 10% loss plus
+    20% of messages delayed 5x."""
+    preset = get_preset("unreliable-network")
+    assert [(s.kind, s.rate, s.factor) for s in preset] == [
+        ("loss", 0.1, 1.0),
+        ("delay", 0.2, 5.0),
+    ]
+    config = SimulationConfig(
+        protocol="pbft",
+        n=7,
+        lam=300.0,
+        network=NetworkConfig(mean=50.0, std=15.0),
+        faults=parse_faults_spec("unreliable-network"),
+        seed=seed,
+        max_time=120_000.0,
+        allow_horizon=True,
+    )
+    assert_safe(run_simulation(config))

@@ -124,3 +124,35 @@ class TestComparison:
     def test_summary_format(self):
         report = compare_decisions(Trace(), Trace())
         assert "MATCH" in report.summary()
+
+
+class TestMismatchReporting:
+    """The report must *describe* each disagreement, not just count them —
+    the CLI prints these lines verbatim as the validation diagnosis."""
+
+    def test_conflicting_values_both_named(self):
+        a = Trace()
+        a.record(1.0, "decide", 2, slot=3, value="x")
+        b = Trace()
+        b.record(1.0, "decide", 2, slot=3, value="y")
+        report = compare_decisions(a, b)
+        (mismatch,) = report.mismatches
+        assert "node 2" in mismatch and "slot 3" in mismatch
+        assert "'y'" in mismatch and "'x'" in mismatch
+
+    def test_summary_counts_mismatches(self):
+        a = Trace()
+        a.record(1.0, "decide", 0, slot=0, value="x")
+        a.record(1.0, "decide", 1, slot=0, value="x")
+        report = compare_decisions(a, Trace())
+        assert "2 MISMATCHES" in report.summary()
+        assert report.checked_decisions == 2
+
+    def test_sequence_position_mismatch_named(self):
+        a = Trace()
+        a.record(1.0, "decide", 0, slot=0, value="x")
+        b = Trace()
+        b.record(1.0, "decide", 0, slot=0, value="z")
+        report = compare_event_sequences(a, b)
+        assert any(m.startswith("event 0") for m in report.mismatches)
+        assert report.checked_events == 1
