@@ -19,7 +19,10 @@ The package provides:
 * a validator module for trace cross-checking — :mod:`repro.validator`;
 * a BFTSim-style packet-level baseline simulator — :mod:`repro.baseline`;
 * the experiment harness regenerating the paper's tables and figures —
-  :mod:`repro.analysis`.
+  :mod:`repro.analysis`;
+* a run telemetry layer (streaming trace sinks, hot-path profiler,
+  structured simulated-time logging, trace forensics behind the
+  ``repro inspect`` CLI) — :mod:`repro.observability`.
 
 Quickstart::
 
@@ -48,31 +51,53 @@ from .core.results import (
 )
 from .core.runner import repeat_simulation, run_simulation, sweep
 from .faults import parse_faults_spec
+from .observability import (
+    EventFilter,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    Profiler,
+    RunProfile,
+    TraceSink,
+    analyze_trace,
+    configure_logging,
+    render_report,
+)
 from .parallel import ParallelRunner, ProgressUpdate
 from .protocols.registry import available_protocols, get_protocol, register_protocol
 from .attacks.registry import available_attacks, get_attack, register_attack
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AttackConfig",
     "Controller",
+    "EventFilter",
     "FaultScheduleConfig",
     "FaultSpec",
+    "JsonlSink",
+    "MemorySink",
     "Message",
     "NetworkConfig",
     "Node",
+    "NullSink",
     "ParallelRunner",
+    "Profiler",
     "ProgressUpdate",
     "RunFailure",
+    "RunProfile",
     "SimulationConfig",
     "SimulationResult",
     "StallReport",
+    "TraceSink",
+    "analyze_trace",
     "available_attacks",
     "available_protocols",
+    "configure_logging",
     "get_attack",
     "get_protocol",
     "parse_faults_spec",
+    "render_report",
     "register_attack",
     "register_protocol",
     "repeat_simulation",

@@ -7,11 +7,14 @@ scenario" (§III-A); the CLI makes that workflow shell-scriptable:
     python -m repro list
     python -m repro run --protocol pbft -n 16 --lam 1000 --mean 250 --std 50
     python -m repro run --config experiment.json --json
+    python -m repro run --protocol pbft --trace-out trace.jsonl --profile
     python -m repro sweep --protocol pbft --param lam --values 150,250,500 --reps 5
     python -m repro validate --protocol pbft -n 8
+    python -m repro inspect trace.jsonl --top 10
 
 Every command is a thin shell over the library; anything it can do, the
-Python API can do too.
+Python API can do too.  ``--log-level`` / ``--log-json`` (before the
+subcommand) opt into the simulator's structured logging on stderr.
 """
 
 from __future__ import annotations
@@ -35,7 +38,11 @@ from .core.config import (
 from .core.errors import SimulationError
 from .core.results import RunFailure
 from .core.runner import repeat_simulation, run_simulation
+from .core.tracing import EventFilter, JsonlSink
 from .faults import available_presets, parse_faults_spec
+from .observability.inspect import analyze_trace, render_report
+from .observability.logging import LOG_LEVELS, configure_logging
+from .observability.profiler import RunProfile
 from .protocols.registry import available_protocols, get_protocol
 
 
@@ -78,6 +85,22 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                              "are killed and recorded as failures")
     parser.add_argument("--retries", type=int, default=1,
                         help="retries for runs whose worker crashed or hung")
+
+
+def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="stream the run's trace to a JSONL file "
+                             "(bounded memory; read it with 'repro inspect')")
+    parser.add_argument("--trace-filter", default=None, metavar="SPEC",
+                        help="only record matching events, e.g. "
+                             "'kind=send,deliver; node=0,1; window=0:5000'")
+    parser.add_argument("--profile", action="store_true",
+                        help="time the engine's hot sections and print a "
+                             "per-section profile table")
+    parser.add_argument("--profile-out", default=None, metavar="PATH",
+                        help="also write the profile as JSON (implies "
+                             "--profile); feed it to 'repro inspect "
+                             "--profile-json'")
 
 
 def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
@@ -172,23 +195,50 @@ def _progress_printer(args: argparse.Namespace):
     return report
 
 
+def _run_sink(args: argparse.Namespace) -> JsonlSink | None:
+    """The ``--trace-out`` sink (with any ``--trace-filter``), or ``None``."""
+    if args.trace_out is None:
+        if args.trace_filter is not None:
+            raise ValueError("--trace-filter requires --trace-out")
+        return None
+    event_filter = (
+        EventFilter.parse(args.trace_filter) if args.trace_filter else None
+    )
+    return JsonlSink(args.trace_out, filter=event_filter)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
-    if args.timeout is not None:
+    profile = args.profile or args.profile_out is not None
+    sink = _run_sink(args)
+    if args.timeout is not None and sink is None:
         entry = repeat_simulation(
             config, 1, timeout=args.timeout, retries=args.retries,
-            on_error="record",
+            on_error="record", profile=profile,
         )[0]
         if isinstance(entry, RunFailure):
             print(f"error: {entry.summary()}", file=sys.stderr)
             return 1
         result = entry
     else:
-        result = run_simulation(config)
+        if args.timeout is not None:
+            print("note: --trace-out streams from this process; "
+                  "--timeout is ignored", file=sys.stderr)
+        result = run_simulation(config, sink=sink, profile=profile)
+    if args.profile_out is not None and result.profile is not None:
+        with open(args.profile_out, "w", encoding="utf-8") as handle:
+            json.dump(result.profile.to_dict(), handle, indent=2, sort_keys=True)
     if args.json:
-        print(json.dumps(_result_dict(result), indent=2, sort_keys=True))
+        data = _result_dict(result)
+        if result.profile is not None:
+            data["profile"] = result.profile.to_dict()
+        print(json.dumps(data, indent=2, sort_keys=True))
     else:
         print(result.summary())
+        if sink is not None:
+            print(f"trace: {sink.count} events -> {args.trace_out}")
+        if result.profile is not None:
+            print(result.profile.format_table())
         if result.stalled:
             print(result.stall.summary())
         if result.fault_counts.any():
@@ -206,6 +256,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     values = [float(v) for v in args.values.split(",")]
     rows = []
+    fleet_profiles: list[RunProfile] = []
     for value in values:
         config = _config_from_args(args)
         if args.param == "lam":
@@ -234,6 +285,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             retries=args.retries,
             on_error="record",
             progress=_progress_printer(args),
+            profile=args.profile,
+        )
+        fleet_profiles.extend(
+            entry.profile for entry in entries
+            if not isinstance(entry, RunFailure) and entry.profile is not None
         )
         try:
             summary = summarize(entries)
@@ -262,6 +318,28 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             rows,
         )
     )
+    if fleet_profiles:
+        print()
+        print(RunProfile.merge(fleet_profiles).format_table())
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    profile = None
+    if args.profile_json is not None:
+        with open(args.profile_json, encoding="utf-8") as handle:
+            profile = RunProfile.from_dict(json.load(handle))
+    report = analyze_trace(args.trace)
+    if report.events == 0:
+        print(f"error: no trace events in {args.trace}", file=sys.stderr)
+        return 1
+    if args.json:
+        data = report.to_dict()
+        if profile is not None:
+            data["profile"] = profile.to_dict()
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        print(render_report(report, top=args.top, profile=profile))
     return 0
 
 
@@ -284,12 +362,19 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Discrete-event simulator for BFT protocols (DSN'22 reproduction)",
     )
+    parser.add_argument("--log-level", default=None, choices=LOG_LEVELS,
+                        help="enable the simulator's structured logging on "
+                             "stderr at this level")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit log records as JSON lines (implies "
+                             "--log-level warning unless set)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available protocols and attacks")
 
     run_parser = sub.add_parser("run", help="run one simulation")
     _add_run_options(run_parser)
+    _add_telemetry_options(run_parser)
     run_parser.add_argument("--json", action="store_true", help="JSON output")
 
     sweep_parser = sub.add_parser("sweep", help="sweep one parameter")
@@ -300,11 +385,26 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--values", required=True,
                               help="comma-separated values")
     sweep_parser.add_argument("--reps", type=int, default=3)
+    sweep_parser.add_argument("--profile", action="store_true",
+                              help="profile every run and print the merged "
+                                   "fleet profile after the sweep table")
 
     validate_parser = sub.add_parser(
         "validate", help="cross-check against the packet-level baseline engine"
     )
     _add_run_options(validate_parser)
+
+    inspect_parser = sub.add_parser(
+        "inspect", help="analyze a JSONL trace written by 'run --trace-out'"
+    )
+    inspect_parser.add_argument("trace", help="JSONL trace file")
+    inspect_parser.add_argument("--top", type=int, default=20,
+                                help="row cap for each table (default 20)")
+    inspect_parser.add_argument("--json", action="store_true",
+                                help="machine-readable report")
+    inspect_parser.add_argument("--profile-json", default=None, metavar="PATH",
+                                help="profile JSON from 'run --profile-out' "
+                                     "to render alongside the trace report")
 
     return parser
 
@@ -313,15 +413,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level is not None or args.log_json:
+        configure_logging(args.log_level or "warning", json_lines=args.log_json)
     handler = {
         "list": cmd_list,
         "run": cmd_run,
         "sweep": cmd_sweep,
         "validate": cmd_validate,
+        "inspect": cmd_inspect,
     }[args.command]
     try:
         return handler(args)
-    except (SimulationError, ValueError) as error:
+    except (SimulationError, ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 

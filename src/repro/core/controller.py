@@ -15,12 +15,13 @@ from __future__ import annotations
 import random
 import time as _time
 from collections import Counter
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from ..attacks.base import Attacker, AttackerContext
 from ..attacks.registry import make_attacker
 from ..faults.engine import FaultInjector
 from ..network.module import NetworkModule
+from ..observability.logging import SimLogger, get_logger
 from ..protocols.registry import get_protocol
 from .clock import SimulationClock
 from .config import SimulationConfig
@@ -37,7 +38,10 @@ from .metrics import MetricsCollector
 from .node import Node, TimerHandle
 from .results import SimulationResult, StallReport
 from .rng import RandomSource
-from .tracing import Trace
+from .tracing import Trace, TraceSink
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..observability.profiler import Profiler
 
 
 class Controller:
@@ -46,9 +50,28 @@ class Controller:
     Typical use goes through :func:`repro.core.runner.run_simulation`; the
     controller is public for tests and for embedding the simulator in other
     harnesses (the validator module drives it directly).
+
+    Args:
+        config: the run's complete configuration.
+        sink: optional :class:`~repro.core.tracing.TraceSink` receiving the
+            run's trace events; passing one enables tracing regardless of
+            ``config.record_trace`` (telemetry routing is a caller concern,
+            not part of the experiment's identity — the configuration, and
+            therefore the determinism fingerprint, is untouched).
+        profiler: optional hot-path
+            :class:`~repro.observability.profiler.Profiler`; when set, the
+            dispatch loop times its sections and the result carries a
+            :class:`~repro.observability.profiler.RunProfile` (outside the
+            fingerprint).  ``None`` (default) costs one branch per section.
     """
 
-    def __init__(self, config: SimulationConfig) -> None:
+    def __init__(
+        self,
+        config: SimulationConfig,
+        *,
+        sink: TraceSink | None = None,
+        profiler: "Profiler | None" = None,
+    ) -> None:
         config.validate()
         self.config = config
         protocol_cls = get_protocol(config.protocol)
@@ -69,7 +92,12 @@ class Controller:
         self.random_source = RandomSource(config.seed)
         self._shared_rngs: dict[str, random.Random] = {}
         self.metrics = MetricsCollector(self.n, config.num_decisions)
-        self.trace = Trace(enabled=config.record_trace)
+        if sink is not None:
+            self.trace = Trace(enabled=True, sink=sink)
+        else:
+            self.trace = Trace(enabled=config.record_trace)
+        self.profiler = profiler
+        self.log = SimLogger(get_logger("controller"), clock=self.clock)
 
         self.attacker: Attacker = make_attacker(config.attack)
         self.attacker_ctx = AttackerContext(self, self.attacker.capabilities)
@@ -238,6 +266,10 @@ class Controller:
             )
             self.metrics.faults.crashes += 1
             self.trace.record(event.time, "env-crash", node, timers_cancelled=cancelled)
+            self.log.info(
+                "environment crashed node", node=node, timers_cancelled=cancelled,
+                permanent=node in self._permanent_crashes,
+            )
             if node in self._permanent_crashes:
                 # A permanent fail-stop leaves the honest set for good;
                 # a temporary crash stays in honest accounting (it must
@@ -249,6 +281,7 @@ class Controller:
             self._down.discard(node)
             self.metrics.faults.recoveries += 1
             self.trace.record(event.time, "env-recover", node)
+            self.log.info("environment recovered node", node=node)
             self.nodes[node].on_recover()
         else:  # pragma: no cover - only the two lifecycle events exist
             raise ConfigurationError(f"unknown controller event {event.name!r}")
@@ -275,7 +308,12 @@ class Controller:
         started = _time.perf_counter()
         config = self.config
         stall_timeout = config.stall_timeout
+        prof = self.profiler
 
+        self.log.debug(
+            "run starting",
+            protocol=config.protocol, n=self.n, f=self.f, seed=config.seed,
+        )
         self.attacker.setup()
         for node in self.nodes:
             if node.id not in self._halted:
@@ -311,12 +349,25 @@ class Controller:
             if self._events_processed >= config.max_events:
                 self._stop_reason = f"max_events={config.max_events} reached"
                 break
-            event = self.queue.pop()
+            if prof is None:
+                event = self.queue.pop()
+            else:
+                t0 = _time.perf_counter()
+                event = self.queue.pop()
+                prof.add("queue.pop", t0)
             self.clock.advance_to(event.time)
             self._events_processed += 1
             self._dispatch(event)
 
         terminated = self.metrics.terminated()
+        if self._stall is not None:
+            self.log.warning(
+                "liveness watchdog stopped the run",
+                reason=self._stall.reason,
+                last_progress_ms=self._stall.last_progress,
+            )
+        elif self._stop_reason is not None:
+            self.log.info("run stopped before termination", reason=self._stop_reason)
         if not terminated and self._stall is None and not config.allow_horizon:
             raise LivenessTimeoutError(
                 f"{config.protocol} did not terminate: {self._stop_reason} "
@@ -324,6 +375,13 @@ class Controller:
             )
         self.metrics.finish(self.clock.now)
         wall = _time.perf_counter() - started
+        self.log.debug(
+            "run finished",
+            terminated=terminated,
+            events=self._events_processed,
+            wall_seconds=round(wall, 4),
+        )
+        self.trace.close()
         return self._build_result(terminated, wall)
 
     def _dispatch(self, event: Any) -> None:
@@ -360,10 +418,22 @@ class Controller:
                 event.time, "deliver", message.dest,
                 source=message.source, msg_type=message.type, msg_id=message.msg_id,
             )
-            self.nodes[message.dest].on_message(message)
+            prof = self.profiler
+            if prof is None:
+                self.nodes[message.dest].on_message(message)
+            else:
+                t0 = _time.perf_counter()
+                self.nodes[message.dest].on_message(message)
+                prof.add("protocol.on_message", t0)
         elif isinstance(event, TimeEvent):
             if event.owner == ATTACKER_OWNER:
-                self.attacker.on_timer(event)
+                prof = self.profiler
+                if prof is None:
+                    self.attacker.on_timer(event)
+                else:
+                    t0 = _time.perf_counter()
+                    self.attacker.on_timer(event)
+                    prof.add("attacker.timer", t0)
                 return
             if event.owner == CONTROLLER_OWNER:
                 self._on_env_event(event)
@@ -372,7 +442,13 @@ class Controller:
                 return
             self._node_activity[event.owner] = event.time
             self.trace.record(event.time, "timer", event.owner, name=event.name)
-            self.nodes[event.owner].on_timer(event)
+            prof = self.profiler
+            if prof is None:
+                self.nodes[event.owner].on_timer(event)
+            else:
+                t0 = _time.perf_counter()
+                self.nodes[event.owner].on_timer(event)
+                prof.add("protocol.on_timer", t0)
         else:  # pragma: no cover - no other event kinds exist
             raise ConfigurationError(f"unknown event type {type(event).__name__}")
 
@@ -401,6 +477,13 @@ class Controller:
         decided_values = {
             slot: metrics.decided_value(slot) for slot in metrics.decided_slots()
         }
+        profile = None
+        if self.profiler is not None:
+            profile = self.profiler.build(
+                wall_seconds=wall,
+                events=self._events_processed,
+                sim_time_ms=self.clock.now,
+            )
         return SimulationResult(
             config=self.config,
             terminated=terminated,
@@ -418,4 +501,5 @@ class Controller:
             trace=self.trace,
             fault_counts=metrics.faults,
             stall=self._stall,
+            profile=profile,
         )

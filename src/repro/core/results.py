@@ -16,11 +16,14 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from .config import SimulationConfig
 from .metrics import Decision, FaultCounts, MessageCounts
 from .tracing import Trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..observability.profiler import RunProfile
 
 
 @dataclass(frozen=True)
@@ -102,6 +105,11 @@ class SimulationResult:
         stall: the liveness watchdog's :class:`StallReport` when the run was
             stopped as stalled, else ``None``.  Excluded from the
             fingerprint.
+        profile: hot-path timing breakdown
+            (:class:`~repro.observability.profiler.RunProfile`) when the run
+            was profiled, else ``None``.  Host-time telemetry — excluded
+            from the fingerprint by the same policy as
+            ``wall_clock_seconds``.
     """
 
     config: SimulationConfig
@@ -120,6 +128,7 @@ class SimulationResult:
     trace: Trace = field(default_factory=lambda: Trace(enabled=False))
     fault_counts: FaultCounts = field(default_factory=FaultCounts)
     stall: StallReport | None = None
+    profile: "RunProfile | None" = None
 
     @property
     def stalled(self) -> bool:
@@ -198,9 +207,10 @@ def deterministic_dict(result: SimulationResult, include_trace: bool = False) ->
     """The deterministic fields of ``result`` as a JSON-friendly dict.
 
     Excludes ``wall_clock_seconds`` (host time, varies between otherwise
-    identical runs), the fault/stall diagnostics (``fault_counts`` and
-    ``stall`` — diagnostic observability, kept out of the fingerprint by
-    the same policy as wall-clock time) and, unless requested, the trace
+    identical runs), the fault/stall/profile diagnostics (``fault_counts``,
+    ``stall`` and ``profile`` — diagnostic observability, kept out of the
+    fingerprint by the same policy as wall-clock time) and, unless
+    requested, the trace
     (deterministic but bulky, and only recorded when ``record_trace`` is
     set).
     """

@@ -14,23 +14,42 @@ from __future__ import annotations
 
 from typing import Callable, Iterable
 
+from ..observability.profiler import Profiler
 from .config import SimulationConfig
 from .controller import Controller
 from .errors import ExperimentFailureError
 from .results import RunFailure, SimulationResult
+from .tracing import TraceSink
 
 #: Allowed ``on_error`` policies for batched runs.
 ON_ERROR_POLICIES = ("raise", "record")
 
 
-def run_simulation(config: SimulationConfig) -> SimulationResult:
+def run_simulation(
+    config: SimulationConfig,
+    *,
+    sink: TraceSink | None = None,
+    profile: bool = False,
+) -> SimulationResult:
     """Build a controller for ``config``, run it, return the result.
 
     The run is a deterministic function of ``config`` (including its seed):
     calling this twice with an equal configuration yields identical results,
-    event counts, and traces.
+    event counts, and traces.  The telemetry keywords never change what the
+    run computes — ``result_fingerprint`` is identical with them on or off.
+
+    Args:
+        config: the run's configuration.
+        sink: optional :class:`~repro.core.tracing.TraceSink` to stream the
+            run's trace into (e.g. a
+            :class:`~repro.observability.sinks.JsonlSink`); enables tracing
+            regardless of ``config.record_trace``.
+        profile: time the engine's hot sections and attach a
+            :class:`~repro.observability.profiler.RunProfile` to
+            ``result.profile``.
     """
-    return Controller(config).run()
+    profiler = Profiler() if profile else None
+    return Controller(config, sink=sink, profiler=profiler).run()
 
 
 def seed_window(
@@ -98,6 +117,7 @@ def repeat_simulation(
     retries: int = 1,
     on_error: str = "raise",
     progress: Callable[..., None] | None = None,
+    profile: bool = False,
 ) -> list[SimulationResult | RunFailure]:
     """Run ``config`` under ``repetitions`` consecutive seeds.
 
@@ -128,6 +148,10 @@ def repeat_simulation(
             slot and returns the mixed list.
         progress: optional :class:`repro.parallel.ProgressUpdate` callback
             (parallel engine only).
+        profile: profile every run's hot path (see :func:`run_simulation`);
+            each result carries its own
+            :class:`~repro.observability.profiler.RunProfile`, mergeable
+            with :meth:`RunProfile.merge`.
 
     Returns:
         One entry per run, in seed order: :class:`SimulationResult`, or
@@ -140,10 +164,12 @@ def repeat_simulation(
         entries: list[SimulationResult | RunFailure] = []
         for index, run_config in enumerate(configs):
             if on_error == "raise":
-                result: SimulationResult | RunFailure = run_simulation(run_config)
+                result: SimulationResult | RunFailure = run_simulation(
+                    run_config, profile=profile
+                )
             else:
                 try:
-                    result = run_simulation(run_config)
+                    result = run_simulation(run_config, profile=profile)
                 except Exception as exc:
                     result = RunFailure(
                         config=run_config,
@@ -160,7 +186,8 @@ def repeat_simulation(
     from ..parallel import ParallelRunner
 
     runner = ParallelRunner(
-        jobs=jobs, timeout=timeout, retries=retries, progress=progress
+        jobs=jobs, timeout=timeout, retries=retries, progress=progress,
+        profile=profile,
     )
     entries = runner.map(configs)
     if on_error == "raise":
@@ -181,6 +208,7 @@ def sweep(
     retries: int = 1,
     on_error: str = "raise",
     progress: Callable[..., None] | None = None,
+    profile: bool = False,
 ) -> list[list[SimulationResult | RunFailure]]:
     """Run ``base`` once per variation, each repeated ``repetitions`` times.
 
@@ -191,7 +219,7 @@ def sweep(
     flattened into a single batch for the parallel engine, so workers stay
     saturated across variation boundaries; the grouped result order is
     identical to the serial one.  ``timeout``, ``retries``, ``on_error``,
-    and ``progress`` behave as in :func:`repeat_simulation`.
+    ``progress``, and ``profile`` behave as in :func:`repeat_simulation`.
     """
     _check_batch_options(jobs, timeout, retries, on_error)
     variations = list(variations)
@@ -199,7 +227,8 @@ def sweep(
     if jobs == 1 and timeout is None:
         return [
             repeat_simulation(
-                base.replace(**variation), repetitions, on_error=on_error
+                base.replace(**variation), repetitions, on_error=on_error,
+                profile=profile,
             )
             for variation in variations
         ]
@@ -207,7 +236,8 @@ def sweep(
     from ..parallel import ParallelRunner
 
     runner = ParallelRunner(
-        jobs=jobs, timeout=timeout, retries=retries, progress=progress
+        jobs=jobs, timeout=timeout, retries=retries, progress=progress,
+        profile=profile,
     )
     groups = runner.run_sweep(base, variations, repetitions)
     if on_error == "raise":

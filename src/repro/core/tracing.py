@@ -1,4 +1,4 @@
-"""Execution tracing.
+"""Execution tracing: events, sinks, and the :class:`Trace` facade.
 
 A trace is an ordered record of everything observable about a run: message
 sends and deliveries, timer firings, protocol-reported events (view changes,
@@ -8,14 +8,32 @@ phase transitions), corruptions, and decisions.  Traces feed three consumers:
   cross-checks traces against ground truth;
 * the **view-synchronization analysis** behind the paper's Fig. 9
   (:mod:`repro.analysis.viewtrace`);
-* debugging, via :meth:`Trace.format`.
+* debugging and forensics, via :meth:`Trace.format` and the ``repro
+  inspect`` CLI (:mod:`repro.observability.inspect`).
+
+Storage is pluggable: a :class:`Trace` forwards every recorded event to a
+:class:`TraceSink`.  :class:`MemorySink` (the default) buffers events in
+memory exactly as the pre-sink ``Trace`` did; :class:`JsonlSink` streams
+events to a newline-delimited JSON file with *bounded* memory, so
+million-event runs can record full traces to disk without OOM;
+:class:`NullSink` counts and discards.  Every sink accepts an optional
+:class:`EventFilter` restricting what it keeps by kind, node, and time
+window.
+
+The sink classes live here (the :class:`Trace` facade needs them) and are
+re-exported by :mod:`repro.observability.sinks`, the telemetry subsystem's
+public namespace.
 """
 
 from __future__ import annotations
 
+import io
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
+
+from .errors import SimulationError
 
 
 @dataclass(frozen=True)
@@ -41,40 +59,281 @@ class TraceEvent:
     def to_dict(self) -> dict[str, Any]:
         return {"time": self.time, "kind": self.kind, "node": self.node, **self.fields}
 
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TraceEvent":
+        """Inverse of :meth:`to_dict` (remaining keys become ``fields``)."""
+        data = dict(data)
+        time = data.pop("time")
+        kind = data.pop("kind")
+        node = data.pop("node", -1)
+        return cls(time=time, kind=kind, node=node, fields=data)
+
+    def to_json(self) -> str:
+        """The event's one-line JSONL form."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
     def matches(self, **expected: Any) -> bool:
         """True if every expected key equals the event's value for it."""
         own = self.to_dict()
         return all(own.get(key) == value for key, value in expected.items())
 
 
+class TraceBufferUnavailable(SimulationError):
+    """Raised when a sink cannot hand back the events it accepted."""
+
+
+@dataclass(frozen=True)
+class EventFilter:
+    """Declarative predicate restricting which events a sink keeps.
+
+    All clauses must hold (conjunction); an unset clause admits everything.
+
+    Attributes:
+        kinds: event kinds to keep (``None`` = all kinds).
+        nodes: node ids to keep (``None`` = all nodes); events with
+            ``node=-1`` (not node-specific) always pass a node clause.
+        start: keep events with ``time >= start``.
+        end: keep events with ``time < end`` (``None`` = no upper bound).
+    """
+
+    kinds: frozenset[str] | None = None
+    nodes: frozenset[int] | None = None
+    start: float = 0.0
+    end: float | None = None
+
+    def admits(self, event: TraceEvent) -> bool:
+        """True when ``event`` passes every clause."""
+        if event.time < self.start:
+            return False
+        if self.end is not None and event.time >= self.end:
+            return False
+        if self.kinds is not None and event.kind not in self.kinds:
+            return False
+        if self.nodes is not None and event.node != -1 and event.node not in self.nodes:
+            return False
+        return True
+
+    @classmethod
+    def parse(cls, text: str) -> "EventFilter":
+        """Parse the CLI grammar ``"kind=a,b; node=0,1; window=START:END"``.
+
+        Clauses are semicolon-separated; ``kinds``/``nodes`` are accepted as
+        aliases, and either bound of ``window`` may be left empty
+        (``window=5000:`` keeps everything from 5 s on).
+        """
+        kinds: frozenset[str] | None = None
+        nodes: frozenset[int] | None = None
+        start, end = 0.0, None
+        for clause in text.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            if "=" not in clause:
+                raise ValueError(
+                    f"bad trace filter clause {clause!r}: expected key=value"
+                )
+            key, _, value = clause.partition("=")
+            key = key.strip().rstrip("s")  # kind/kinds, node/nodes
+            if key == "kind":
+                kinds = frozenset(k.strip() for k in value.split(",") if k.strip())
+            elif key == "node":
+                nodes = frozenset(int(v) for v in value.split(",") if v.strip())
+            elif key == "window":
+                lo, _, hi = value.partition(":")
+                start = float(lo) if lo.strip() else 0.0
+                end = float(hi) if hi.strip() else None
+            else:
+                raise ValueError(
+                    f"unknown trace filter key {key!r}; expected kind, node, or window"
+                )
+        return cls(kinds=kinds, nodes=nodes, start=start, end=end)
+
+    def describe(self) -> str:
+        parts = []
+        if self.kinds is not None:
+            parts.append(f"kind={','.join(sorted(self.kinds))}")
+        if self.nodes is not None:
+            parts.append(f"node={','.join(str(n) for n in sorted(self.nodes))}")
+        if self.start or self.end is not None:
+            hi = "" if self.end is None else f"{self.end:g}"
+            parts.append(f"window={self.start:g}:{hi}")
+        return "; ".join(parts) or "<all events>"
+
+
+class TraceSink:
+    """Receives every event a :class:`Trace` records.
+
+    Subclasses implement :meth:`_accept` (store/write one event) and usually
+    :meth:`events` (hand the accepted events back).  The base class applies
+    the optional :class:`EventFilter` and maintains :attr:`count`, the
+    number of events *accepted* (events the filter rejected are not
+    counted).
+    """
+
+    def __init__(self, filter: EventFilter | None = None) -> None:
+        self.filter = filter
+        self.count = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        """Offer one event to the sink (filtered, counted, then accepted)."""
+        if self.filter is not None and not self.filter.admits(event):
+            return
+        self.count += 1
+        self._accept(event)
+
+    def _accept(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def events(self) -> list[TraceEvent]:
+        """The accepted events, in acceptance order."""
+        raise TraceBufferUnavailable(
+            f"{type(self).__name__} does not buffer events"
+        )
+
+    def flush(self) -> None:
+        """Push buffered bytes to durable storage (no-op by default)."""
+
+    def close(self) -> None:
+        """Release resources; the sink may still serve :meth:`events`."""
+
+
+class MemorySink(TraceSink):
+    """Buffers every accepted event in memory (the classic ``Trace`` list).
+
+    The default sink: cheap, random-access, and what the validator replay
+    and Fig. 9 view-timeline analysis consume.  Memory grows linearly with
+    the event count — for million-event runs use :class:`JsonlSink`.
+    """
+
+    def __init__(self, filter: EventFilter | None = None) -> None:
+        super().__init__(filter)
+        self._events: list[TraceEvent] = []
+
+    def _accept(self, event: TraceEvent) -> None:
+        self._events.append(event)
+
+    def events(self) -> list[TraceEvent]:
+        return self._events
+
+
+class NullSink(TraceSink):
+    """Counts accepted events and discards them.
+
+    Useful to measure tracing overhead (the record path runs, storage
+    does not) and as an explicit "no trace wanted" marker.
+    """
+
+    def _accept(self, event: TraceEvent) -> None:
+        pass
+
+    def events(self) -> list[TraceEvent]:
+        return []
+
+
+class JsonlSink(TraceSink):
+    """Streams accepted events to a newline-delimited JSON file.
+
+    Peak memory is bounded by the write buffer (constant size) no matter
+    how many events the run records — the sink that makes full traces of
+    the paper's scalability experiments (§V) practical.  The file format is
+    exactly :meth:`Trace.to_jsonl`, so ``Trace.from_jsonl``, the validator,
+    and ``repro inspect`` all read it back.
+
+    The sink is picklable (results cross worker-process pipes): pickling
+    flushes and drops the OS file handle, which transparently reopens in
+    append mode if more events arrive.
+
+    Args:
+        path: output file path; truncated when the first event arrives.
+        filter: optional :class:`EventFilter`.
+        buffer_bytes: size of the write buffer (the memory bound).
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        filter: EventFilter | None = None,
+        buffer_bytes: int = 1 << 16,
+    ) -> None:
+        super().__init__(filter)
+        self.path = os.fspath(path)
+        self._buffer_bytes = buffer_bytes
+        self._handle: io.TextIOWrapper | None = None
+
+    def _accept(self, event: TraceEvent) -> None:
+        if self._handle is None:
+            # First event truncates; a reopen (after close/pickle) appends.
+            mode = "w" if self.count <= 1 else "a"
+            self._handle = open(
+                self.path, mode, buffering=self._buffer_bytes, encoding="utf-8"
+            )
+        self._handle.write(event.to_json() + "\n")
+
+    def events(self) -> list[TraceEvent]:
+        """Read the accepted events back from disk.
+
+        Materializes the whole file — recording stays bounded, reading back
+        is an explicit loader (prefer :meth:`iter_events` for streaming).
+        """
+        return list(self.iter_events())
+
+    def iter_events(self) -> Iterator[TraceEvent]:
+        """Stream the accepted events back from disk, one at a time."""
+        self.flush()
+        if self.count == 0 or not os.path.exists(self.path):
+            return
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield TraceEvent.from_dict(json.loads(line))
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __getstate__(self) -> dict[str, Any]:
+        self.close()
+        return self.__dict__.copy()
+
+
 class Trace:
     """An append-only sequence of :class:`TraceEvent` objects.
 
     Recording can be disabled wholesale (``enabled=False``) so the hot path
-    of large simulations pays a single branch per event.
+    of large simulations pays a single branch per event.  Storage is
+    delegated to a :class:`TraceSink` (default: :class:`MemorySink`, which
+    preserves the historical in-memory behavior exactly); the read API
+    (:meth:`events`, iteration, indexing) asks the sink for its buffer, so
+    it works wherever the sink can hand events back.
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, sink: TraceSink | None = None) -> None:
         self.enabled = enabled
-        self._events: list[TraceEvent] = []
+        self.sink = sink if sink is not None else MemorySink()
 
     def record(self, time: float, kind: str, node: int = -1, **fields: Any) -> None:
         """Append an event (no-op while disabled)."""
         if self.enabled:
-            self._events.append(TraceEvent(time=time, kind=kind, node=node, fields=fields))
+            self.sink.emit(TraceEvent(time=time, kind=kind, node=node, fields=fields))
 
     def __len__(self) -> int:
-        return len(self._events)
+        return self.sink.count
 
     def __iter__(self) -> Iterator[TraceEvent]:
-        return iter(self._events)
+        return iter(self.sink.events())
 
     def __getitem__(self, index: int) -> TraceEvent:
-        return self._events[index]
+        return self.sink.events()[index]
 
     def events(self, kind: str | None = None, node: int | None = None) -> list[TraceEvent]:
         """Events filtered by ``kind`` and/or ``node``."""
-        out: Iterable[TraceEvent] = self._events
+        out: Iterable[TraceEvent] = self.sink.events()
         if kind is not None:
             out = (e for e in out if e.kind == kind)
         if node is not None:
@@ -83,12 +342,21 @@ class Trace:
 
     def where(self, predicate: Callable[[TraceEvent], bool]) -> list[TraceEvent]:
         """Events satisfying an arbitrary predicate."""
-        return [e for e in self._events if predicate(e)]
+        return [e for e in self.sink.events() if predicate(e)]
+
+    def flush(self) -> None:
+        """Flush the sink's buffered bytes (if any)."""
+        self.sink.flush()
+
+    def close(self) -> None:
+        """Close the sink; reading events back remains possible."""
+        self.sink.close()
 
     def to_jsonl(self) -> str:
         """One JSON object per line — the interchange format the validator
-        accepts as ground truth."""
-        return "\n".join(json.dumps(e.to_dict(), sort_keys=True) for e in self._events)
+        accepts as ground truth (and the exact on-disk format of
+        :class:`JsonlSink`)."""
+        return "\n".join(e.to_json() for e in self.sink.events())
 
     @classmethod
     def from_jsonl(cls, text: str) -> "Trace":
@@ -107,13 +375,19 @@ class Trace:
         return trace
 
     def format(self, limit: int | None = 50) -> str:
-        """Human-readable rendering of (the first ``limit``) events."""
-        shown = self._events if limit is None else self._events[:limit]
+        """Human-readable rendering of (the first ``limit``) events.
+
+        When ``limit`` truncates the trace, an explicit
+        ``"... (+N more events)"`` tail line says so — silent truncation
+        reads as "that was everything" when it was not.
+        """
+        events = self.sink.events()
+        shown = events if limit is None else events[:limit]
         lines = [
             f"{e.time:12.3f}  {e.kind:<12} node={e.node:<4} "
             + " ".join(f"{k}={v}" for k, v in sorted(e.fields.items()))
             for e in shown
         ]
-        if limit is not None and len(self._events) > limit:
-            lines.append(f"... ({len(self._events) - limit} more events)")
+        if limit is not None and len(events) > limit:
+            lines.append(f"... (+{len(events) - limit} more events)")
         return "\n".join(lines)

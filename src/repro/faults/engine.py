@@ -25,6 +25,7 @@ from ..core.config import LINK_FAULT_KINDS, FaultScheduleConfig, NetworkConfig
 from ..core.message import Message
 from ..core.rng import RandomSource
 from ..network.delays import DelayModel
+from ..observability.logging import SimLogger, get_logger
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.metrics import MetricsCollector
@@ -74,6 +75,7 @@ class FaultInjector:
         self._dup_delays = DelayModel(
             network_config, random_source.numpy("faults.delay")
         )
+        self.log = SimLogger(get_logger("faults"))
 
     def active(self) -> bool:
         """True when any link-level fault process is configured."""
@@ -146,4 +148,9 @@ class FaultInjector:
             message.sent_at, kind, message.source,
             dest=message.dest, msg_type=message.type, msg_id=message.msg_id,
             **fields,
+        )
+        self.log.debug(
+            kind, sim_time=message.sent_at,
+            source=message.source, dest=message.dest,
+            msg_type=message.type, msg_id=message.msg_id, **fields,
         )

@@ -17,6 +17,7 @@ silently producing results under a stronger adversary than advertised.
 from __future__ import annotations
 
 import copy
+import time as _time
 from typing import TYPE_CHECKING, Callable, Iterable
 
 import numpy as np
@@ -64,6 +65,7 @@ class NetworkModule:
         self._attacker_ctx = attacker_ctx
         self.faults = faults
         self._delay_override: Callable[[Message], float | None] | None = None
+        self._profiler = controller.profiler
 
     def set_delay_override(self, hook: Callable[[Message], float | None] | None) -> None:
         """Install (or clear) a delay-override hook.
@@ -112,24 +114,51 @@ class NetworkModule:
         byzantine = message.forged or self._attacker_ctx.controls_message(message)
         controller.metrics.on_sent(byzantine=byzantine)
         controller.metrics.on_bytes(estimate_message_bytes(message))
-        controller.trace.record(
-            controller.clock.now, "send", message.source,
-            dest=message.dest, msg_type=message.type, msg_id=message.msg_id,
-            size=estimate_message_bytes(message),
-        )
+        if byzantine:
+            # Tagged so trace consumers (``repro inspect``) can reproduce
+            # the honest/byzantine split of MessageCounts from the trace.
+            controller.trace.record(
+                controller.clock.now, "send", message.source,
+                dest=message.dest, msg_type=message.type, msg_id=message.msg_id,
+                size=estimate_message_bytes(message), byzantine=True,
+            )
+        else:
+            controller.trace.record(
+                controller.clock.now, "send", message.source,
+                dest=message.dest, msg_type=message.type, msg_id=message.msg_id,
+                size=estimate_message_bytes(message),
+            )
+        prof = self._profiler
         if message.delay is None:
             if self._delay_override is not None:
                 message.delay = self._delay_override(message)
             if message.delay is None:
-                message.delay = self.delay_model.sample_delay(message.sent_at)
-        for survivor in self._run_attacker(message):
+                if prof is None:
+                    message.delay = self.delay_model.sample_delay(message.sent_at)
+                else:
+                    t0 = _time.perf_counter()
+                    message.delay = self.delay_model.sample_delay(message.sent_at)
+                    prof.add("network.delay", t0)
+        if prof is None:
+            survivors = self._run_attacker(message)
+        else:
+            t0 = _time.perf_counter()
+            survivors = self._run_attacker(message)
+            prof.add("attacker.attack", t0)
+        for survivor in survivors:
             if self.faults is None:
                 controller.schedule_delivery(survivor)
             else:
                 # Environmental faults act after the adversary: the attacker
                 # has no visibility into (or control over) what the benign
                 # environment then loses, duplicates, corrupts, or re-times.
-                for delivered in self.faults.apply(survivor):
+                if prof is None:
+                    delivered_batch = self.faults.apply(survivor)
+                else:
+                    t0 = _time.perf_counter()
+                    delivered_batch = self.faults.apply(survivor)
+                    prof.add("faults.apply", t0)
+                for delivered in delivered_batch:
                     controller.schedule_delivery(delivered)
 
     def _run_attacker(self, message: Message) -> Iterable[Message]:

@@ -1,0 +1,55 @@
+"""Run telemetry: trace sinks, hot-path profiling, structured logging,
+and trace forensics.
+
+The paper's evaluation is about simulator *efficiency* (§V: events per
+second, scalability with node count); this subsystem is the measurement
+substrate that makes those properties observable inside our own engine.
+Four pillars:
+
+* **streaming trace sinks** (:mod:`repro.observability.sinks`) — pluggable
+  storage behind :class:`~repro.core.tracing.Trace`; ``JsonlSink`` records
+  million-event traces to disk with bounded memory.
+* **hot-path profiler** (:mod:`repro.observability.profiler`) — opt-in
+  ``perf_counter`` timing around the dispatch loop, aggregated into a
+  :class:`RunProfile` on ``SimulationResult.profile`` (outside the
+  determinism fingerprint) and merged fleet-wide by the parallel engine.
+* **structured logging** (:mod:`repro.observability.logging`) —
+  ``repro``-namespaced loggers with simulated-time stamps and JSONL output.
+* **trace forensics** (:mod:`repro.observability.inspect`) — the streaming
+  analysis behind the ``repro inspect`` CLI: message-usage accounting,
+  per-view timelines, stall forensics, top-N profile tables.
+
+Telemetry never influences simulation behavior: with everything enabled or
+everything disabled, ``result_fingerprint`` is byte-identical.
+"""
+
+from .inspect import TraceReport, analyze_trace, iter_trace_file, render_report
+from .logging import SimLogger, configure_logging, get_logger
+from .profiler import Profiler, RunProfile, SectionStats
+from .sinks import (
+    EventFilter,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    TraceBufferUnavailable,
+    TraceSink,
+)
+
+__all__ = [
+    "EventFilter",
+    "JsonlSink",
+    "MemorySink",
+    "NullSink",
+    "Profiler",
+    "RunProfile",
+    "SectionStats",
+    "SimLogger",
+    "TraceBufferUnavailable",
+    "TraceReport",
+    "TraceSink",
+    "analyze_trace",
+    "configure_logging",
+    "get_logger",
+    "iter_trace_file",
+    "render_report",
+]

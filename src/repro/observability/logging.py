@@ -1,0 +1,187 @@
+"""Structured logging for the simulator.
+
+Every subsystem logs through the stdlib :mod:`logging` machinery under the
+``repro`` namespace (``repro.controller``, ``repro.network``,
+``repro.faults``, ``repro.protocol.n3``, ...), so embedding applications
+configure it like any other library's logging.  Two things are added on
+top of stock ``logging``:
+
+* **simulated-time stamps** — a :class:`SimLogger` binds a logger to the
+  run's clock and stamps every record with the simulation time (ms) at
+  which the logged thing happened, which is what you actually want to read
+  in a discrete-event simulator ("view change at t=4200ms", not a host
+  timestamp);
+* **structured fields** — keyword arguments become a ``data`` mapping on
+  the record; the JSON formatter emits them as first-class keys, the text
+  formatter as trailing ``key=value`` pairs.
+
+By default the ``repro`` logger carries a ``NullHandler`` (library
+etiquette: silent unless the host application opts in).  The CLI opts in
+via :func:`configure_logging`, wired to ``--log-level`` / ``--log-json``.
+
+Determinism: logging never influences the simulation — no draws, no state;
+a run logs the same records at the same simulated times every time, and
+``result_fingerprint`` is unaffected at any level.
+"""
+
+from __future__ import annotations
+
+import json
+import logging as _logging
+import sys
+from typing import Any, TextIO
+
+#: Root logger namespace for the whole package.
+LOGGER_NAME = "repro"
+
+#: Accepted ``--log-level`` names.
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+_logging.getLogger(LOGGER_NAME).addHandler(_logging.NullHandler())
+
+#: The handler installed by :func:`configure_logging` (so reconfiguring
+#: replaces it instead of stacking duplicates).
+_installed_handler: _logging.Handler | None = None
+
+
+def get_logger(subsystem: str, node: int | None = None) -> _logging.Logger:
+    """The ``repro``-namespaced logger of a subsystem.
+
+    Args:
+        subsystem: dotted suffix, e.g. ``"controller"``, ``"network"``.
+        node: append a per-node leaf (``repro.protocol.n3``) so per-replica
+            output can be filtered with standard logging configuration.
+    """
+    name = f"{LOGGER_NAME}.{subsystem}" if subsystem else LOGGER_NAME
+    if node is not None:
+        name = f"{name}.n{node}"
+    return _logging.getLogger(name)
+
+
+class SimLogger:
+    """A logger bound to a simulation clock (and optionally a node).
+
+    Thin and allocation-free on the fast path: each level method first asks
+    the underlying logger ``isEnabledFor`` and returns immediately when the
+    level is off, so per-event debug logging costs one comparison in
+    production runs.
+
+    Keyword arguments become structured fields; pass ``sim_time=...`` to
+    override the clock's current time (e.g. when logging about a message
+    stamped in the past).
+    """
+
+    __slots__ = ("logger", "_clock", "_node")
+
+    def __init__(
+        self,
+        logger: _logging.Logger,
+        clock: Any = None,
+        node: int | None = None,
+    ) -> None:
+        self.logger = logger
+        self._clock = clock  # anything with a ``.now`` property, or None
+        self._node = node
+
+    def _log(self, level: int, message: str, fields: dict[str, Any]) -> None:
+        sim_time = fields.pop("sim_time", None)
+        if sim_time is None and self._clock is not None:
+            sim_time = self._clock.now
+        self.logger.log(
+            level,
+            message,
+            extra={"sim_time": sim_time, "sim_node": self._node, "data": fields},
+        )
+
+    def debug(self, message: str, **fields: Any) -> None:
+        if self.logger.isEnabledFor(_logging.DEBUG):
+            self._log(_logging.DEBUG, message, fields)
+
+    def info(self, message: str, **fields: Any) -> None:
+        if self.logger.isEnabledFor(_logging.INFO):
+            self._log(_logging.INFO, message, fields)
+
+    def warning(self, message: str, **fields: Any) -> None:
+        if self.logger.isEnabledFor(_logging.WARNING):
+            self._log(_logging.WARNING, message, fields)
+
+    def error(self, message: str, **fields: Any) -> None:
+        if self.logger.isEnabledFor(_logging.ERROR):
+            self._log(_logging.ERROR, message, fields)
+
+
+class TextLogFormatter(_logging.Formatter):
+    """Human-oriented line format with simulated-time stamps::
+
+        warning repro.controller [t=61000.0ms] liveness watchdog fired reason=...
+    """
+
+    def format(self, record: _logging.LogRecord) -> str:
+        sim_time = getattr(record, "sim_time", None)
+        node = getattr(record, "sim_node", None)
+        data = getattr(record, "data", None) or {}
+        parts = [record.levelname.lower(), record.name]
+        if sim_time is not None:
+            parts.append(f"[t={sim_time:.1f}ms]")
+        if node is not None:
+            parts.append(f"[n{node}]")
+        parts.append(record.getMessage())
+        parts.extend(f"{key}={value}" for key, value in sorted(data.items()))
+        return " ".join(parts)
+
+
+class JsonLogFormatter(_logging.Formatter):
+    """One JSON object per line — machine-ingestable (``--log-json``)."""
+
+    def format(self, record: _logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        sim_time = getattr(record, "sim_time", None)
+        if sim_time is not None:
+            payload["sim_time_ms"] = sim_time
+        node = getattr(record, "sim_node", None)
+        if node is not None:
+            payload["node"] = node
+        data = getattr(record, "data", None)
+        if data:
+            payload["data"] = data
+        return json.dumps(payload, sort_keys=True, default=repr)
+
+
+def configure_logging(
+    level: str = "warning",
+    json_lines: bool = False,
+    stream: TextIO | None = None,
+) -> _logging.Handler:
+    """Install (or replace) the package's stream handler.
+
+    Idempotent: calling it again swaps the previously installed handler
+    instead of stacking duplicates, so tests and long-lived REPLs can
+    reconfigure freely.
+
+    Args:
+        level: one of :data:`LOG_LEVELS` (case-insensitive).
+        json_lines: emit JSONL records instead of human-readable text.
+        stream: destination (default ``sys.stderr`` — stdout stays clean
+            for result tables).
+
+    Returns:
+        The installed handler (callers may detach it with
+        ``logging.getLogger("repro").removeHandler(...)``).
+    """
+    global _installed_handler
+    name = level.lower()
+    if name not in LOG_LEVELS:
+        raise ValueError(f"unknown log level {level!r}; expected one of {LOG_LEVELS}")
+    root = _logging.getLogger(LOGGER_NAME)
+    if _installed_handler is not None:
+        root.removeHandler(_installed_handler)
+    handler = _logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLogFormatter() if json_lines else TextLogFormatter())
+    root.addHandler(handler)
+    root.setLevel(getattr(_logging, name.upper()))
+    _installed_handler = handler
+    return handler

@@ -72,7 +72,8 @@ def _start_method() -> str:
 def _worker_main(conn: connection.Connection) -> None:
     """Worker-process loop: receive configs, run them, reply with results.
 
-    Replies are ``(task_index, "ok", SimulationResult)`` or
+    Tasks arrive as ``(task_index, config, profile_flag)``; replies are
+    ``(task_index, "ok", SimulationResult)`` or
     ``(task_index, "error", exc_type_name, message, traceback_text)``.  A
     ``None`` task is the shutdown sentinel.
     """
@@ -86,9 +87,9 @@ def _worker_main(conn: connection.Connection) -> None:
             return
         if item is None:
             return
-        index, config = item
+        index, config, profile = item
         try:
-            reply = (index, "ok", run_simulation(config))
+            reply = (index, "ok", run_simulation(config, profile=profile))
         except KeyboardInterrupt:
             return
         except BaseException as exc:  # deliberate: report, don't die
@@ -167,10 +168,10 @@ class _Worker:
         self.task: _Task | None = None
         self.deadline: float | None = None
 
-    def assign(self, task: _Task, timeout: float | None) -> None:
+    def assign(self, task: _Task, timeout: float | None, profile: bool = False) -> None:
         self.task = task
         self.deadline = (time.monotonic() + timeout) if timeout else None
-        self.conn.send((task.index, task.config))
+        self.conn.send((task.index, task.config, profile))
 
     def timed_out(self, now: float) -> bool:
         return self.deadline is not None and now > self.deadline
@@ -214,6 +215,10 @@ class ParallelRunner:
             or hung (deterministic simulation errors are never retried).
         progress: optional callback receiving a :class:`ProgressUpdate`
             after every terminal run.
+        profile: profile every run's hot path; each result carries a
+            :class:`~repro.observability.profiler.RunProfile` and the
+            runner exposes the merged fleet view as :attr:`fleet_profile`
+            after each batch.
 
     The three entry points (:meth:`map`, :meth:`run_repeat`,
     :meth:`run_sweep`) all return results in deterministic task order; a
@@ -227,6 +232,7 @@ class ParallelRunner:
         timeout: float | None = None,
         retries: int = 1,
         progress: Callable[[ProgressUpdate], None] | None = None,
+        profile: bool = False,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -238,6 +244,10 @@ class ParallelRunner:
         self.timeout = timeout
         self.retries = retries
         self.progress = progress
+        self.profile = profile
+        #: Merged :class:`~repro.observability.profiler.RunProfile` of the
+        #: most recent batch (``None`` until a profiled batch completes).
+        self.fleet_profile = None
         self._ctx = get_context(_start_method())
 
     # -- entry points --------------------------------------------------------
@@ -352,7 +362,7 @@ class ParallelRunner:
             while len(out) < total:
                 for worker in workers:
                     if worker.task is None and queue:
-                        worker.assign(queue.popleft(), self.timeout)
+                        worker.assign(queue.popleft(), self.timeout, self.profile)
                 busy = {w.conn: w for w in workers if w.task is not None}
                 if not busy:  # pragma: no cover - defensive
                     break
@@ -400,4 +410,14 @@ class ParallelRunner:
         finally:
             for worker in workers:
                 worker.shutdown()
-        return [out[i] for i in range(total)]
+        results = [out[i] for i in range(total)]
+        profiles = [
+            entry.profile
+            for entry in results
+            if isinstance(entry, SimulationResult) and entry.profile is not None
+        ]
+        if profiles:
+            from ..observability.profiler import RunProfile
+
+            self.fleet_profile = RunProfile.merge(profiles)
+        return results

@@ -119,6 +119,123 @@ class TestSweep:
         assert code == 0
 
 
+class TestTelemetry:
+    RUN = ["run", "--protocol", "pbft", "-n", "4",
+           "--mean", "50", "--std", "10", "--lam", "500"]
+
+    def test_trace_out_writes_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main([*self.RUN, "--trace-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"-> {path}" in out
+        lines = [json.loads(l) for l in path.read_text().splitlines() if l]
+        assert lines and all("time" in e and "kind" in e for e in lines)
+
+    def test_trace_filter(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        code = main([*self.RUN, "--trace-out", str(path),
+                     "--trace-filter", "kind=decide"])
+        assert code == 0
+        kinds = {json.loads(l)["kind"] for l in path.read_text().splitlines() if l}
+        assert kinds == {"decide"}
+
+    def test_trace_filter_requires_trace_out(self, capsys):
+        assert main([*self.RUN, "--trace-filter", "kind=decide"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_profile_prints_table(self, capsys):
+        assert main([*self.RUN, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "hot-path profile" in out
+        assert "protocol.on_message" in out
+
+    def test_profile_json_output(self, capsys):
+        assert main([*self.RUN, "--profile", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["profile"]["runs"] == 1
+        assert "queue.pop" in data["profile"]["sections"]
+
+    def test_profile_out_file(self, tmp_path, capsys):
+        path = tmp_path / "profile.json"
+        assert main([*self.RUN, "--profile-out", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert data["events"] > 0
+
+    def test_sweep_profile_prints_fleet_table(self, capsys):
+        code = main([
+            "sweep", "--protocol", "pbft", "-n", "4", "--mean", "50",
+            "--std", "10", "--param", "lam", "--values", "400,800",
+            "--reps", "2", "--profile",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hot-path profile" in out
+        assert "4 runs" in out
+
+    def test_log_level_emits_structured_logs(self, tmp_path, capsys):
+        import logging as _logging
+
+        from repro.observability.logging import LOGGER_NAME, configure_logging
+
+        try:
+            assert main(["--log-level", "debug", *self.RUN]) == 0
+            err = capsys.readouterr().err
+            assert "run starting" in err
+            assert "run finished" in err
+        finally:
+            root = _logging.getLogger(LOGGER_NAME)
+            root.removeHandler(configure_logging(level="warning"))
+            root.setLevel(_logging.WARNING)
+
+
+class TestInspect:
+    def _write_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert main(["run", "--protocol", "pbft", "-n", "4", "--mean", "50",
+                     "--std", "10", "--lam", "500",
+                     "--trace-out", str(path)]) == 0
+        return path
+
+    def test_inspect_renders_report(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "message usage by kind" in out
+        assert "stall forensics:" in out
+
+    def test_inspect_totals_match_run(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        assert main(["run", "--protocol", "pbft", "-n", "4", "--mean", "50",
+                     "--std", "10", "--lam", "500",
+                     "--trace-out", str(path), "--json"]) == 0
+        run_data = json.loads(capsys.readouterr().out)
+        assert main(["inspect", str(path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["sent"] == run_data["messages"]
+        assert report["bytes_sent"] == run_data["bytes_sent"]
+
+    def test_inspect_with_profile_json(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        profile = tmp_path / "profile.json"
+        assert main(["run", "--protocol", "pbft", "-n", "4", "--mean", "50",
+                     "--std", "10", "--lam", "500", "--trace-out", str(trace),
+                     "--profile-out", str(profile)]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(trace), "--profile-json", str(profile)]) == 0
+        assert "hot-path profile" in capsys.readouterr().out
+
+    def test_inspect_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["inspect", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_inspect_empty_trace_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["inspect", str(path)]) == 1
+        assert "no trace events" in capsys.readouterr().err
+
+
 class TestValidate:
     def test_validate_matches(self, capsys):
         code = main([

@@ -68,10 +68,41 @@ def test_format_truncates():
     assert "7 more events" in text
 
 
+def test_format_truncation_is_explicit():
+    """Silent truncation reads as "that was everything"; the tail line must
+    spell out exactly how many events were cut."""
+    trace = Trace()
+    for t in range(60):
+        trace.record(float(t), "tick", 0)
+    text = trace.format()  # default limit=50
+    assert text.splitlines()[-1] == "... (+10 more events)"
+    assert len(text.splitlines()) == 51
+
+
+def test_format_exact_limit_has_no_tail():
+    trace = Trace()
+    for t in range(3):
+        trace.record(float(t), "tick", 0)
+    assert "more events" not in trace.format(limit=3)
+
+
 def test_format_unlimited():
     trace = Trace()
     trace.record(0.0, "tick", 0)
     assert "more events" not in trace.format(limit=None)
+
+
+def test_event_from_dict_roundtrip():
+    event = TraceEvent(time=2.0, kind="send", node=1, fields={"dest": 2})
+    assert TraceEvent.from_dict(event.to_dict()) == event
+
+
+def test_trace_len_and_iteration_via_sink():
+    trace = Trace()
+    trace.record(1.0, "a", 0)
+    trace.record(2.0, "b", 1)
+    assert len(trace) == 2
+    assert [e.kind for e in trace] == ["a", "b"]
 
 
 event_fields = st.dictionaries(

@@ -1,0 +1,210 @@
+"""Tests for trace forensics (the engine behind ``repro inspect``)."""
+
+from __future__ import annotations
+
+from repro.core.config import AttackConfig, SimulationConfig
+from repro.core.runner import run_simulation
+from repro.core.tracing import JsonlSink
+from repro.observability.inspect import (
+    analyze_trace,
+    iter_trace_file,
+    render_report,
+)
+
+
+def _traced(config: SimulationConfig):
+    return run_simulation(config.replace(record_trace=True))
+
+
+class TestTrafficAccounting:
+    def test_totals_match_message_counts_benign(self):
+        result = _traced(SimulationConfig(protocol="pbft", n=4, seed=11))
+        report = analyze_trace(result.trace)
+        assert report.sent == result.counts.sent
+        assert report.byzantine_sent == result.counts.byzantine
+        assert report.delivered == result.counts.delivered
+        assert report.bytes_sent == result.counts.bytes_sent
+
+    def test_totals_match_under_byzantine_attack(self):
+        # Corrupted-source traffic must land in the byzantine column, not
+        # the honest one — the trace tags controlled sends.
+        config = SimulationConfig(
+            protocol="pbft", n=7, seed=11,
+            attack=AttackConfig(name="pbft-equivocation", params={"target": 0}),
+            stall_timeout=120_000.0,
+        )
+        result = _traced(config)
+        report = analyze_trace(result.trace)
+        assert report.byzantine_sent == result.counts.byzantine
+        assert report.sent == result.counts.sent
+        assert report.delivered == result.counts.delivered
+        assert report.bytes_sent == result.counts.bytes_sent
+
+    def test_attacker_drops_are_counted(self):
+        config = SimulationConfig(
+            protocol="pbft", n=4, seed=2,
+            attack=AttackConfig(name="partition", params={
+                "groups": [[0, 1], [2, 3]], "end": 2000.0,
+            }),
+            stall_timeout=120_000.0,
+        )
+        result = _traced(config)
+        report = analyze_trace(result.trace)
+        assert report.dropped.get("drop", 0) == result.counts.dropped
+
+    def test_environmental_drops_keyed_by_cause(self):
+        from repro.faults import parse_faults_spec
+
+        config = SimulationConfig(
+            protocol="pbft", n=4, seed=4,
+            faults=parse_faults_spec("loss=0.2"),
+            stall_timeout=120_000.0,
+        )
+        result = _traced(config)
+        report = analyze_trace(result.trace)
+        assert report.dropped.get("loss", 0) == result.fault_counts.lost
+
+
+class TestProtocolProgress:
+    def test_decisions_per_node(self):
+        result = _traced(SimulationConfig(protocol="pbft", n=4, seed=11))
+        report = analyze_trace(result.trace)
+        assert report.decides == len(result.decisions)
+        assert sum(report.decisions_per_node.values()) == report.decides
+        assert set(report.decisions_per_node) == set(range(4))
+
+    def test_view_timeline(self):
+        # A partition forces view changes before healing.
+        config = SimulationConfig(
+            protocol="pbft", n=4, seed=2, lam=500.0,
+            attack=AttackConfig(name="partition", params={
+                "groups": [[0, 1], [2, 3]], "end": 2000.0,
+            }),
+            stall_timeout=120_000.0,
+        )
+        result = _traced(config)
+        report = analyze_trace(result.trace)
+        assert report.max_view == result.max_view
+        if report.views:
+            views = [span.view for span in report.views]
+            assert views == sorted(views)
+            for span in report.views:
+                assert span.first_entry <= span.last_entry
+                assert 1 <= span.nodes <= 4
+
+    def test_timer_histogram(self):
+        result = _traced(SimulationConfig(protocol="pbft", n=4, seed=11))
+        report = analyze_trace(result.trace)
+        expected = len(result.trace.events(kind="timer"))
+        assert sum(report.timer_counts.values()) == expected
+
+
+class TestStallForensics:
+    def test_terminated_run_ends_on_progress(self):
+        result = _traced(SimulationConfig(protocol="pbft", n=4, seed=11))
+        report = analyze_trace(result.trace)
+        assert report.last_progress_kind == "decide"
+        assert report.tail_events == 0
+
+    def test_stalled_run_has_silent_tail(self):
+        # An unhealed partition of a 4-node pbft cluster cannot decide.
+        config = SimulationConfig(
+            protocol="pbft", n=4, seed=2, lam=500.0,
+            attack=AttackConfig(name="partition", params={
+                "groups": [[0, 1], [2, 3]], "end": 10_000_000.0,
+            }),
+            stall_timeout=10_000.0,
+        )
+        result = _traced(config)
+        assert result.stalled
+        report = analyze_trace(result.trace)
+        assert report.decides == 0
+        # The watchdog fired stall_timeout ms after the last progress event,
+        # which is exactly where the trace's progress tracking ends up.
+        assert report.last_progress_time == result.stall.last_progress
+
+    def test_tail_census_of_synthetic_trace(self):
+        events = [
+            {"time": 1.0, "kind": "deliver", "node": 0, "msg_type": "VOTE"},
+            {"time": 2.0, "kind": "timer", "node": 1, "name": "view-change"},
+            {"time": 3.0, "kind": "timer", "node": 2, "name": "view-change"},
+            {"time": 4.0, "kind": "send", "node": 1, "msg_type": "VIEW-CHANGE"},
+            {"time": 5.0, "kind": "drop", "node": 1, "msg_type": "VIEW-CHANGE"},
+        ]
+        report = analyze_trace(events)
+        assert report.last_progress_kind == "deliver"
+        assert report.tail_events == 4
+        assert report.tail_census == {
+            "timer:view-change": 2,
+            "send:VIEW-CHANGE": 1,
+            "drop:VIEW-CHANGE": 1,
+        }
+        assert report.tail_span_ms == 4.0
+
+    def test_progress_resets_tail(self):
+        events = [
+            {"time": 1.0, "kind": "timer", "node": 0, "name": "t"},
+            {"time": 2.0, "kind": "decide", "node": 0, "slot": 0, "value": "v"},
+        ]
+        report = analyze_trace(events)
+        assert report.tail_events == 0
+        assert report.tail_census == {}
+
+    def test_empty_trace(self):
+        report = analyze_trace([])
+        assert report.events == 0
+        assert report.last_progress_time is None
+        assert report.tail_span_ms == 0.0
+
+
+class TestFileInput:
+    def test_analyze_from_jsonl_file_matches_in_memory(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        config = SimulationConfig(protocol="pbft", n=4, seed=11)
+        result = run_simulation(config, sink=JsonlSink(path))
+        from_file = analyze_trace(path)
+        in_memory = analyze_trace(_traced(config).trace)
+        assert from_file.to_dict() == in_memory.to_dict()
+        assert from_file.events == len(result.trace)
+
+    def test_iter_trace_file_streams_dicts(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        run_simulation(
+            SimulationConfig(protocol="pbft", n=4, seed=11), sink=JsonlSink(path)
+        )
+        events = list(iter_trace_file(path))
+        assert events
+        assert all("time" in e and "kind" in e for e in events)
+
+
+class TestRendering:
+    def test_render_report_sections(self):
+        result = _traced(SimulationConfig(protocol="pbft", n=4, seed=11))
+        report = analyze_trace(result.trace)
+        text = render_report(report)
+        assert "message usage by kind" in text
+        assert "TOTAL" in text
+        assert "stall forensics:" in text
+        assert "decisions:" in text
+
+    def test_render_report_with_profile(self):
+        result = run_simulation(
+            SimulationConfig(protocol="pbft", n=4, seed=11, record_trace=True),
+            profile=True,
+        )
+        report = analyze_trace(result.trace)
+        text = render_report(report, profile=result.profile)
+        assert "hot-path profile" in text
+
+    def test_top_caps_tables(self):
+        result = _traced(SimulationConfig(protocol="pbft", n=4, seed=11))
+        report = analyze_trace(result.trace)
+        text = render_report(report, top=1)
+        assert "more message kinds" in text
+
+    def test_to_dict_is_json_friendly(self):
+        import json
+
+        result = _traced(SimulationConfig(protocol="pbft", n=4, seed=11))
+        report = analyze_trace(result.trace)
+        assert json.loads(json.dumps(report.to_dict())) == report.to_dict()

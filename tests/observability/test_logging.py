@@ -1,0 +1,156 @@
+"""Tests for structured simulated-time logging."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.runner import run_simulation
+from repro.observability.logging import (
+    LOGGER_NAME,
+    SimLogger,
+    configure_logging,
+    get_logger,
+)
+
+
+class _FixedClock:
+    def __init__(self, now: float) -> None:
+        self.now = now
+
+
+@pytest.fixture()
+def log_stream():
+    """Install a capture handler, hand back the stream, restore afterwards."""
+    stream = io.StringIO()
+    root = logging.getLogger(LOGGER_NAME)
+    previous_level = root.level
+    yield stream
+    # configure_logging swaps its own handler; drop whatever is installed.
+    configure_logging(level="warning", stream=io.StringIO())
+    root.setLevel(previous_level)
+
+
+class TestGetLogger:
+    def test_namespacing(self):
+        assert get_logger("controller").name == "repro.controller"
+        assert get_logger("protocol", node=3).name == "repro.protocol.n3"
+        assert get_logger("").name == "repro"
+
+    def test_package_root_has_null_handler(self):
+        root = logging.getLogger(LOGGER_NAME)
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+
+class TestSimLogger:
+    def test_stamps_simulated_time(self, log_stream):
+        configure_logging(level="info", stream=log_stream)
+        log = SimLogger(get_logger("controller"), clock=_FixedClock(1234.5))
+        log.info("view change", view=2)
+        line = log_stream.getvalue().strip()
+        assert "[t=1234.5ms]" in line
+        assert "view change" in line
+        assert "view=2" in line
+
+    def test_sim_time_override(self, log_stream):
+        configure_logging(level="info", stream=log_stream)
+        log = SimLogger(get_logger("faults"), clock=_FixedClock(99.0))
+        log.info("late event", sim_time=10.0)
+        assert "[t=10.0ms]" in log_stream.getvalue()
+
+    def test_node_tag(self, log_stream):
+        configure_logging(level="info", stream=log_stream)
+        log = SimLogger(get_logger("protocol", node=3), clock=_FixedClock(1.0), node=3)
+        log.info("deciding")
+        assert "[n3]" in log_stream.getvalue()
+
+    def test_disabled_level_emits_nothing(self, log_stream):
+        configure_logging(level="warning", stream=log_stream)
+        log = SimLogger(get_logger("controller"), clock=_FixedClock(1.0))
+        log.debug("hot-path detail", big=list(range(100)))
+        log.info("informational")
+        assert log_stream.getvalue() == ""
+
+    def test_error_and_warning_levels(self, log_stream):
+        configure_logging(level="warning", stream=log_stream)
+        log = SimLogger(get_logger("controller"))
+        log.warning("watchdog", reason="stall")
+        log.error("broken")
+        out = log_stream.getvalue()
+        assert "warning" in out and "error" in out
+
+
+class TestJsonLogging:
+    def test_json_lines_are_parseable(self, log_stream):
+        configure_logging(level="info", json_lines=True, stream=log_stream)
+        log = SimLogger(get_logger("controller"), clock=_FixedClock(42.0), node=1)
+        log.info("run finished", events=10)
+        record = json.loads(log_stream.getvalue().strip())
+        assert record["level"] == "info"
+        assert record["logger"] == "repro.controller"
+        assert record["message"] == "run finished"
+        assert record["sim_time_ms"] == 42.0
+        assert record["node"] == 1
+        assert record["data"] == {"events": 10}
+
+    def test_unserializable_field_falls_back_to_repr(self, log_stream):
+        configure_logging(level="info", json_lines=True, stream=log_stream)
+        log = SimLogger(get_logger("controller"))
+        log.info("odd", payload=object())
+        record = json.loads(log_stream.getvalue().strip())
+        assert "object" in record["data"]["payload"]
+
+
+class TestConfigureLogging:
+    def test_reconfigure_replaces_handler(self, log_stream):
+        first = configure_logging(level="info", stream=io.StringIO())
+        second = configure_logging(level="info", stream=log_stream)
+        root = logging.getLogger(LOGGER_NAME)
+        assert first not in root.handlers
+        assert second in root.handlers
+
+    def test_rejects_unknown_level(self):
+        with pytest.raises(ValueError):
+            configure_logging(level="loud")
+
+
+class TestEngineLogging:
+    def test_run_logs_lifecycle_at_debug(self, log_stream):
+        configure_logging(level="debug", stream=log_stream)
+        run_simulation(SimulationConfig(protocol="pbft", n=4, seed=1))
+        out = log_stream.getvalue()
+        assert "run starting" in out
+        assert "run finished" in out
+
+    def test_crash_recovery_is_logged(self, log_stream):
+        from repro.faults import parse_faults_spec
+
+        configure_logging(level="info", stream=log_stream)
+        config = SimulationConfig(
+            protocol="pbft", n=4, seed=1, lam=500.0,
+            faults=parse_faults_spec("crash=3@100:400"),
+            stall_timeout=60_000.0,
+        )
+        run_simulation(config)
+        out = log_stream.getvalue()
+        assert "environment crashed node" in out
+        assert "environment recovered node" in out
+
+    def test_silent_by_default(self, capsys):
+        # Library etiquette: an unconfigured run writes nothing to stderr.
+        run_simulation(SimulationConfig(protocol="pbft", n=4, seed=1))
+        assert capsys.readouterr().err == ""
+
+    def test_logging_does_not_change_results(self, log_stream):
+        from repro.core.results import result_fingerprint
+
+        config = SimulationConfig(protocol="pbft", n=4, seed=9)
+        quiet = run_simulation(config)
+        configure_logging(level="debug", stream=log_stream)
+        noisy = run_simulation(config)
+        assert result_fingerprint(quiet) == result_fingerprint(noisy)
+        assert log_stream.getvalue() != ""

@@ -1,0 +1,98 @@
+"""Telemetry must never change what a run computes.
+
+The acceptance bar for the whole observability subsystem: with every
+telemetry feature enabled (JSONL trace sink, hot-path profiler, debug
+logging) or everything disabled, ``result_fingerprint`` is byte-identical.
+The golden-digest table in ``tests/core/test_golden_determinism.py``
+separately pins the digests themselves; these tests pin the *invariance*.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.results import result_fingerprint
+from repro.core.runner import run_simulation
+from repro.core.tracing import EventFilter
+from repro.observability import JsonlSink, NullSink, configure_logging
+from tests.core.test_golden_determinism import GOLDEN, golden_config
+
+PROTOCOLS = ["pbft", "hotstuff-ns", "tendermint", "add-v3"]
+
+
+def _config(protocol: str) -> SimulationConfig:
+    return golden_config(protocol)
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_golden_digest_invariant_under_full_telemetry(protocol, tmp_path):
+    """The checked-in golden digests hold with every telemetry feature on."""
+    config = _config(protocol)
+
+    handler = configure_logging(level="debug", stream=io.StringIO())
+    try:
+        telemetry = run_simulation(
+            config,
+            sink=JsonlSink(tmp_path / f"{protocol}.jsonl"),
+            profile=True,
+        )
+    finally:
+        configure_logging(level="warning", stream=io.StringIO())
+        handler.stream.close()
+
+    assert result_fingerprint(telemetry) == GOLDEN[protocol]
+    assert telemetry.profile is not None  # telemetry actually ran
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_fingerprint_invariant_under_null_sink(protocol):
+    config = _config(protocol)
+    assert result_fingerprint(run_simulation(config)) == result_fingerprint(
+        run_simulation(config, sink=NullSink())
+    )
+
+
+def test_filtered_sink_does_not_change_results(tmp_path):
+    config = _config("pbft")
+    sink = JsonlSink(
+        tmp_path / "filtered.jsonl",
+        filter=EventFilter.parse("kind=decide"),
+    )
+    assert result_fingerprint(run_simulation(config)) == result_fingerprint(
+        run_simulation(config, sink=sink)
+    )
+
+
+def test_traced_fingerprint_matches_record_trace_runs(tmp_path):
+    """A sink-backed trace is the same trace record_trace produces."""
+    config = _config("pbft").replace(record_trace=True)
+    in_memory = run_simulation(config)
+    streamed = run_simulation(config, sink=JsonlSink(tmp_path / "t.jsonl"))
+    assert result_fingerprint(
+        in_memory, include_trace=True
+    ) == result_fingerprint(streamed, include_trace=True)
+
+
+def test_profile_is_outside_the_fingerprint():
+    from repro.core.results import deterministic_dict
+
+    config = _config("pbft")
+    result = run_simulation(config, profile=True)
+    assert "profile" not in deterministic_dict(result)
+    assert result_fingerprint(result) == result_fingerprint(run_simulation(config))
+
+
+def test_parallel_profiled_matches_serial_unprofiled():
+    from repro.parallel import ParallelRunner
+
+    config = _config("pbft")
+    serial = [
+        run_simulation(config.replace(seed=config.seed + i)) for i in range(3)
+    ]
+    runner = ParallelRunner(jobs=2, profile=True)
+    parallel = runner.run_repeat(config, repetitions=3)
+    for s, p in zip(serial, parallel):
+        assert result_fingerprint(s) == result_fingerprint(p)
