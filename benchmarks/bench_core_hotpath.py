@@ -1,0 +1,225 @@
+"""Core hot-path microbench — kernel wall-clock on the Fig. 2 config.
+
+Unlike the experiment benches (which reproduce paper artifacts), this bench
+watches the *simulator kernel itself*: PBFT to one decision on the Fig. 2
+workload (lambda = 1000, N(250, 50), no attacker, no faults, no tracing),
+the configuration every sweep in the paper spends most of its time in.  It
+pins two cases:
+
+* ``fig2-n64``  — one n = 64 run (the paper's mid-scale point);
+* ``smoke-n16x3`` — three n = 16 runs over seeds 1..3 (small enough for a
+  CI perf-smoke gate).
+
+``BENCH_hotpath.json`` next to this file is the committed reference: the
+numbers measured before and after the PR-4 kernel optimization pass
+(interleaved A/B on the same host, best/median of 7 warm repetitions).  The
+tests assert three things against it:
+
+1. **Determinism** — ``events_processed`` matches the committed count
+   exactly.  The optimization contract is refactor-only with respect to RNG
+   consumption and event ordering, so any drift here is a real bug, not
+   noise (see also ``tests/core/test_golden_determinism.py``).
+2. **Speedup stands** — the committed pre/post medians show >= 1.5x.
+3. **No regression** — the live median stays under
+   ``REPRO_BENCH_MAX_REGRESSION`` (default 2.0) times the committed
+   post-optimization median.  Absolute times are host-dependent; loosen the
+   factor via the environment variable on slow machines.
+
+Regenerate the committed reference after an intentional kernel change::
+
+    PYTHONPATH=src python benchmarks/bench_core_hotpath.py --update
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro import NetworkConfig, SimulationConfig, run_simulation
+from repro.analysis import render_table
+
+from _common import run_once, save_artifact
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_hotpath.json"
+
+#: Pre-optimization numbers, measured at commit 9c9f9f8 (the last commit
+#: before the kernel optimization pass) interleaved with the optimized tree
+#: on the same host.  Kept in the script so ``--update`` never overwrites
+#: the historical reference with post-optimization numbers.
+PRE_OPTIMIZATION = {
+    "fig2-n64": {"best_ms": 413.3, "median_ms": 456.9},
+    "smoke-n16x3": {"best_ms": 97.5, "median_ms": 111.2},
+}
+PRE_OPTIMIZATION_COMMIT = "9c9f9f8"
+
+REPS = int(os.environ.get("REPRO_BENCH_HOTPATH_REPS", "7"))
+MAX_REGRESSION = float(os.environ.get("REPRO_BENCH_MAX_REGRESSION", "2.0"))
+
+
+def _config(n: int, seed: int = 1) -> SimulationConfig:
+    """The Fig. 2 workload: PBFT, lambda=1000, N(250, 50), one decision."""
+    return SimulationConfig(
+        protocol="pbft",
+        n=n,
+        lam=1000.0,
+        network=NetworkConfig(mean=250.0, std=50.0),
+        num_decisions=1,
+        seed=seed,
+    )
+
+
+def _run_fig2_n64() -> int:
+    return run_simulation(_config(64)).events_processed
+
+
+def _run_smoke_n16x3() -> int:
+    return sum(
+        run_simulation(_config(16, seed=seed)).events_processed
+        for seed in (1, 2, 3)
+    )
+
+
+CASES = {
+    "fig2-n64": _run_fig2_n64,
+    "smoke-n16x3": _run_smoke_n16x3,
+}
+
+
+def measure(case: str, reps: int = REPS) -> dict:
+    """Best/median wall-clock of ``reps`` warm repetitions of ``case``."""
+    fn = CASES[case]
+    events = fn()  # warmup: import costs, allocator, branch caches
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        got = fn()
+        times.append(time.perf_counter() - t0)
+        assert got == events, f"{case}: event count varied between repetitions"
+    times.sort()
+    return {
+        "events": events,
+        "best_ms": round(times[0] * 1000, 1),
+        "median_ms": round(times[len(times) // 2] * 1000, 1),
+    }
+
+
+def load_baseline() -> dict:
+    return json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+
+
+def _check_case(case: str, live: dict, baseline: dict) -> list[str]:
+    """Assert the three committed-reference properties for one case."""
+    ref = baseline["cases"][case]
+    assert live["events"] == ref["events"], (
+        f"{case}: events_processed {live['events']} != committed {ref['events']}; "
+        "the kernel's RNG consumption or event ordering changed — this is a "
+        "determinism break, not a performance regression"
+    )
+    speedup = ref["pre"]["median_ms"] / ref["post"]["median_ms"]
+    assert speedup >= 1.5, (
+        f"{case}: committed reference shows only {speedup:.2f}x; the "
+        "optimization claim no longer holds — re-measure with --update"
+    )
+    limit = MAX_REGRESSION * ref["post"]["median_ms"]
+    assert live["median_ms"] <= limit, (
+        f"{case}: live median {live['median_ms']:.1f} ms exceeds "
+        f"{MAX_REGRESSION:.1f}x the committed post-optimization median "
+        f"({ref['post']['median_ms']:.1f} ms); kernel hot path regressed "
+        "(or this host is very slow — set REPRO_BENCH_MAX_REGRESSION)"
+    )
+    return [
+        (
+            case,
+            str(live["events"]),
+            f"{ref['pre']['median_ms']:.1f}",
+            f"{ref['post']['median_ms']:.1f}",
+            f"{live['median_ms']:.1f}",
+            f"{speedup:.1f}x",
+        )
+    ]
+
+
+def test_hotpath_smoke_regression(benchmark) -> None:
+    """The CI perf-smoke gate: small config, fail on >2x regression."""
+    baseline = load_baseline()
+    live = run_once(benchmark, lambda: measure("smoke-n16x3"))
+    rows = _check_case("smoke-n16x3", live, baseline)
+    save_artifact(
+        "core_hotpath_smoke",
+        render_table(
+            "Core hot path (perf smoke): PBFT n=16 x seeds 1..3",
+            ["case", "events", "pre (ms)", "post (ms)", "live (ms)", "speedup"],
+            rows,
+            note=f"committed reference measured at {baseline['pre_optimization_commit']}; "
+            f"gate: live median <= {MAX_REGRESSION:.1f}x committed post median.",
+        ),
+    )
+
+
+def test_hotpath_fig2_speedup(benchmark) -> None:
+    """The headline case: >= 1.5x on the Fig. 2 n=64 configuration."""
+    baseline = load_baseline()
+    live = run_once(benchmark, lambda: measure("fig2-n64"))
+    rows = _check_case("fig2-n64", live, baseline)
+    save_artifact(
+        "core_hotpath_fig2",
+        render_table(
+            "Core hot path: PBFT n=64, lambda=1000, N(250,50), 1 decision",
+            ["case", "events", "pre (ms)", "post (ms)", "live (ms)", "speedup"],
+            rows,
+            note=f"committed reference measured at {baseline['pre_optimization_commit']}; "
+            "pre = before the PR-4 kernel optimization pass, post = after.",
+        ),
+    )
+
+
+def _update() -> None:
+    """Re-measure the current tree and rewrite ``BENCH_hotpath.json``."""
+    cases = {}
+    for case in CASES:
+        live = measure(case)
+        cases[case] = {
+            "config": (
+                "pbft, lam=1000, normal(250, 50), 1 decision, "
+                + ("n=64, seed=1" if case == "fig2-n64" else "n=16, seeds=[1,2,3]")
+            ),
+            "events": live["events"],
+            "pre": PRE_OPTIMIZATION[case],
+            "post": {"best_ms": live["best_ms"], "median_ms": live["median_ms"]},
+        }
+        cases[case]["speedup_median"] = round(
+            cases[case]["pre"]["median_ms"] / cases[case]["post"]["median_ms"], 2
+        )
+        print(f"{case}: {live} -> speedup {cases[case]['speedup_median']}x")
+    payload = {
+        "description": (
+            "Committed kernel hot-path reference for bench_core_hotpath.py. "
+            "pre = before the kernel optimization pass (measured at the "
+            "commit below), post = after; best/median of warm repetitions, "
+            "interleaved A/B on one host. events is a determinism guard: it "
+            "must never drift."
+        ),
+        "pre_optimization_commit": PRE_OPTIMIZATION_COMMIT,
+        "reps": REPS,
+        "cases": cases,
+    }
+    BASELINE_PATH.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {BASELINE_PATH}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--update" in sys.argv:
+        _update()
+    else:
+        baseline = load_baseline()
+        for case in CASES:
+            live = measure(case)
+            _check_case(case, live, baseline)
+            print(f"{case}: {live} (committed post: {baseline['cases'][case]['post']})")
+        print("ok")

@@ -39,7 +39,10 @@ class SimulationClock:
             raise SchedulingError(
                 f"clock cannot move backwards: {time:.3f} < {self._now:.3f}"
             )
-        self._now = float(time)
+        # Called once per event: skip the float() rewrap for the common case
+        # of an already-float timestamp, coerce anything else exactly as
+        # before so stored time is always a float.
+        self._now = time if type(time) is float else float(time)
 
     def __repr__(self) -> str:
         return f"SimulationClock(now={self._now:.3f})"

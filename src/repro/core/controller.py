@@ -182,10 +182,12 @@ class Controller:
         self.queue.cancel(handle.queue_handle)
 
     def report_decision(self, node_id: int, slot: int, value: Any) -> None:
-        self.metrics.on_decision(node_id, slot, value, self.clock.now)
-        self._last_progress = self.clock.now
-        self._node_activity[node_id] = self.clock.now
-        self.trace.record(self.clock.now, "decide", node_id, slot=slot, value=value)
+        now = self.clock.now
+        self.metrics.on_decision(node_id, slot, value, now)
+        self._last_progress = now
+        self._node_activity[node_id] = now
+        if self.trace.enabled:
+            self.trace.record(now, "decide", node_id, slot=slot, value=value)
 
     def report_to_system(self, node_id: int, kind: str, **fields: Any) -> None:
         if kind == "view" and "view" in fields:
@@ -198,7 +200,8 @@ class Controller:
             # A view advance counts as liveness progress for the watchdog.
             self._last_progress = self.clock.now
         self._node_activity[node_id] = self.clock.now
-        self.trace.record(self.clock.now, kind, node_id, **fields)
+        if self.trace.enabled:
+            self.trace.record(self.clock.now, kind, node_id, **fields)
 
     def rng(self, name: str) -> random.Random:
         return self.shared_rng(name)
@@ -319,45 +322,63 @@ class Controller:
             if node.id not in self._halted:
                 node.on_start()
 
-        while not self.metrics.terminated():
-            if not self.queue:
-                if stall_timeout is not None:
-                    self._stall = self._build_stall(
-                        "event queue drained before termination", self.clock.now
-                    )
-                    self._stop_reason = "stalled: event queue drained"
-                else:
-                    self._stop_reason = "event queue empty before termination"
-                break
-            next_time = self.queue.peek_time()
-            if stall_timeout is not None and next_time is not None:
-                deadline = self._last_progress + stall_timeout
-                if next_time > deadline and deadline <= config.max_time:
-                    # No decision, view advance, or honest delivery for a
-                    # full watchdog window of simulated time — and nothing
-                    # scheduled that could change that before the deadline.
-                    self.clock.advance_to(deadline)
-                    self._stall = self._build_stall(
-                        f"no honest progress for {stall_timeout:g} ms", deadline
-                    )
-                    self._stop_reason = "stalled: liveness watchdog"
+        # Hot loop: every name used per iteration is a local (the loop runs
+        # once per event — ~100k times for the paper's large configs), and
+        # the event counter is flushed back to the instance attribute on
+        # every exit path so exceptions (safety violations) still leave an
+        # accurate count behind.
+        queue = self.queue
+        clock = self.clock
+        terminated_check = self.metrics.terminated
+        peek_time = queue.peek_time
+        pop = queue.pop
+        advance_to = clock.advance_to
+        dispatch = self._dispatch
+        max_time = config.max_time
+        max_events = config.max_events
+        events_processed = self._events_processed
+        try:
+            while not terminated_check():
+                next_time = peek_time()
+                if next_time is None:
+                    if stall_timeout is not None:
+                        self._stall = self._build_stall(
+                            "event queue drained before termination", clock.now
+                        )
+                        self._stop_reason = "stalled: event queue drained"
+                    else:
+                        self._stop_reason = "event queue empty before termination"
                     break
-            if next_time is not None and next_time > config.max_time:
-                self._stop_reason = f"horizon max_time={config.max_time} reached"
-                self.clock.advance_to(config.max_time)
-                break
-            if self._events_processed >= config.max_events:
-                self._stop_reason = f"max_events={config.max_events} reached"
-                break
-            if prof is None:
-                event = self.queue.pop()
-            else:
-                t0 = _time.perf_counter()
-                event = self.queue.pop()
-                prof.add("queue.pop", t0)
-            self.clock.advance_to(event.time)
-            self._events_processed += 1
-            self._dispatch(event)
+                if stall_timeout is not None:
+                    deadline = self._last_progress + stall_timeout
+                    if next_time > deadline and deadline <= max_time:
+                        # No decision, view advance, or honest delivery for a
+                        # full watchdog window of simulated time — and nothing
+                        # scheduled that could change that before the deadline.
+                        advance_to(deadline)
+                        self._stall = self._build_stall(
+                            f"no honest progress for {stall_timeout:g} ms", deadline
+                        )
+                        self._stop_reason = "stalled: liveness watchdog"
+                        break
+                if next_time > max_time:
+                    self._stop_reason = f"horizon max_time={max_time} reached"
+                    advance_to(max_time)
+                    break
+                if events_processed >= max_events:
+                    self._stop_reason = f"max_events={max_events} reached"
+                    break
+                if prof is None:
+                    event = pop()
+                else:
+                    t0 = _time.perf_counter()
+                    event = pop()
+                    prof.add("queue.pop", t0)
+                advance_to(event.time)
+                events_processed += 1
+                dispatch(event)
+        finally:
+            self._events_processed = events_processed
 
         terminated = self.metrics.terminated()
         if self._stall is not None:
@@ -385,48 +406,63 @@ class Controller:
         return self._build_result(terminated, wall)
 
     def _dispatch(self, event: Any) -> None:
-        if isinstance(event, MessageEvent):
+        # ``type() is`` instead of ``isinstance``: MessageEvent/TimeEvent are
+        # the only event kinds the engine schedules, and the exact-type check
+        # skips the subclass machinery on the hottest branch in the run loop.
+        if type(event) is MessageEvent:
             message = event.message
-            if message.dest in self._down:
-                # The destination is crashed: the packet arrives at a dead
-                # host and is lost (recovery does not replay it).
-                self.metrics.faults.crash_dropped += 1
-                self.trace.record(
-                    event.time, "env-crash-drop", message.dest,
-                    source=message.source, msg_type=message.type, msg_id=message.msg_id,
-                )
-                return
-            if message.dest in self._halted:
-                self.trace.record(
-                    event.time, "suppress", message.dest,
-                    msg_type=message.type, msg_id=message.msg_id,
-                )
-                return
-            if message.corrupted:
-                # Environmental corruption: signature/checksum verification
-                # fails at the receiver; protocol logic never sees it.
-                self.metrics.faults.rejected += 1
-                self.trace.record(
-                    event.time, "env-reject", message.dest,
-                    source=message.source, msg_type=message.type, msg_id=message.msg_id,
-                )
-                return
-            self.metrics.on_delivered()
+            dest = message.dest
+            # Slow checks (crashed destination, corrupted replica, tampered
+            # payload) only run when such state exists at all — benign runs
+            # never enter this block.
+            if self._down or self._halted or message.corrupted:
+                if dest in self._down:
+                    # The destination is crashed: the packet arrives at a dead
+                    # host and is lost (recovery does not replay it).
+                    self.metrics.faults.crash_dropped += 1
+                    self.trace.record(
+                        event.time, "env-crash-drop", dest,
+                        source=message.source, msg_type=message.type,
+                        msg_id=message.msg_id,
+                    )
+                    return
+                if dest in self._halted:
+                    self.trace.record(
+                        event.time, "suppress", dest,
+                        msg_type=message.type, msg_id=message.msg_id,
+                    )
+                    return
+                if message.corrupted:
+                    # Environmental corruption: signature/checksum
+                    # verification fails at the receiver; protocol logic
+                    # never sees it.
+                    self.metrics.faults.rejected += 1
+                    self.trace.record(
+                        event.time, "env-reject", dest,
+                        source=message.source, msg_type=message.type,
+                        msg_id=message.msg_id,
+                    )
+                    return
+            self.metrics.counts.delivered += 1
             self._last_progress = event.time
-            self._node_activity[message.dest] = event.time
-            self.trace.record(
-                event.time, "deliver", message.dest,
-                source=message.source, msg_type=message.type, msg_id=message.msg_id,
-            )
+            self._node_activity[dest] = event.time
+            trace = self.trace
+            if trace.enabled:
+                trace.record(
+                    event.time, "deliver", dest,
+                    source=message.source, msg_type=message.type,
+                    msg_id=message.msg_id,
+                )
             prof = self.profiler
             if prof is None:
-                self.nodes[message.dest].on_message(message)
+                self.nodes[dest].on_message(message)
             else:
                 t0 = _time.perf_counter()
-                self.nodes[message.dest].on_message(message)
+                self.nodes[dest].on_message(message)
                 prof.add("protocol.on_message", t0)
-        elif isinstance(event, TimeEvent):
-            if event.owner == ATTACKER_OWNER:
+        elif type(event) is TimeEvent:
+            owner = event.owner
+            if owner == ATTACKER_OWNER:
                 prof = self.profiler
                 if prof is None:
                     self.attacker.on_timer(event)
@@ -435,19 +471,21 @@ class Controller:
                     self.attacker.on_timer(event)
                     prof.add("attacker.timer", t0)
                 return
-            if event.owner == CONTROLLER_OWNER:
+            if owner == CONTROLLER_OWNER:
                 self._on_env_event(event)
                 return
-            if event.owner in self._halted or event.owner in self._down:
+            if owner in self._halted or owner in self._down:
                 return
-            self._node_activity[event.owner] = event.time
-            self.trace.record(event.time, "timer", event.owner, name=event.name)
+            self._node_activity[owner] = event.time
+            trace = self.trace
+            if trace.enabled:
+                trace.record(event.time, "timer", owner, name=event.name)
             prof = self.profiler
             if prof is None:
-                self.nodes[event.owner].on_timer(event)
+                self.nodes[owner].on_timer(event)
             else:
                 t0 = _time.perf_counter()
-                self.nodes[event.owner].on_timer(event)
+                self.nodes[owner].on_timer(event)
                 prof.add("protocol.on_timer", t0)
         else:  # pragma: no cover - no other event kinds exist
             raise ConfigurationError(f"unknown event type {type(event).__name__}")

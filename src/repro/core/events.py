@@ -13,16 +13,15 @@ simulation run a pure function of its configuration.
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Any, Callable, Iterator
 
 from .errors import SchedulingError
 from .message import Message
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """Base class for queue entries.
 
@@ -33,7 +32,7 @@ class Event:
     time: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MessageEvent(Event):
     """Delivery of a message to its destination node."""
 
@@ -43,7 +42,7 @@ class MessageEvent(Event):
         return f"msg[{self.message.describe()}] deliver@{self.time:.1f}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TimeEvent(Event):
     """A timer registered by a node, the attacker, or the controller.
 
@@ -73,28 +72,42 @@ class EventQueue:
     """A deterministic priority queue of :class:`Event` objects.
 
     Events pop in ``(time, insertion order)`` order.  Cancellation is lazy:
-    cancelled entries stay in the heap and are skipped on pop, which keeps
-    both operations O(log n).
+    cancelled entries stay in the heap as tombstones and are skipped on pop,
+    which keeps both operations O(log n).
+
+    Hot-path layout: each heap entry is a mutable ``[time, handle, event]``
+    list.  Lists compare elementwise exactly like the previous tuples (the
+    unique handle always breaks time ties before the event is reached), but
+    cancellation can tombstone an entry in place (``entry[2] = None``)
+    instead of maintaining a separate membership set, so push and pop touch
+    one container each instead of two.
     """
 
+    __slots__ = ("_heap", "_entries", "_next_handle")
+
     def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Event]] = []
-        self._seq = itertools.count()
-        self._pending: set[int] = set()
+        self._heap: list[list] = []
+        #: live handle -> its heap entry; the single source of truth for
+        #: queue membership (tombstoned and popped entries are absent).
+        self._entries: dict[int, list] = {}
+        self._next_handle = 0
 
     def __len__(self) -> int:
-        return len(self._pending)
+        return len(self._entries)
 
     def __bool__(self) -> bool:
-        return bool(self._pending)
+        return bool(self._entries)
 
     def push(self, event: Event) -> int:
         """Schedule ``event``; returns a handle usable with :meth:`cancel`."""
-        if event.time < 0:
-            raise SchedulingError(f"event scheduled at negative time {event.time}")
-        handle = next(self._seq)
-        heapq.heappush(self._heap, (event.time, handle, event))
-        self._pending.add(handle)
+        time = event.time
+        if time < 0:
+            raise SchedulingError(f"event scheduled at negative time {time}")
+        handle = self._next_handle
+        self._next_handle = handle + 1
+        entry = [time, handle, event]
+        self._entries[handle] = entry
+        heappush(self._heap, entry)
         return handle
 
     def cancel(self, handle: int) -> None:
@@ -103,26 +116,31 @@ class EventQueue:
         Cancelling twice, or cancelling an already-popped handle, is a no-op:
         protocols routinely cancel timers that may have just fired.
         """
-        self._pending.discard(handle)
+        entry = self._entries.pop(handle, None)
+        if entry is not None:
+            entry[2] = None
 
     def pop(self) -> Event:
         """Remove and return the earliest live event."""
-        while self._heap:
-            _time, handle, event = heapq.heappop(self._heap)
-            if handle not in self._pending:
+        heap = self._heap
+        while heap:
+            entry = heappop(heap)
+            event = entry[2]
+            if event is None:
                 continue
-            self._pending.discard(handle)
+            del self._entries[entry[1]]
             return event
         raise SchedulingError("pop from an empty event queue")
 
     def peek_time(self) -> float | None:
         """Timestamp of the next live event, or ``None`` when empty."""
-        while self._heap:
-            time_, handle, _event = self._heap[0]
-            if handle not in self._pending:
-                heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[2] is None:
+                heappop(heap)
                 continue
-            return time_
+            return entry[0]
         return None
 
     def cancel_if(self, predicate: "Callable[[Event], bool]") -> int:
@@ -132,9 +150,12 @@ class EventQueue:
         crash discarding that node's pending timers.
         """
         removed = 0
-        for _time, handle, event in self._heap:
-            if handle in self._pending and predicate(event):
-                self._pending.discard(handle)
+        entries = self._entries
+        for entry in self._heap:
+            event = entry[2]
+            if event is not None and predicate(event):
+                entry[2] = None
+                del entries[entry[1]]
                 removed += 1
         return removed
 
@@ -144,13 +165,8 @@ class EventQueue:
         Diagnostic view used by the liveness watchdog's pending-event
         census; O(n log n), never on the hot path.
         """
-        entries = [
-            (time_, handle, event)
-            for time_, handle, event in self._heap
-            if handle in self._pending
-        ]
-        entries.sort(key=lambda item: (item[0], item[1]))
-        return [event for _time, _handle, event in entries]
+        entries = sorted(self._entries.values(), key=lambda e: (e[0], e[1]))
+        return [entry[2] for entry in entries]
 
     def drain(self) -> Iterator[Event]:
         """Pop every remaining live event, in order (mainly for tests)."""

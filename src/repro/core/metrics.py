@@ -16,7 +16,7 @@ from typing import Any
 from .errors import SafetyViolationError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Decision:
     """A single ``decide`` report from an honest node."""
 
@@ -26,7 +26,7 @@ class Decision:
     time: float
 
 
-@dataclass
+@dataclass(slots=True)
 class MessageCounts:
     """Breakdown of network traffic during a run.
 
@@ -48,7 +48,7 @@ class MessageCounts:
     bytes_sent: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class FaultCounts:
     """Counters of environmental fault events during a run.
 
@@ -111,6 +111,10 @@ class MetricsCollector:
         self._by_slot: dict[int, dict[int, Decision]] = defaultdict(dict)
         self._per_node: dict[int, int] = defaultdict(int)
         self._faulty: set[int] = set()
+        #: Non-faulty nodes that have decided >= num_decisions slots.
+        #: Maintained incrementally so the controller's per-event
+        #: termination check is O(1) instead of scanning every node.
+        self._satisfied: set[int] = set()
         self.start_time = 0.0
         self.end_time: float | None = None
 
@@ -123,6 +127,7 @@ class MetricsCollector:
         node.  Decisions the node made while honest remain valid.
         """
         self._faulty.add(node)
+        self._satisfied.discard(node)
 
     @property
     def faulty(self) -> frozenset[int]:
@@ -175,6 +180,8 @@ class MetricsCollector:
         slot_decisions[node] = decision
         self.decisions.append(decision)
         self._per_node[node] += 1
+        if self._per_node[node] >= self.num_decisions:
+            self._satisfied.add(node)
 
     def decisions_of(self, node: int) -> int:
         """How many slots ``node`` has decided."""
@@ -198,11 +205,15 @@ class MetricsCollector:
     # -- termination ---------------------------------------------------------------
 
     def terminated(self) -> bool:
-        """True once every honest node has decided ``num_decisions`` slots."""
-        honest = self.honest_nodes()
-        if not honest:
-            return False
-        return all(self._per_node[node] >= self.num_decisions for node in honest)
+        """True once every honest node has decided ``num_decisions`` slots.
+
+        O(1): ``_satisfied`` only ever contains non-faulty nodes
+        (``on_decision`` ignores faulty reporters and ``mark_faulty``
+        evicts), so it covers the honest set exactly when every honest node
+        has decided enough slots.
+        """
+        honest = self.n - len(self._faulty)
+        return honest > 0 and len(self._satisfied) >= honest
 
     def finish(self, time: float) -> None:
         self.end_time = time

@@ -23,7 +23,7 @@ from .events import TimeEvent
 from .message import BROADCAST, Message
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TimerHandle:
     """Opaque reference to a pending timer, for cancellation."""
 

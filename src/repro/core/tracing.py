@@ -36,7 +36,7 @@ from typing import Any, Callable, Iterable, Iterator
 from .errors import SimulationError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One observable occurrence during a simulation.
 

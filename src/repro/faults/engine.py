@@ -72,6 +72,13 @@ class FaultInjector:
             index: random_source.python(f"faults.{index}")
             for index, _spec in self._link_specs
         }
+        # Hot-path bindings: one (spec, bound rng.random) pair per process so
+        # ``apply`` touches no dict lookups per message.  The substreams and
+        # their draw order are exactly the ones in ``_rngs``.
+        self._active = [
+            (spec, self._rngs[index].random) for index, spec in self._link_specs
+        ]
+        self._fault_counts = metrics.faults
         self._dup_delays = DelayModel(
             network_config, random_source.numpy("faults.delay")
         )
@@ -91,11 +98,12 @@ class FaultInjector:
         but duplicates already created stay in flight (they are independent
         packets).  Duplicate copies are not re-processed.
         """
-        faults = self._metrics.faults
+        faults = self._fault_counts
         duplicates: list[Message] = []
         alive = True
-        for index, spec in self._link_specs:
-            if not spec.in_window(message.sent_at):
+        sent_at = message.sent_at
+        for spec, draw in self._active:
+            if not spec.in_window(sent_at):
                 continue
             if not spec.matches_link(message.source, message.dest):
                 continue
@@ -104,7 +112,7 @@ class FaultInjector:
                 self._record("env-drop", message, fault="link-down")
                 alive = False
                 break
-            if self._rngs[index].random() >= spec.rate:
+            if draw() >= spec.rate:
                 continue
             if spec.kind == "loss":
                 faults.lost += 1

@@ -184,16 +184,24 @@ class DelayModel:
         self.config = config
         self.sampler = make_sampler(config)
         self._rng = rng
+        # Hot-path scalars and the bound sample method, cached once so each
+        # draw costs one call plus a handful of local comparisons instead of
+        # repeated dataclass attribute lookups.  Draw order and distribution
+        # are untouched: the sampler still sees the same rng stream.
+        self._sample = self.sampler.sample
+        self._gst = config.gst
+        self._pre_gst_factor = config.pre_gst_factor
+        self._max_delay = config.max_delay
+        self._min_delay = config.min_delay
 
     def sample_delay(self, now: float) -> float:
         """One bounded delay for a message entering the network at ``now``."""
-        raw = self.sampler.sample(self._rng)
-        config = self.config
-        if now < config.gst:
-            raw *= config.pre_gst_factor
-        elif config.max_delay is not None:
-            raw = min(raw, config.max_delay)
-        return max(raw, config.min_delay)
+        raw = self._sample(self._rng)
+        if now < self._gst:
+            raw *= self._pre_gst_factor
+        elif self._max_delay is not None and raw > self._max_delay:
+            raw = self._max_delay
+        return raw if raw > self._min_delay else self._min_delay
 
     def describe(self) -> str:
         bound = self.config.max_delay

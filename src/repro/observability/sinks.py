@@ -19,6 +19,11 @@ Available sinks:
 
 All sinks accept an :class:`EventFilter` (kind / node / time-window
 clauses).
+
+Cost when disabled: every hot-path ``trace.record`` call in the kernel is
+gated on ``trace.enabled``, so a run without tracing pays neither sink
+dispatch nor the construction of the record's arguments (see
+``docs/performance.md``).
 """
 
 from __future__ import annotations

@@ -108,6 +108,62 @@ def test_cancellation_never_perturbs_survivors(seed):
     assert len(queue) == 0
 
 
+def test_cancel_after_pop_is_noop():
+    """Regression: cancelling a handle whose event already popped is a no-op.
+
+    Protocol code commonly pops a timer event and only later runs the
+    cleanup that cancels the (now stale) handle; the queue must tolerate
+    that instead of raising, and must not disturb any live entry."""
+    queue = EventQueue()
+    first, second = Event(time=1.0), Event(time=2.0)
+    stale = queue.push(first)
+    live = queue.push(second)
+    assert queue.pop() is first
+    queue.cancel(stale)  # already popped: must not raise
+    queue.cancel(stale)  # idempotent
+    assert queue.pop() is second
+    queue.cancel(live)  # popped last: still a no-op on an empty queue
+    queue.cancel(10_000)  # never-issued handle: equally ignored
+    assert len(queue) == 0
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_stale_cancels_never_perturb_survivors(seed):
+    """Random interleavings of push / pop / cancel where cancels may target
+    already-popped (stale) or already-cancelled handles: stale cancels are
+    no-ops and the survivors' pop order stays the reference order."""
+    rng = random.Random(3000 + seed)
+    queue = EventQueue()
+    pushed: dict[int, int] = {}
+    handles: dict[int, int] = {}  # seq -> handle
+    live: list[tuple[float, int]] = []
+    gone: list[int] = []  # seqs popped or cancelled (stale targets)
+    seq = 0
+    for _step in range(rng.randrange(10, 150)):
+        choice = rng.random()
+        if live and choice < 0.25:  # pop the minimum
+            event = queue.pop()
+            expected = min(live, key=lambda e: (e[0], e[1]))
+            assert pushed[id(event)] == expected[1]
+            live.remove(expected)
+            gone.append(expected[1])
+        elif live and choice < 0.40:  # cancel a live entry
+            time_, victim = live.pop(rng.randrange(len(live)))
+            queue.cancel(handles[victim])
+            gone.append(victim)
+        elif gone and choice < 0.55:  # stale cancel: popped or cancelled
+            queue.cancel(handles[rng.choice(gone)])
+        else:
+            time_ = float(rng.randrange(0, 6))
+            event = Event(time=time_)
+            handles[seq] = queue.push(event)
+            pushed[id(event)] = seq
+            live.append((time_, seq))
+            seq += 1
+    assert drain_handles(queue, pushed) == reference_order(live)
+    assert len(queue) == 0
+
+
 def test_peek_time_matches_next_pop():
     rng = random.Random(99)
     queue = EventQueue()

@@ -1,0 +1,215 @@
+"""Property-based safety invariants under randomized adversity.
+
+Each example draws a full adversarial setting — seed, an attacker (with
+parameters), and an environmental fault schedule — with hypothesis, runs the
+protocol, and checks the two invariants every BFT protocol must keep no
+matter what the adversary and the environment do:
+
+* **Agreement** — no two honest nodes decide different values for the same
+  slot.  (The metrics collector also enforces this online and raises
+  ``SafetyViolationError`` mid-run; the offline assertion re-derives it from
+  the result so the invariant is checked end to end, including for nodes
+  that later turned faulty.)
+* **Contiguity** — each honest node's decided slots are exactly
+  ``0..k-1``: slots are decided in order, with no gaps and no slot decided
+  out of thin air.  Liveness may be lost under these settings (runs are
+  horizon-bounded), but a *hole* in a node's decision log would mean the
+  protocol skipped or lost an instance.
+
+The settings deliberately cross the attacker module with the environmental
+fault layer — the two adversity sources are architecturally independent
+(faults are applied after the attacker, invisible to it), so their
+composition is exactly where an unsound interaction would hide.
+
+Complements ``tests/integration/test_safety_matrix.py`` (fixed named
+scenarios, all protocols) and ``test_chaos_fuzzing.py`` (environmental
+faults only): this suite randomizes over the *joint* space for the four
+protocols the issue tracks, and adds the contiguity invariant.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import AttackConfig, run_simulation
+from repro.analysis import decisions_for, network_for
+from repro.core.config import FaultScheduleConfig, FaultSpec, SimulationConfig
+
+N = 7  # f = 2: room for one Byzantine and one crashed node at once
+LAM = 300.0
+HORIZON = 240_000.0
+
+PROTOCOLS = ["pbft", "hotstuff-ns", "tendermint", "algorand"]
+
+
+# -- strategies --------------------------------------------------------------
+
+def attacks() -> st.SearchStrategy[AttackConfig]:
+    """One protocol-agnostic attacker with drawn parameters.
+
+    Capabilities stay within ``f = 2``: ``failstop`` takes at most two
+    victims, and the network-level attackers (partition, targeted delay)
+    corrupt nobody.
+    """
+    return st.one_of(
+        st.just(AttackConfig()),  # null attacker: the benign fast path
+        st.builds(
+            lambda nodes: AttackConfig(name="failstop", params={"nodes": sorted(nodes)}),
+            st.sets(st.integers(min_value=0, max_value=N - 1), min_size=1, max_size=2),
+        ),
+        st.builds(
+            lambda end, mode: AttackConfig(
+                name="partition", params={"end": end, "mode": mode}
+            ),
+            st.floats(min_value=500.0, max_value=5_000.0),
+            st.sampled_from(["drop", "delay"]),
+        ),
+        st.builds(
+            lambda targets, factor: AttackConfig(
+                name="targeted-delay",
+                params={"targets": sorted(targets), "factor": factor},
+            ),
+            st.sets(st.integers(min_value=0, max_value=N - 1), min_size=1, max_size=2),
+            st.floats(min_value=2.0, max_value=5.0),
+        ),
+    )
+
+
+def fault_schedules() -> st.SearchStrategy[FaultScheduleConfig]:
+    """Zero to three link-fault processes plus an optional crash.
+
+    Rates are capped so runs stay plausibly live most of the time; the
+    horizon bound absorbs the rest.  The crash is permanent (no recovery
+    window), which every protocol must tolerate as a silent node.
+    """
+    loss = st.builds(
+        lambda rate: FaultSpec(kind="loss", rate=rate),
+        st.floats(min_value=0.01, max_value=0.2),
+    )
+    delay = st.builds(
+        lambda rate, factor: FaultSpec(kind="delay", rate=rate, factor=factor),
+        st.floats(min_value=0.01, max_value=0.3),
+        st.floats(min_value=1.5, max_value=5.0),
+    )
+    duplicate = st.builds(
+        lambda rate: FaultSpec(kind="duplicate", rate=rate),
+        st.floats(min_value=0.01, max_value=0.2),
+    )
+    corrupt = st.builds(
+        lambda rate: FaultSpec(kind="corrupt", rate=rate),
+        st.floats(min_value=0.01, max_value=0.15),
+    )
+    crash = st.builds(
+        lambda node, start: FaultSpec(kind="crash", node=node, start=start),
+        st.integers(min_value=0, max_value=N - 1),
+        st.floats(min_value=100.0, max_value=3_000.0),
+    )
+    link_mix = st.lists(
+        st.one_of(loss, delay, duplicate, corrupt), min_size=0, max_size=3
+    )
+    return st.builds(
+        lambda links, crashed: FaultScheduleConfig(specs=links + crashed),
+        link_mix,
+        st.lists(crash, min_size=0, max_size=1),
+    )
+
+
+def build_config(
+    protocol: str, seed: int, attack: AttackConfig, faults: FaultScheduleConfig
+) -> SimulationConfig:
+    return SimulationConfig(
+        protocol=protocol,
+        n=N,
+        lam=LAM,
+        network=network_for(protocol, mean=50.0, std=15.0, lam=LAM),
+        attack=attack,
+        faults=faults,
+        num_decisions=decisions_for(protocol),
+        seed=seed,
+        max_time=HORIZON,
+        allow_horizon=True,
+    )
+
+
+# -- invariants --------------------------------------------------------------
+
+def assert_agreement(result) -> None:
+    """No two honest nodes decide different values for the same slot."""
+    per_slot: dict[int, dict[int, object]] = {}
+    for decision in result.decisions:
+        if decision.node in result.faulty:
+            continue
+        per_slot.setdefault(decision.slot, {})[decision.node] = decision.value
+    for slot, by_node in per_slot.items():
+        values = set(by_node.values())
+        assert len(values) <= 1, (
+            f"agreement violated in slot {slot}: {by_node}"
+        )
+
+
+def assert_contiguous(result) -> None:
+    """Each honest node's decided slots are exactly ``0..k-1``, in order."""
+    per_node: dict[int, list[int]] = {}
+    for decision in result.decisions:
+        if decision.node in result.faulty:
+            continue
+        per_node.setdefault(decision.node, []).append(decision.slot)
+    for node, slots in per_node.items():
+        unique = sorted(set(slots))
+        assert unique == list(range(len(unique))), (
+            f"node {node} decided non-contiguous slots {unique}"
+        )
+        assert slots == sorted(slots), (
+            f"node {node} reported slots out of order: {slots}"
+        )
+
+
+def check(protocol: str, seed: int, attack: AttackConfig, faults: FaultScheduleConfig) -> None:
+    result = run_simulation(build_config(protocol, seed, attack, faults))
+    assert_agreement(result)
+    assert_contiguous(result)
+
+
+# -- per-protocol properties -------------------------------------------------
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=100_000),
+    attack=attacks(),
+    faults=fault_schedules(),
+)
+def test_pbft_invariants(seed, attack, faults):
+    check("pbft", seed, attack, faults)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=100_000),
+    attack=attacks(),
+    faults=fault_schedules(),
+)
+def test_hotstuff_invariants(seed, attack, faults):
+    check("hotstuff-ns", seed, attack, faults)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=100_000),
+    attack=attacks(),
+    faults=fault_schedules(),
+)
+def test_tendermint_invariants(seed, attack, faults):
+    check("tendermint", seed, attack, faults)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=100_000),
+    attack=attacks(),
+    faults=fault_schedules(),
+)
+def test_algorand_invariants(seed, attack, faults):
+    """Algorand assumes a synchronous network; the drawn fault schedules
+    violate that assumption freely.  Liveness may go — the committee
+    machinery must still never split a slot."""
+    check("algorand", seed, attack, faults)

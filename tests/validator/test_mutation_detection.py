@@ -1,0 +1,140 @@
+"""Mutation detection: the validator must catch perturbed replays.
+
+These tests measure the *detection power* of :mod:`repro.validator.compare`
+the way mutation testing measures a test suite: take a real run, replay it
+(the replay is the candidate that legitimately matches), then inject a
+minimal corruption — one flipped decision value, one dropped delivery, two
+swapped events — and assert the comparison reports the mismatch.  A
+comparator that silently passes any of these mutants would make the §III-D
+cross-validation meaningless.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import run_simulation
+from repro.core.tracing import Trace, TraceEvent
+from repro.validator import (
+    compare_decisions,
+    compare_event_sequences,
+    replay_simulation,
+)
+
+from tests.conftest import quick_config
+
+
+def mutate(trace: Trace, transform) -> Trace:
+    """A copy of ``trace`` with ``transform`` applied to its event list.
+
+    ``transform`` receives the list of :class:`TraceEvent` and returns the
+    mutated list; the events are re-recorded into a fresh trace.
+    """
+    mutated = Trace(enabled=True)
+    for event in transform(list(trace)):
+        mutated.record(event.time, event.kind, event.node, **event.fields)
+    return mutated
+
+
+@pytest.fixture(scope="module")
+def replayed():
+    """(original trace, faithfully replayed trace) for one PBFT run."""
+    config = quick_config(n=4, num_decisions=2, record_trace=True)
+    original = run_simulation(config)
+    candidate = replay_simulation(config, original.trace)
+    return original.trace, candidate.trace
+
+
+class TestFaithfulReplayMatches:
+    def test_sanity_unmutated_replay_passes(self, replayed):
+        """Baseline: without a mutation there is nothing to detect."""
+        original, candidate = replayed
+        assert compare_decisions(original, candidate).matches
+        assert compare_event_sequences(original, candidate, kinds=("decide",)).matches
+
+
+class TestFlippedDecision:
+    @staticmethod
+    def _flip_first_decide(events):
+        for index, event in enumerate(events):
+            if event.kind == "decide":
+                fields = dict(event.fields, value="mutant-value")
+                events[index] = TraceEvent(
+                    time=event.time, kind=event.kind, node=event.node, fields=fields
+                )
+                return events
+        raise AssertionError("run produced no decide events")
+
+    def test_decision_comparison_reports_flip(self, replayed):
+        original, candidate = replayed
+        mutant = mutate(candidate, self._flip_first_decide)
+        report = compare_decisions(original, mutant)
+        assert not report.matches
+        assert any("mutant-value" in m for m in report.mismatches)
+        # The report names the disagreeing (node, slot), not just "differs".
+        flipped = next(e for e in original if e.kind == "decide")
+        assert any(f"node {flipped.node}" in m for m in report.mismatches)
+
+    def test_event_sequence_comparison_reports_flip(self, replayed):
+        original, candidate = replayed
+        mutant = mutate(candidate, self._flip_first_decide)
+        report = compare_event_sequences(original, mutant, kinds=("decide",))
+        assert not report.matches
+
+
+class TestDroppedDelivery:
+    @staticmethod
+    def _drop_last_delivery(events):
+        for index in range(len(events) - 1, -1, -1):
+            if events[index].kind == "deliver":
+                del events[index]
+                return events
+        raise AssertionError("run produced no deliver events")
+
+    def test_delivery_sequence_reports_drop(self, replayed):
+        """The replay itself is the ground truth here: delivery fields are
+        engine-specific (the original and the replay may disagree on them
+        legitimately), but a delivery dropped *from the replay* must show
+        up against the unperturbed replay."""
+        _original, candidate = replayed
+        mutant = mutate(candidate, self._drop_last_delivery)
+        report = compare_event_sequences(candidate, mutant, kinds=("deliver",))
+        assert not report.matches
+        assert any("length differs" in m for m in report.mismatches)
+
+    def test_dropped_decide_is_a_missing_decision(self, replayed):
+        original, candidate = replayed
+
+        def drop_first_decide(events):
+            for index, event in enumerate(events):
+                if event.kind == "decide":
+                    del events[index]
+                    return events
+            raise AssertionError("run produced no decide events")
+
+        mutant = mutate(candidate, drop_first_decide)
+        report = compare_decisions(original, mutant)
+        assert not report.matches
+        assert any("never decided" in m for m in report.mismatches)
+
+
+class TestReorderedEvents:
+    def test_swapped_decides_detected(self, replayed):
+        """Two different decide events swapped in place: same multiset,
+        different order — a position-by-position comparison must object."""
+        original, candidate = replayed
+
+        def swap_two_decides(events):
+            indices = [i for i, e in enumerate(events) if e.kind == "decide"]
+            for a in indices:
+                for b in indices:
+                    if events[a].node != events[b].node or (
+                        events[a].fields != events[b].fields
+                    ):
+                        events[a], events[b] = events[b], events[a]
+                        return events
+            raise AssertionError("needs two distinguishable decide events")
+
+        mutant = mutate(candidate, swap_two_decides)
+        report = compare_event_sequences(original, mutant, kinds=("decide",))
+        assert not report.matches
