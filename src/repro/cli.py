@@ -11,6 +11,8 @@ scenario" (§III-A); the CLI makes that workflow shell-scriptable:
     python -m repro sweep --protocol pbft --param lam --values 150,250,500 --reps 5
     python -m repro validate --protocol pbft -n 8
     python -m repro inspect trace.jsonl --top 10
+    python -m repro inspect trace.jsonl --critical-path --quorum --phases
+    python -m repro metrics metrics.json --format prom
 
 Every command is a thin shell over the library; anything it can do, the
 Python API can do too.  ``--log-level`` / ``--log-json`` (before the
@@ -40,8 +42,17 @@ from .core.results import RunFailure
 from .core.runner import repeat_simulation, run_simulation
 from .core.tracing import EventFilter, JsonlSink
 from .faults import available_presets, parse_faults_spec
+from .observability.causality import (
+    CausalityGraph,
+    critical_paths,
+    quorum_timelines,
+    render_critical_paths,
+    render_quorum_timelines,
+)
 from .observability.inspect import analyze_trace, render_report
 from .observability.logging import LOG_LEVELS, configure_logging
+from .observability.metrics import RunMetrics
+from .observability.phases import analyze_phases, render_phase_report
 from .observability.profiler import RunProfile
 from .protocols.registry import available_protocols, get_protocol
 
@@ -101,6 +112,17 @@ def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
                         help="also write the profile as JSON (implies "
                              "--profile); feed it to 'repro inspect "
                              "--profile-json'")
+    parser.add_argument("--metrics", action="store_true",
+                        help="sample engine metrics (queue depth, in-flight "
+                             "messages, wire bytes, delivery latency) on the "
+                             "simulated clock and print a summary")
+    parser.add_argument("--metrics-interval", type=float, default=None,
+                        metavar="MS",
+                        help="metrics sampling interval in simulated ms "
+                             "(implies --metrics; default 100)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the sampled metrics as JSON (implies "
+                             "--metrics); feed it to 'repro metrics'")
 
 
 def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
@@ -207,14 +229,22 @@ def _run_sink(args: argparse.Namespace) -> JsonlSink | None:
     return JsonlSink(args.trace_out, filter=event_filter)
 
 
+def _metrics_option(args: argparse.Namespace) -> bool | float:
+    """The ``metrics`` run option implied by the CLI flags."""
+    if args.metrics_interval is not None:
+        return args.metrics_interval
+    return args.metrics or args.metrics_out is not None
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     profile = args.profile or args.profile_out is not None
+    metrics = _metrics_option(args)
     sink = _run_sink(args)
     if args.timeout is not None and sink is None:
         entry = repeat_simulation(
             config, 1, timeout=args.timeout, retries=args.retries,
-            on_error="record", profile=profile,
+            on_error="record", profile=profile, metrics=metrics,
         )[0]
         if isinstance(entry, RunFailure):
             print(f"error: {entry.summary()}", file=sys.stderr)
@@ -224,14 +254,21 @@ def cmd_run(args: argparse.Namespace) -> int:
         if args.timeout is not None:
             print("note: --trace-out streams from this process; "
                   "--timeout is ignored", file=sys.stderr)
-        result = run_simulation(config, sink=sink, profile=profile)
+        result = run_simulation(config, sink=sink, profile=profile,
+                                metrics=metrics)
     if args.profile_out is not None and result.profile is not None:
         with open(args.profile_out, "w", encoding="utf-8") as handle:
             json.dump(result.profile.to_dict(), handle, indent=2, sort_keys=True)
+    if args.metrics_out is not None and result.run_metrics is not None:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(result.run_metrics.to_dict(), handle, indent=2,
+                      sort_keys=True)
     if args.json:
         data = _result_dict(result)
         if result.profile is not None:
             data["profile"] = result.profile.to_dict()
+        if result.run_metrics is not None:
+            data["metrics"] = result.run_metrics.to_dict()
         print(json.dumps(data, indent=2, sort_keys=True))
     else:
         print(result.summary())
@@ -239,6 +276,10 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"trace: {sink.count} events -> {args.trace_out}")
         if result.profile is not None:
             print(result.profile.format_table())
+        if result.run_metrics is not None:
+            print(result.run_metrics.summary())
+            if args.metrics_out is not None:
+                print(f"metrics: -> {args.metrics_out}")
         if result.stalled:
             print(result.stall.summary())
         if result.fault_counts.any():
@@ -331,16 +372,69 @@ def cmd_inspect(args: argparse.Namespace) -> int:
             profile = RunProfile.from_dict(json.load(handle))
     report = analyze_trace(args.trace)
     if report.events == 0:
-        print(f"error: no trace events in {args.trace}", file=sys.stderr)
-        return 1
+        # An empty trace is a valid (if boring) run artifact, not an error:
+        # the file parsed fine, it just recorded nothing.
+        print(f"no trace events in {args.trace}")
+        return 0
+    wants_causality = args.critical_path or args.quorum
+    paths = timelines = phase_report = None
+    if wants_causality:
+        graph = CausalityGraph.build(args.trace)
+        if args.critical_path:
+            paths = critical_paths(graph)
+        if args.quorum:
+            timelines = quorum_timelines(graph)
+    if args.phases:
+        phase_report = analyze_phases(args.trace)
     if args.json:
         data = report.to_dict()
         if profile is not None:
             data["profile"] = profile.to_dict()
+        if paths is not None:
+            data["critical_paths"] = [path.to_dict() for path in paths]
+        if timelines is not None:
+            data["quorums"] = [timeline.to_dict() for timeline in timelines]
+        if phase_report is not None:
+            data["phases"] = phase_report.to_dict()
         print(json.dumps(data, indent=2, sort_keys=True))
     else:
         print(render_report(report, top=args.top, profile=profile))
+        if paths is not None:
+            print()
+            print(render_critical_paths(paths, top=args.top))
+        if timelines is not None:
+            print()
+            print(render_quorum_timelines(timelines, top=args.top))
+        if phase_report is not None:
+            print()
+            print(render_phase_report(phase_report, top=args.top))
     return 0
+
+
+#: ``repro metrics`` output formats.
+METRICS_FORMATS = ("table", "json", "jsonl", "csv", "prom")
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    merged = RunMetrics.merge([
+        _load_metrics(path) for path in args.files
+    ])
+    if args.format == "table":
+        print(merged.format_table(top=args.top))
+    elif args.format == "json":
+        print(json.dumps(merged.to_dict(), indent=2, sort_keys=True))
+    elif args.format == "jsonl":
+        sys.stdout.write(merged.to_jsonl())
+    elif args.format == "csv":
+        sys.stdout.write(merged.to_csv())
+    else:
+        sys.stdout.write(merged.prometheus_text())
+    return 0
+
+
+def _load_metrics(path: str) -> RunMetrics:
+    with open(path, encoding="utf-8") as handle:
+        return RunMetrics.from_dict(json.load(handle))
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
@@ -405,6 +499,31 @@ def build_parser() -> argparse.ArgumentParser:
     inspect_parser.add_argument("--profile-json", default=None, metavar="PATH",
                                 help="profile JSON from 'run --profile-out' "
                                      "to render alongside the trace report")
+    inspect_parser.add_argument("--critical-path", action="store_true",
+                                help="reconstruct each decision's causal "
+                                     "chain from the trace's lineage fields")
+    inspect_parser.add_argument("--quorum", action="store_true",
+                                help="per-decision quorum-formation timeline "
+                                     "(k-th vote arrival, straggler, wasted "
+                                     "post-quorum votes)")
+    inspect_parser.add_argument("--phases", action="store_true",
+                                help="per-view time-in-phase breakdown from "
+                                     "the protocols' phase annotations")
+
+    metrics_parser = sub.add_parser(
+        "metrics",
+        help="render metrics JSON written by 'run --metrics-out' "
+             "(several files are merged)",
+    )
+    metrics_parser.add_argument("files", nargs="+",
+                                help="metrics JSON file(s); multiple files "
+                                     "are merged point-wise")
+    metrics_parser.add_argument("--format", default="table",
+                                choices=METRICS_FORMATS,
+                                help="output format (default: table; 'prom' "
+                                     "is a Prometheus text snapshot)")
+    metrics_parser.add_argument("--top", type=int, default=20,
+                                help="row cap for the table format")
 
     return parser
 
@@ -421,6 +540,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "sweep": cmd_sweep,
         "validate": cmd_validate,
         "inspect": cmd_inspect,
+        "metrics": cmd_metrics,
     }[args.command]
     try:
         return handler(args)

@@ -41,6 +41,7 @@ from .rng import RandomSource
 from .tracing import Trace, TraceSink
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..observability.metrics import MetricsRegistry
     from ..observability.profiler import Profiler
 
 
@@ -63,6 +64,19 @@ class Controller:
             dispatch loop times its sections and the result carries a
             :class:`~repro.observability.profiler.RunProfile` (outside the
             fingerprint).  ``None`` (default) costs one branch per section.
+        metrics: optional :class:`~repro.observability.metrics.MetricsRegistry`;
+            when set, the engine binds its standard instruments (queue depth,
+            in-flight messages, per-node wire bytes, delivery latency...) and
+            samples them on the simulated clock.  The result then carries a
+            :class:`~repro.observability.metrics.RunMetrics` (outside the
+            fingerprint).  Like the other telemetry arguments, this is a run
+            argument, never part of the experiment's identity.
+        lineage: when True (default), the controller tracks the causal id of
+            the event currently being dispatched so the network and trace
+            layers can stamp every message, timer, and decision with its
+            ``cause``.  Pure bookkeeping outside the RNG path — digests are
+            byte-identical either way; disable to shave the last f-string
+            per event off untraced hot loops.
     """
 
     def __init__(
@@ -71,6 +85,8 @@ class Controller:
         *,
         sink: TraceSink | None = None,
         profiler: "Profiler | None" = None,
+        metrics: "MetricsRegistry | None" = None,
+        lineage: bool = True,
     ) -> None:
         config.validate()
         self.config = config
@@ -97,6 +113,15 @@ class Controller:
         else:
             self.trace = Trace(enabled=config.record_trace)
         self.profiler = profiler
+        #: Simulated-time metrics registry (or None).  Must be set before
+        #: the NetworkModule below is built: the network binds it once at
+        #: construction for its send hook.
+        self.obs_metrics = metrics
+        self._lineage = lineage
+        #: Causal id of the event currently being dispatched ("m<msg_id>",
+        #: "t<timer_id>", "s<node>" during on_start, "a" during attacker
+        #: setup).  None before the run starts or when lineage is disabled.
+        self._current_cause: str | None = None
         self.log = SimLogger(get_logger("controller"), clock=self.clock)
 
         self.attacker: Attacker = make_attacker(config.attack)
@@ -125,6 +150,9 @@ class Controller:
             self.attacker_ctx,
             faults=self.fault_injector,
         )
+
+        if metrics is not None:
+            metrics.bind_engine(self)
 
         self.nodes: list[Node] = [protocol_cls(i, self) for i in range(self.n)]
         self._halted: set[int] = set()
@@ -174,6 +202,7 @@ class Controller:
             name=name,
             data=data,
             timer_id=timer_id,
+            cause=self._current_cause,
         )
         handle = self.queue.push(event)
         return TimerHandle(timer_id=timer_id, queue_handle=handle)
@@ -186,8 +215,24 @@ class Controller:
         self.metrics.on_decision(node_id, slot, value, now)
         self._last_progress = now
         self._node_activity[node_id] = now
+        if self.obs_metrics is not None:
+            self.obs_metrics.on_decide()
         if self.trace.enabled:
-            self.trace.record(now, "decide", node_id, slot=slot, value=value)
+            self.trace.record(
+                now, "decide", node_id,
+                slot=slot, value=value, cause=self._current_cause,
+            )
+
+    def report_phase(self, node_id: int, phase: str, **fields: Any) -> None:
+        """Record a protocol phase transition (no-op unless tracing).
+
+        Deliberately side-effect free with respect to the engine: unlike
+        :meth:`report_to_system` it touches neither the liveness watchdog
+        nor node-activity bookkeeping, so instrumented and uninstrumented
+        protocols terminate identically.
+        """
+        if self.trace.enabled:
+            self.trace.record(self.clock.now, "phase", node_id, phase=phase, **fields)
 
     def report_to_system(self, node_id: int, kind: str, **fields: Any) -> None:
         if kind == "view" and "view" in fields:
@@ -312,14 +357,39 @@ class Controller:
         config = self.config
         stall_timeout = config.stall_timeout
         prof = self.profiler
+        obs = self.obs_metrics
+        lineage = self._lineage
 
         self.log.debug(
             "run starting",
             protocol=config.protocol, n=self.n, f=self.f, seed=config.seed,
         )
+        try:
+            return self._run_to_completion(
+                started, config, stall_timeout, prof, obs, lineage
+            )
+        finally:
+            # Closed on *every* exit path (safety violations, liveness
+            # errors, protocol bugs) so a crashed run still leaves a
+            # flushed, readable — truncated but valid — trace behind.
+            self.trace.close()
+
+    def _run_to_completion(
+        self,
+        started: float,
+        config: SimulationConfig,
+        stall_timeout: float | None,
+        prof: "Profiler | None",
+        obs: "MetricsRegistry | None",
+        lineage: bool,
+    ) -> SimulationResult:
+        if lineage:
+            self._current_cause = "a"
         self.attacker.setup()
         for node in self.nodes:
             if node.id not in self._halted:
+                if lineage:
+                    self._current_cause = f"s{node.id}"
                 node.on_start()
 
         # Hot loop: every name used per iteration is a local (the loop runs
@@ -376,6 +446,8 @@ class Controller:
                     prof.add("queue.pop", t0)
                 advance_to(event.time)
                 events_processed += 1
+                if obs is not None:
+                    obs.advance(event.time)
                 dispatch(event)
         finally:
             self._events_processed = events_processed
@@ -395,6 +467,8 @@ class Controller:
                 f"(decisions: { {i: self.metrics.decisions_of(i) for i in range(self.n)} })"
             )
         self.metrics.finish(self.clock.now)
+        if obs is not None:
+            obs.finish(self.clock.now)
         wall = _time.perf_counter() - started
         self.log.debug(
             "run finished",
@@ -402,7 +476,6 @@ class Controller:
             events=self._events_processed,
             wall_seconds=round(wall, 4),
         )
-        self.trace.close()
         return self._build_result(terminated, wall)
 
     def _dispatch(self, event: Any) -> None:
@@ -412,6 +485,10 @@ class Controller:
         if type(event) is MessageEvent:
             message = event.message
             dest = message.dest
+            if self._lineage:
+                # Everything sent or scheduled while this delivery is being
+                # handled was caused by this message.
+                self._current_cause = f"m{message.msg_id}"
             # Slow checks (crashed destination, corrupted replica, tampered
             # payload) only run when such state exists at all — benign runs
             # never enter this block.
@@ -446,12 +523,21 @@ class Controller:
             self.metrics.counts.delivered += 1
             self._last_progress = event.time
             self._node_activity[dest] = event.time
+            if self.obs_metrics is not None:
+                self.obs_metrics.on_deliver(event.time - message.sent_at)
             trace = self.trace
             if trace.enabled:
+                # Deliveries carry the message's own cause plus its slot/view
+                # coordinates (under the protocol's native key aliases):
+                # loopback self-sends never produce a send record, so the
+                # causality DAG must be walkable from deliveries alone.
+                payload = message.payload
                 trace.record(
                     event.time, "deliver", dest,
                     source=message.source, msg_type=message.type,
-                    msg_id=message.msg_id,
+                    msg_id=message.msg_id, cause=message.cause,
+                    slot=payload.get("slot", payload.get("height")),
+                    view=payload.get("view", payload.get("round")),
                 )
             prof = self.profiler
             if prof is None:
@@ -461,6 +547,8 @@ class Controller:
                 self.nodes[dest].on_message(message)
                 prof.add("protocol.on_message", t0)
         elif type(event) is TimeEvent:
+            if self._lineage:
+                self._current_cause = f"t{event.timer_id}"
             owner = event.owner
             if owner == ATTACKER_OWNER:
                 prof = self.profiler
@@ -479,7 +567,10 @@ class Controller:
             self._node_activity[owner] = event.time
             trace = self.trace
             if trace.enabled:
-                trace.record(event.time, "timer", owner, name=event.name)
+                trace.record(
+                    event.time, "timer", owner,
+                    name=event.name, timer_id=event.timer_id, cause=event.cause,
+                )
             prof = self.profiler
             if prof is None:
                 self.nodes[owner].on_timer(event)
@@ -522,6 +613,9 @@ class Controller:
                 events=self._events_processed,
                 sim_time_ms=self.clock.now,
             )
+        run_metrics = None
+        if self.obs_metrics is not None:
+            run_metrics = self.obs_metrics.build(sim_time_ms=self.clock.now)
         return SimulationResult(
             config=self.config,
             terminated=terminated,
@@ -540,4 +634,5 @@ class Controller:
             fault_counts=metrics.faults,
             stall=self._stall,
             profile=profile,
+            run_metrics=run_metrics,
         )

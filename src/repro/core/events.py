@@ -52,12 +52,16 @@ class TimeEvent(Event):
         name: protocol-defined label (e.g. ``"view-timeout"``).
         data: arbitrary context the owner attached when registering.
         timer_id: unique id so owners can cancel specific timers.
+        cause: causal-lineage id of the event being handled when the timer
+            was registered (observability metadata, never read by engine or
+            protocol logic; see :attr:`repro.core.message.Message.cause`).
     """
 
     owner: int = 0
     name: str = ""
     data: Any = None
     timer_id: int = -1
+    cause: str | None = None
 
     def describe(self) -> str:
         return f"timer[{self.name}#{self.timer_id} owner={self.owner}] @{self.time:.1f}"
@@ -158,6 +162,16 @@ class EventQueue:
                 del entries[entry[1]]
                 removed += 1
         return removed
+
+    def live_count(self, event_type: type) -> int:
+        """Number of live events of exactly ``event_type``.
+
+        O(queue size); used by the metrics registry's in-flight-messages
+        gauge, which samples at interval boundaries, never per event.
+        """
+        return sum(
+            1 for entry in self._entries.values() if type(entry[2]) is event_type
+        )
 
     def live_events(self) -> list[Event]:
         """Every live (non-cancelled) event in firing order, without popping.

@@ -77,6 +77,12 @@ class Message:
             payload in flight.  Receivers reject corrupted messages at
             delivery (the signature/checksum verification stand-in); they
             are never dispatched to protocol logic.
+        cause: causal-lineage id of the event being handled when this
+            message was submitted (``"m<msg_id>"`` for a message delivery,
+            ``"t<timer_id>"`` for a timer, ``"s<node>"`` for ``on_start``,
+            ``"a"`` for attacker setup).  Pure observability metadata: it is
+            assigned by the network module outside the RNG path, recorded
+            into trace events, and never read by protocol or engine logic.
     """
 
     source: int
@@ -87,6 +93,7 @@ class Message:
     msg_id: int = field(default_factory=_next_message_id)
     forged: bool = False
     corrupted: bool = False
+    cause: str | None = None
 
     @property
     def type(self) -> str:
@@ -114,6 +121,7 @@ class Message:
             payload=deep_copy_payload(self.payload),
             sent_at=self.sent_at,
             forged=self.forged,
+            cause=self.cause,
         )
 
     def describe(self) -> str:

@@ -72,6 +72,10 @@ class NodeEnvironment(Protocol):
     def report_to_system(self, node_id: int, kind: str, **fields: Any) -> None:
         """Record a protocol-defined trace event (view changes, phases...)."""
 
+    def report_phase(self, node_id: int, phase: str, **fields: Any) -> None:
+        """Record a protocol phase transition (pure observability; unlike
+        :meth:`report_to_system` it has no engine side effects)."""
+
     def rng(self, name: str) -> random.Random:
         """A named deterministic random stream."""
 
@@ -216,6 +220,19 @@ class Node:
     def report(self, kind: str, **fields: Any) -> None:
         """Record a protocol-level trace event (e.g. a view change)."""
         self.env.report_to_system(self.id, kind, **fields)
+
+    def phase(self, name: str, **fields: Any) -> None:
+        """Tag this replica's current protocol phase (e.g. ``"prepare"``).
+
+        A no-op-by-default observability hook: it records a ``"phase"``
+        trace event when tracing is on, never touches engine state (no
+        watchdog/activity side effects), and silently does nothing under
+        environments that predate the hook — so instrumenting a protocol
+        can never change its behaviour.
+        """
+        report = getattr(self.env, "report_phase", None)
+        if report is not None:
+            report(self.id, name, **fields)
 
     def rng(self, name: str) -> random.Random:
         """Deterministic per-purpose random stream, namespaced by node id."""

@@ -23,6 +23,7 @@ from .metrics import Decision, FaultCounts, MessageCounts
 from .tracing import Trace
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..observability.metrics import RunMetrics
     from ..observability.profiler import RunProfile
 
 
@@ -110,6 +111,10 @@ class SimulationResult:
             was profiled, else ``None``.  Host-time telemetry — excluded
             from the fingerprint by the same policy as
             ``wall_clock_seconds``.
+        run_metrics: simulated-time metrics
+            (:class:`~repro.observability.metrics.RunMetrics`) when the run
+            carried a metrics registry, else ``None``.  Observability
+            output — excluded from the fingerprint like ``profile``.
     """
 
     config: SimulationConfig
@@ -129,6 +134,7 @@ class SimulationResult:
     fault_counts: FaultCounts = field(default_factory=FaultCounts)
     stall: StallReport | None = None
     profile: "RunProfile | None" = None
+    run_metrics: "RunMetrics | None" = None
 
     @property
     def stalled(self) -> bool:

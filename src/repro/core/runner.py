@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable
 
+from ..observability.metrics import DEFAULT_INTERVAL_MS, MetricsRegistry
 from ..observability.profiler import Profiler
 from .config import SimulationConfig
 from .controller import Controller
@@ -30,6 +31,8 @@ def run_simulation(
     *,
     sink: TraceSink | None = None,
     profile: bool = False,
+    metrics: bool | float = False,
+    lineage: bool = True,
 ) -> SimulationResult:
     """Build a controller for ``config``, run it, return the result.
 
@@ -47,9 +50,31 @@ def run_simulation(
         profile: time the engine's hot sections and attach a
             :class:`~repro.observability.profiler.RunProfile` to
             ``result.profile``.
+        metrics: sample engine metrics (queue depth, in-flight messages,
+            wire bytes, delivery latency) on the simulated clock and attach
+            a :class:`~repro.observability.metrics.RunMetrics` to
+            ``result.run_metrics``.  ``True`` samples every
+            ``DEFAULT_INTERVAL_MS``; a float sets the sampling interval in
+            simulated milliseconds.
+        lineage: stamp every message and timer with the id of the event
+            being handled when it was created, so traces carry the causal
+            DAG behind :mod:`repro.observability.causality`.  On by default
+            (zero RNG cost; adds trace fields only).
     """
     profiler = Profiler() if profile else None
-    return Controller(config, sink=sink, profiler=profiler).run()
+    registry = _metrics_registry(metrics)
+    return Controller(
+        config, sink=sink, profiler=profiler, metrics=registry, lineage=lineage
+    ).run()
+
+
+def _metrics_registry(metrics: bool | float) -> MetricsRegistry | None:
+    """Resolve the ``metrics`` run option into a registry (or ``None``)."""
+    if metrics is False:
+        return None
+    if metrics is True:
+        return MetricsRegistry(interval=DEFAULT_INTERVAL_MS)
+    return MetricsRegistry(interval=float(metrics))
 
 
 def seed_window(
@@ -118,6 +143,7 @@ def repeat_simulation(
     on_error: str = "raise",
     progress: Callable[..., None] | None = None,
     profile: bool = False,
+    metrics: bool | float = False,
 ) -> list[SimulationResult | RunFailure]:
     """Run ``config`` under ``repetitions`` consecutive seeds.
 
@@ -152,6 +178,10 @@ def repeat_simulation(
             each result carries its own
             :class:`~repro.observability.profiler.RunProfile`, mergeable
             with :meth:`RunProfile.merge`.
+        metrics: sample engine metrics in every run (see
+            :func:`run_simulation`); each result carries its own
+            :class:`~repro.observability.metrics.RunMetrics`, mergeable
+            with :meth:`RunMetrics.merge`.
 
     Returns:
         One entry per run, in seed order: :class:`SimulationResult`, or
@@ -165,11 +195,13 @@ def repeat_simulation(
         for index, run_config in enumerate(configs):
             if on_error == "raise":
                 result: SimulationResult | RunFailure = run_simulation(
-                    run_config, profile=profile
+                    run_config, profile=profile, metrics=metrics
                 )
             else:
                 try:
-                    result = run_simulation(run_config, profile=profile)
+                    result = run_simulation(
+                        run_config, profile=profile, metrics=metrics
+                    )
                 except Exception as exc:
                     result = RunFailure(
                         config=run_config,
@@ -187,7 +219,7 @@ def repeat_simulation(
 
     runner = ParallelRunner(
         jobs=jobs, timeout=timeout, retries=retries, progress=progress,
-        profile=profile,
+        profile=profile, metrics=metrics,
     )
     entries = runner.map(configs)
     if on_error == "raise":
@@ -209,6 +241,7 @@ def sweep(
     on_error: str = "raise",
     progress: Callable[..., None] | None = None,
     profile: bool = False,
+    metrics: bool | float = False,
 ) -> list[list[SimulationResult | RunFailure]]:
     """Run ``base`` once per variation, each repeated ``repetitions`` times.
 
@@ -219,7 +252,8 @@ def sweep(
     flattened into a single batch for the parallel engine, so workers stay
     saturated across variation boundaries; the grouped result order is
     identical to the serial one.  ``timeout``, ``retries``, ``on_error``,
-    ``progress``, and ``profile`` behave as in :func:`repeat_simulation`.
+    ``progress``, ``profile``, and ``metrics`` behave as in
+    :func:`repeat_simulation`.
     """
     _check_batch_options(jobs, timeout, retries, on_error)
     variations = list(variations)
@@ -228,7 +262,7 @@ def sweep(
         return [
             repeat_simulation(
                 base.replace(**variation), repetitions, on_error=on_error,
-                profile=profile,
+                profile=profile, metrics=metrics,
             )
             for variation in variations
         ]
@@ -237,7 +271,7 @@ def sweep(
 
     runner = ParallelRunner(
         jobs=jobs, timeout=timeout, retries=retries, progress=progress,
-        profile=profile,
+        profile=profile, metrics=metrics,
     )
     groups = runner.run_sweep(base, variations, repetitions)
     if on_error == "raise":

@@ -196,6 +196,14 @@ class TraceSink:
     def close(self) -> None:
         """Release resources; the sink may still serve :meth:`events`."""
 
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Close on scope exit — exceptions included — so a crashed run
+        still leaves the sink's storage readable (truncated but valid)."""
+        self.close()
+
 
 class MemorySink(TraceSink):
     """Buffers every accepted event in memory (the classic ``Trace`` list).

@@ -88,6 +88,9 @@ class NetworkModule:
         self._sample_delay = self.delay_model.sample_delay
         self._counts = controller.metrics.counts
         self._push_event = controller.queue.push
+        # Simulated-time metrics registry (or None), bound once: like the
+        # profiler it is fixed for the controller's lifetime.
+        self._obs = controller.obs_metrics
 
     def set_delay_override(self, hook: Callable[[Message], float | None] | None) -> None:
         """Install (or clear) a delay-override hook.
@@ -111,8 +114,13 @@ class NetworkModule:
         attacker, excluded from message usage, as it never crosses the
         wire).
         """
-        now = self._controller.clock.now
+        controller = self._controller
+        now = controller.clock.now
         message.sent_at = now
+        # Causal lineage: stamp the message with the id of the event being
+        # handled right now (one attribute store per logical message; the
+        # per-recipient copies of a broadcast inherit it via ``copy_for``).
+        message.cause = controller._current_cause
         if message.dest == BROADCAST:
             # Every unicast copy carries a deep-equal payload, so the wire
             # size (canonical JSON length) is computed once and reused for
@@ -158,6 +166,9 @@ class NetworkModule:
             counts = self._counts
             counts.sent += 1
             counts.bytes_sent += wire_bytes
+            obs = self._obs
+            if obs is not None:
+                obs.on_send(message.source, wire_bytes)
             delay = message.delay
             if delay is None:
                 delay = message.delay = self._sample_delay(message.sent_at)
@@ -169,20 +180,39 @@ class NetworkModule:
         byzantine = message.forged or self._attacker_ctx.controls_message(message)
         controller.metrics.on_sent(byzantine=byzantine)
         controller.metrics.on_bytes(wire_bytes)
+        if self._obs is not None:
+            self._obs.on_send(message.source, wire_bytes)
         if trace.enabled:
+            payload = message.payload
+            slot = payload.get("slot", payload.get("height"))
+            view = payload.get("view", payload.get("round"))
             if byzantine:
                 # Tagged so trace consumers (``repro inspect``) can reproduce
                 # the honest/byzantine split of MessageCounts from the trace.
-                trace.record(
-                    controller.clock.now, "send", message.source,
-                    dest=message.dest, msg_type=message.type, msg_id=message.msg_id,
-                    size=wire_bytes, byzantine=True,
-                )
+                # Attacker-*inserted* messages additionally carry
+                # origin="attacker": a forged send has no honest counterpart,
+                # so lineage and message-usage reconciliation must be able to
+                # tell insertion from corruption of an honest sender.
+                if message.forged:
+                    trace.record(
+                        controller.clock.now, "send", message.source,
+                        dest=message.dest, msg_type=message.type,
+                        msg_id=message.msg_id, size=wire_bytes, byzantine=True,
+                        origin="attacker", cause=message.cause,
+                        slot=slot, view=view,
+                    )
+                else:
+                    trace.record(
+                        controller.clock.now, "send", message.source,
+                        dest=message.dest, msg_type=message.type,
+                        msg_id=message.msg_id, size=wire_bytes, byzantine=True,
+                        cause=message.cause, slot=slot, view=view,
+                    )
             else:
                 trace.record(
                     controller.clock.now, "send", message.source,
                     dest=message.dest, msg_type=message.type, msg_id=message.msg_id,
-                    size=wire_bytes,
+                    size=wire_bytes, cause=message.cause, slot=slot, view=view,
                 )
         prof = self._profiler
         if message.delay is None:
@@ -255,11 +285,17 @@ class NetworkModule:
                     item.delay = self.delay_model.sample_delay(item.sent_at)
                 survivors.append(item)
                 self._controller.metrics.on_sent(byzantine=True)
+                if self._obs is not None:
+                    self._obs.on_send(item.source, 0)
                 if self._controller.trace.enabled:
+                    if item.cause is None:
+                        item.cause = self._controller._current_cause
                     self._controller.trace.record(
                         self._controller.clock.now, "send", item.source,
                         dest=item.dest, msg_type=item.type, msg_id=item.msg_id,
-                        forged=True,
+                        forged=True, origin="attacker", cause=item.cause,
+                        slot=item.payload.get("slot", item.payload.get("height")),
+                        view=item.payload.get("view", item.payload.get("round")),
                     )
             else:
                 raise CapabilityError(

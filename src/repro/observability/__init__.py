@@ -23,8 +23,33 @@ Telemetry never influences simulation behavior: with everything enabled or
 everything disabled, ``result_fingerprint`` is byte-identical.
 """
 
-from .inspect import TraceReport, analyze_trace, iter_trace_file, render_report
+from .causality import (
+    CausalityGraph,
+    CriticalPath,
+    QuorumTimeline,
+    critical_path,
+    critical_paths,
+    quorum_timeline,
+    quorum_timelines,
+    render_critical_paths,
+    render_quorum_timelines,
+)
+from .inspect import (
+    TraceReport,
+    analyze_trace,
+    iter_events,
+    iter_trace_file,
+    render_report,
+)
 from .logging import SimLogger, configure_logging, get_logger
+from .metrics import (
+    Counter,
+    Histogram,
+    HistogramData,
+    MetricsRegistry,
+    RunMetrics,
+)
+from .phases import PhaseReport, PhaseStay, analyze_phases, render_phase_report
 from .profiler import Profiler, RunProfile, SectionStats
 from .sinks import (
     EventFilter,
@@ -36,20 +61,39 @@ from .sinks import (
 )
 
 __all__ = [
+    "CausalityGraph",
+    "Counter",
+    "CriticalPath",
     "EventFilter",
+    "Histogram",
+    "HistogramData",
     "JsonlSink",
     "MemorySink",
+    "MetricsRegistry",
     "NullSink",
+    "PhaseReport",
+    "PhaseStay",
     "Profiler",
+    "QuorumTimeline",
+    "RunMetrics",
     "RunProfile",
     "SectionStats",
     "SimLogger",
     "TraceBufferUnavailable",
     "TraceReport",
     "TraceSink",
+    "analyze_phases",
     "analyze_trace",
     "configure_logging",
+    "critical_path",
+    "critical_paths",
     "get_logger",
+    "iter_events",
     "iter_trace_file",
+    "quorum_timeline",
+    "quorum_timelines",
+    "render_critical_paths",
+    "render_phase_report",
+    "render_quorum_timelines",
     "render_report",
 ]

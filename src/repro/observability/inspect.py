@@ -47,6 +47,21 @@ def iter_trace_file(path: str | os.PathLike[str]) -> Iterator[dict[str, Any]]:
                 yield json.loads(line)
 
 
+def iter_events(
+    source: str | os.PathLike[str] | Trace | Iterable[Mapping[str, Any]],
+) -> Iterable[Mapping[str, Any]]:
+    """Event dicts from a file path, a :class:`Trace`, or an iterable.
+
+    The shared input coercion for every trace analysis
+    (:func:`analyze_trace`, the causality DAG, the phase analyzer).
+    """
+    if isinstance(source, Trace):
+        return (e.to_dict() for e in source)
+    if isinstance(source, (str, os.PathLike)):
+        return iter_trace_file(source)
+    return source
+
+
 @dataclass
 class MessageKindStats:
     """Per-message-type traffic accumulated over one trace."""
@@ -84,6 +99,10 @@ class TraceReport:
     # -- traffic (MessageCounts mirror) --
     sent: int = 0
     byzantine_sent: int = 0
+    #: Of ``byzantine_sent``, how many were attacker-*inserted* (forged
+    #: ``origin="attacker"`` sends with no honest counterpart) rather than
+    #: honest-format sends from a corrupted source.
+    inserted: int = 0
     delivered: int = 0
     dropped: dict[str, int] = field(default_factory=dict)
     bytes_sent: int = 0
@@ -122,6 +141,7 @@ class TraceReport:
             "kind_counts": dict(sorted(self.kind_counts.items())),
             "sent": self.sent,
             "byzantine_sent": self.byzantine_sent,
+            "inserted": self.inserted,
             "delivered": self.delivered,
             "dropped": dict(sorted(self.dropped.items())),
             "bytes_sent": self.bytes_sent,
@@ -161,12 +181,7 @@ def analyze_trace(
 ) -> TraceReport:
     """One streaming pass over a trace, from a file path, a
     :class:`~repro.core.tracing.Trace`, or an iterable of event dicts."""
-    if isinstance(source, Trace):
-        events: Iterable[Mapping[str, Any]] = (e.to_dict() for e in source)
-    elif isinstance(source, (str, os.PathLike)):
-        events = iter_trace_file(source)
-    else:
-        events = source
+    events = iter_events(source)
 
     report = TraceReport()
     first = True
@@ -190,6 +205,8 @@ def analyze_trace(
         if kind == "send":
             if event.get("forged") or event.get("byzantine"):
                 report.byzantine_sent += 1
+                if event.get("origin") == "attacker":
+                    report.inserted += 1
             else:
                 report.sent += 1
             size = int(event.get("size", 0))
@@ -231,7 +248,10 @@ def analyze_trace(
             report.last_progress_kind = kind
             report.last_progress_node = node
             tail = {}
-        else:
+        elif kind != "phase":
+            # Phase events are passive annotations of progress already made
+            # (a protocol tags the stage it just entered); counting them as
+            # silent-tail work would misreport a healthy terminating run.
             label = _census_label(kind, event)
             tail[label] = tail.get(label, 0) + 1
 
@@ -292,6 +312,8 @@ def render_report(
         f"honest sent={report.sent} byzantine={report.byzantine_sent} "
         f"delivered={report.delivered} dropped={report.total_dropped}"
     )
+    if report.inserted:
+        note += f"; {report.inserted} attacker-inserted"
     if report.dropped:
         causes = " ".join(
             f"{cause}={count}" for cause, count in sorted(report.dropped.items())

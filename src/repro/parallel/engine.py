@@ -72,8 +72,8 @@ def _start_method() -> str:
 def _worker_main(conn: connection.Connection) -> None:
     """Worker-process loop: receive configs, run them, reply with results.
 
-    Tasks arrive as ``(task_index, config, profile_flag)``; replies are
-    ``(task_index, "ok", SimulationResult)`` or
+    Tasks arrive as ``(task_index, config, profile_flag, metrics_option)``;
+    replies are ``(task_index, "ok", SimulationResult)`` or
     ``(task_index, "error", exc_type_name, message, traceback_text)``.  A
     ``None`` task is the shutdown sentinel.
     """
@@ -87,9 +87,12 @@ def _worker_main(conn: connection.Connection) -> None:
             return
         if item is None:
             return
-        index, config, profile = item
+        index, config, profile, metrics = item
         try:
-            reply = (index, "ok", run_simulation(config, profile=profile))
+            reply = (
+                index, "ok",
+                run_simulation(config, profile=profile, metrics=metrics),
+            )
         except KeyboardInterrupt:
             return
         except BaseException as exc:  # deliberate: report, don't die
@@ -168,10 +171,16 @@ class _Worker:
         self.task: _Task | None = None
         self.deadline: float | None = None
 
-    def assign(self, task: _Task, timeout: float | None, profile: bool = False) -> None:
+    def assign(
+        self,
+        task: _Task,
+        timeout: float | None,
+        profile: bool = False,
+        metrics: bool | float = False,
+    ) -> None:
         self.task = task
         self.deadline = (time.monotonic() + timeout) if timeout else None
-        self.conn.send((task.index, task.config, profile))
+        self.conn.send((task.index, task.config, profile, metrics))
 
     def timed_out(self, now: float) -> bool:
         return self.deadline is not None and now > self.deadline
@@ -219,6 +228,12 @@ class ParallelRunner:
             :class:`~repro.observability.profiler.RunProfile` and the
             runner exposes the merged fleet view as :attr:`fleet_profile`
             after each batch.
+        metrics: sample engine metrics in every run (``True`` for the
+            default interval, a float for a custom interval in simulated
+            milliseconds); each result carries a
+            :class:`~repro.observability.metrics.RunMetrics` and the runner
+            exposes the merged fleet view as :attr:`fleet_metrics` after
+            each batch.
 
     The three entry points (:meth:`map`, :meth:`run_repeat`,
     :meth:`run_sweep`) all return results in deterministic task order; a
@@ -233,6 +248,7 @@ class ParallelRunner:
         retries: int = 1,
         progress: Callable[[ProgressUpdate], None] | None = None,
         profile: bool = False,
+        metrics: bool | float = False,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -245,9 +261,13 @@ class ParallelRunner:
         self.retries = retries
         self.progress = progress
         self.profile = profile
+        self.metrics = metrics
         #: Merged :class:`~repro.observability.profiler.RunProfile` of the
         #: most recent batch (``None`` until a profiled batch completes).
         self.fleet_profile = None
+        #: Merged :class:`~repro.observability.metrics.RunMetrics` of the
+        #: most recent batch (``None`` until a metered batch completes).
+        self.fleet_metrics = None
         self._ctx = get_context(_start_method())
 
     # -- entry points --------------------------------------------------------
@@ -362,7 +382,10 @@ class ParallelRunner:
             while len(out) < total:
                 for worker in workers:
                     if worker.task is None and queue:
-                        worker.assign(queue.popleft(), self.timeout, self.profile)
+                        worker.assign(
+                            queue.popleft(), self.timeout, self.profile,
+                            self.metrics,
+                        )
                 busy = {w.conn: w for w in workers if w.task is not None}
                 if not busy:  # pragma: no cover - defensive
                     break
@@ -420,4 +443,13 @@ class ParallelRunner:
             from ..observability.profiler import RunProfile
 
             self.fleet_profile = RunProfile.merge(profiles)
+        metrics = [
+            entry.run_metrics
+            for entry in results
+            if isinstance(entry, SimulationResult) and entry.run_metrics is not None
+        ]
+        if metrics:
+            from ..observability.metrics import RunMetrics
+
+            self.fleet_metrics = RunMetrics.merge(metrics)
         return results

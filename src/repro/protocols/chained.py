@@ -247,6 +247,7 @@ class ChainedHotStuffBase(BFTProtocol):
         self.tree.add(block)
         self._proposal_by_view.setdefault(view, block.digest)
         self.broadcast(type="PROPOSAL", **self._proposal_payload(block))
+        self.phase("propose", view=view)
         # The leader is also a replica: it votes for its own proposal
         # immediately (its loopback copy will be deduplicated by the tree).
         self._maybe_vote(block)
@@ -326,6 +327,7 @@ class ChainedHotStuffBase(BFTProtocol):
         self._voted_views.add(block.view)
         next_leader = self.leader_of(block.view + 1)
         self.send(next_leader, type="VOTE", view=block.view, digest=block.digest)
+        self.phase("vote", view=block.view)
 
     def _safe_to_vote(self, block: Block) -> bool:
         """HotStuff's safety + liveness voting rule."""
@@ -451,6 +453,7 @@ class ChainedHotStuffBase(BFTProtocol):
         for slot, b in newly:
             self._committed.add(b.digest)
             self.decide(slot, b.value)
+        self.phase("commit", view=newly[-1][1].view)
         self.on_commit(newly[-1][1].view)
 
     def on_commit(self, view: int) -> None:

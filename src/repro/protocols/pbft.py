@@ -106,6 +106,7 @@ class PBFTNode(BFTProtocol):
         self.slot = slot
         self.base_view = self.view
         self._restart_timer()
+        self.phase("pre-prepare", view=self.view, slot=slot)
         if self.is_leader:
             value = self.proposal_value(slot, self.view)
             self.broadcast(
@@ -277,6 +278,7 @@ class PBFTNode(BFTProtocol):
         self._sent_viewchange.add(key)
         self.view = new_view
         self.report("view", view=new_view)
+        self.phase("view-change", view=new_view, slot=self.slot)
         prepared = self.prepared.get(self.slot)
         self.broadcast(
             type="VIEW-CHANGE",
@@ -311,6 +313,7 @@ class PBFTNode(BFTProtocol):
         digest, _value = self.pre_prepares[key]
         self._sent_prepare.add(key)
         self.broadcast(type="PREPARE", view=self.view, slot=self.slot, digest=digest)
+        self.phase("prepare", view=self.view, slot=self.slot)
 
     def _try_commit(self) -> None:
         key = (self.view, self.slot)
@@ -324,6 +327,7 @@ class PBFTNode(BFTProtocol):
         self.broadcast(
             type="COMMIT", view=self.view, slot=self.slot, digest=digest, value=value
         )
+        self.phase("commit", view=self.view, slot=self.slot)
 
     def _try_decide(self) -> None:
         """Decide from any view's commit quorum for the current slot.

@@ -103,6 +103,7 @@ class TendermintNode(BFTProtocol):
         self._round_started.add(key)
         self.round = round_
         self.report("view", view=round_, height=self.height)
+        self.phase("propose", view=round_, height=self.height)
         self.cancel_timer(self._timer)
         self._timer = self.set_timer(
             self._timeout(round_), "round-timeout", height=self.height, round=round_
@@ -224,12 +225,14 @@ class TendermintNode(BFTProtocol):
             return
         self._prevoted.add((height, round_))
         self.broadcast(type="PREVOTE", height=height, round=round_, value=value)
+        self.phase("prevote", view=round_, height=height)
 
     def _precommit(self, height: int, round_: int, value: Any) -> None:
         if (height, round_) in self._precommitted:
             return
         self._precommitted.add((height, round_))
         self.broadcast(type="PRECOMMIT", height=height, round=round_, value=value)
+        self.phase("precommit", view=round_, height=height)
 
     def _recheck(self) -> None:
         height, round_ = self.height, self.round

@@ -73,16 +73,34 @@ def compare_decisions(ground_truth: Trace, candidate: Trace) -> ValidationReport
     return report
 
 
+#: Trace fields that identify *engine bookkeeping*, not protocol behaviour:
+#: causal-lineage ids and timer ids are assigned per engine run, so two
+#: engines (or a run and its replay) legitimately disagree on them while
+#: agreeing on every protocol-visible fact.
+_ENGINE_METADATA_KEYS = frozenset({"cause", "timer_id"})
+
+
 def event_signature(trace: Trace, kinds: Iterable[str], node: int | None = None) -> list[tuple]:
     """The ordered subsequence of ``kinds`` events as comparable tuples.
 
     Timestamps are deliberately excluded: two engines agree when they
     produce the same *sequence* of protocol events, not the same absolute
     times (the paper validates PBFT against BFTSim the same way —
-    "identical event sequences")."""
+    "identical event sequences").  Engine-internal observability metadata
+    (:data:`_ENGINE_METADATA_KEYS`) is excluded for the same reason."""
     wanted = set(kinds)
     return [
-        (event.kind, event.node, tuple(sorted(event.fields.items())))
+        (
+            event.kind,
+            event.node,
+            tuple(
+                sorted(
+                    (key, value)
+                    for key, value in event.fields.items()
+                    if key not in _ENGINE_METADATA_KEYS
+                )
+            ),
+        )
         for event in trace
         if event.kind in wanted and (node is None or event.node == node)
     ]

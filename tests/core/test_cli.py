@@ -229,11 +229,124 @@ class TestInspect:
         assert main(["inspect", str(tmp_path / "nope.jsonl")]) == 1
         assert "error:" in capsys.readouterr().err
 
-    def test_inspect_empty_trace_is_an_error(self, tmp_path, capsys):
+    def test_profile_out_schema(self, tmp_path, capsys):
+        """The --profile-out JSON is the documented RunProfile schema that
+        'inspect --profile-json' consumes."""
+        profile = tmp_path / "profile.json"
+        assert main(["run", "--protocol", "pbft", "-n", "4", "--mean", "50",
+                     "--std", "10", "--lam", "500",
+                     "--profile-out", str(profile)]) == 0
+        data = json.loads(profile.read_text())
+        for key in ("wall_seconds", "events", "sim_time_ms", "runs",
+                    "events_per_second", "sections"):
+            assert key in data
+        assert data["events"] > 0
+        assert data["runs"] == 1
+        for section in data["sections"].values():
+            assert set(section) == {"calls", "seconds"}
+
+    def test_inspect_analysis_flags(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["inspect", str(path), "--critical-path", "--quorum",
+                     "--phases"]) == 0
+        out = capsys.readouterr().out
+        assert "critical paths" in out
+        assert "quorum" in out
+        assert "time in phase" in out
+
+    def test_inspect_analysis_json_schema(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["inspect", str(path), "--critical-path", "--quorum",
+                     "--phases", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["critical_paths"], "expected one path per decision"
+        for entry in data["critical_paths"]:
+            assert entry["complete"] is True
+            assert entry["steps"][-1]["kind"] == "decide"
+        assert data["quorums"]
+        assert data["phases"]["phase_totals_ms"]
+
+    def test_inspect_empty_trace_exits_cleanly(self, tmp_path, capsys):
+        """A 0-event trace is a valid artifact (a filtered run can record
+        nothing); inspect reports that plainly and exits 0."""
         path = tmp_path / "empty.jsonl"
         path.write_text("")
-        assert main(["inspect", str(path)]) == 1
-        assert "no trace events" in capsys.readouterr().err
+        assert main(["inspect", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "no trace events" in captured.out
+        assert captured.err == ""
+
+    def test_inspect_empty_trace_with_analysis_flags(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["inspect", str(path), "--critical-path", "--quorum",
+                     "--phases", "--json"]) == 0
+        assert "no trace events" in capsys.readouterr().out
+
+
+class TestMetricsCommand:
+    def _write_metrics(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main(["run", "--protocol", "pbft", "-n", "4", "--mean", "50",
+                     "--std", "10", "--lam", "500",
+                     "--metrics-out", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_run_metrics_summary(self, capsys):
+        assert main(["run", "--protocol", "pbft", "-n", "4", "--mean", "50",
+                     "--std", "10", "--lam", "500", "--metrics"]) == 0
+        assert "metrics:" in capsys.readouterr().out
+
+    def test_run_metrics_json(self, capsys):
+        assert main(["run", "--protocol", "pbft", "-n", "4", "--mean", "50",
+                     "--std", "10", "--lam", "500", "--metrics",
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["metrics"]["counters"]["messages_sent"] == data["messages"]
+
+    def test_metrics_table(self, tmp_path, capsys):
+        path = self._write_metrics(tmp_path, capsys)
+        assert main(["metrics", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "final metric values" in out
+        assert "messages_sent" in out
+
+    def test_metrics_prometheus(self, tmp_path, capsys):
+        path = self._write_metrics(tmp_path, capsys)
+        assert main(["metrics", str(path), "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_messages_sent counter" in out
+        assert "# TYPE repro_delivery_latency_ms histogram" in out
+
+    def test_metrics_merges_files(self, tmp_path, capsys):
+        path = self._write_metrics(tmp_path, capsys)
+        assert main(["metrics", str(path), "--format", "json"]) == 0
+        one = json.loads(capsys.readouterr().out)
+        assert main(["metrics", str(path), str(path), "--format", "json"]) == 0
+        two = json.loads(capsys.readouterr().out)
+        assert two["runs"] == 2 * one["runs"]
+        assert (two["counters"]["messages_sent"]
+                == 2 * one["counters"]["messages_sent"])
+
+    def test_metrics_csv_and_jsonl(self, tmp_path, capsys):
+        path = self._write_metrics(tmp_path, capsys)
+        assert main(["metrics", str(path), "--format", "csv"]) == 0
+        csv_out = capsys.readouterr().out
+        assert csv_out.startswith("time,metric,value")
+        assert main(["metrics", str(path), "--format", "jsonl"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        sample = json.loads(lines[0])
+        assert set(sample) == {"time", "metric", "value"}
+
+    def test_metrics_interval_flag(self, capsys):
+        assert main(["run", "--protocol", "pbft", "-n", "4", "--mean", "50",
+                     "--std", "10", "--lam", "500",
+                     "--metrics-interval", "25", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["metrics"]["interval_ms"] == 25.0
 
 
 class TestValidate:

@@ -236,3 +236,70 @@ class TestTraceWithSinks:
         )
         assert sink.count > 0
         assert result.trace.events(kind="send") == []
+
+
+class TestCrashSafeClose:
+    """A run that dies mid-simulation must leave a readable trace file."""
+
+    @staticmethod
+    def _register_crasher():
+        from repro.core.errors import ConfigurationError
+        from repro.protocols.base import BFTProtocol
+        from repro.protocols.registry import register_protocol
+
+        try:
+            @register_protocol("_trace-crash")
+            class CrashAfterTraffic(BFTProtocol):
+                """Crash-test double: generates real traffic, then raises
+                from a message handler mid-run."""
+
+                def on_start(self) -> None:
+                    self.broadcast(type="PING")
+
+                def on_message(self, message) -> None:
+                    raise RuntimeError("injected mid-run crash")
+        except ConfigurationError:
+            pass  # already registered by a previous import
+
+    def test_sink_is_context_manager(self, tmp_path):
+        path = tmp_path / "ctx.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit(TraceEvent(time=1.0, kind="send", node=0))
+            assert sink is sink.__enter__()
+        assert path.read_text().count("\n") == 1
+
+    def test_context_manager_closes_on_exception(self, tmp_path):
+        path = tmp_path / "ctx.jsonl"
+        with pytest.raises(RuntimeError):
+            with JsonlSink(path) as sink:
+                sink.emit(TraceEvent(time=1.0, kind="send", node=0))
+                raise RuntimeError("boom")
+        # The buffered event reached disk despite the exception.
+        restored = Trace.from_jsonl(path.read_text())
+        assert len(restored) == 1
+        assert restored.events(kind="send")
+
+    def test_crashed_run_leaves_readable_trace(self, tmp_path):
+        """Regression (PR 5): before the controller's try/finally, a run
+        that raised left the JSONL sink unflushed — the trace file was
+        missing its buffered tail or locked open.  Now every recorded
+        event is on disk and parseable, line by line."""
+        import json as json_module
+
+        from repro.core.config import SimulationConfig
+        from repro.core.runner import run_simulation
+
+        self._register_crasher()
+        path = tmp_path / "crash.jsonl"
+        sink = JsonlSink(path)
+        with pytest.raises(RuntimeError, match="injected mid-run crash"):
+            run_simulation(
+                SimulationConfig(protocol="_trace-crash", n=4, seed=7),
+                sink=sink,
+            )
+        assert sink._handle is None  # closed: nothing left buffered
+        assert path.exists()
+        lines = path.read_text().splitlines()
+        assert len(lines) == sink.count
+        kinds = {json_module.loads(line)["kind"] for line in lines}
+        assert "send" in kinds  # the pre-crash traffic made it to disk
