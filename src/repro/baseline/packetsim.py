@@ -227,7 +227,7 @@ class BaselineController(Controller):
 
     # -- event dispatch ---------------------------------------------------------
 
-    def _dispatch(self, event) -> None:  # type: ignore[override]
+    def _dispatch(self, event, event_time=None, dest=None) -> None:  # type: ignore[override]
         if isinstance(event, PacketHopEvent):
             if event.hop == "switch":
                 self.network.forward_from_switch(event)
@@ -238,7 +238,7 @@ class BaselineController(Controller):
             else:
                 self._on_packet_at_destination(event)
             return
-        super()._dispatch(event)
+        super()._dispatch(event, event_time, dest)
 
     def record_packet_trace(
         self, time: float, action: str, message: Message, index: int, size: int

@@ -71,6 +71,15 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                         help="delay distribution name")
     parser.add_argument("--max-delay", type=float, default=None,
                         help="hard delay bound b (synchronous network)")
+    parser.add_argument("--dissemination", default="full",
+                        choices=("full", "tree", "gossip"),
+                        help="broadcast dissemination mode: 'full' (direct "
+                             "fan-out, the paper's model), 'tree' (k-ary "
+                             "relay tree), or 'gossip' (seed-deterministic "
+                             "fanout-f push overlay); see docs/scaling.md")
+    parser.add_argument("--fanout", type=int, default=0,
+                        help="relay fan-out k/f for tree/gossip modes "
+                             "(0 = auto, max(2, ceil(sqrt(n))))")
     parser.add_argument("--decisions", type=int, default=None,
                         help="values to decide (default: paper convention)")
     parser.add_argument("--seed", type=int, default=0)
@@ -142,6 +151,8 @@ def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
             mean=args.mean,
             std=args.std,
             max_delay=args.max_delay,
+            dissemination=args.dissemination,
+            fanout=args.fanout,
         ),
         attack=AttackConfig(name=args.attack, params=json.loads(args.attack_params)),
         faults=(

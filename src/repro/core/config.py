@@ -15,6 +15,9 @@ from typing import Any
 
 from .errors import ConfigurationError
 
+#: Broadcast dissemination strategies accepted by ``NetworkConfig``.
+DISSEMINATION_MODES = ("full", "tree", "gossip")
+
 
 @dataclass
 class NetworkConfig:
@@ -39,6 +42,17 @@ class NetworkConfig:
             enforced, modelling the unstable period of a partially-synchronous
             network.  ``0`` means the network is stable from the start.
         pre_gst_factor: delay multiplier applied before GST.
+        dissemination: broadcast dissemination strategy (see
+            :mod:`repro.network.dissemination`): ``"full"`` — the sender
+            transmits one unicast per peer (the classic O(n) fan-out, and
+            the byte-identical historical behaviour); ``"tree"`` — a
+            deterministic k-ary spanning tree rooted at the sender relays
+            the broadcast; ``"gossip"`` — a seed-deterministic fanout-f
+            push overlay drawn per broadcast.  Unicasts are unaffected.
+        fanout: relay fan-out for ``tree``/``gossip`` (``k`` resp. ``f``).
+            ``0`` (default) resolves to ``max(2, ceil(sqrt(n)))`` — depth-2
+            overlays that keep end-to-end latency within a small multiple
+            of the unicast delay.  Ignored by ``"full"``.
     """
 
     distribution: str = "normal"
@@ -48,6 +62,8 @@ class NetworkConfig:
     max_delay: float | None = None
     gst: float = 0.0
     pre_gst_factor: float = 10.0
+    dissemination: str = "full"
+    fanout: int = 0
 
     def validate(self) -> None:
         if self.mean <= 0:
@@ -64,6 +80,15 @@ class NetworkConfig:
             raise ConfigurationError("gst must be >= 0")
         if self.pre_gst_factor < 1.0:
             raise ConfigurationError("pre_gst_factor must be >= 1")
+        if self.dissemination not in DISSEMINATION_MODES:
+            raise ConfigurationError(
+                f"unknown dissemination mode {self.dissemination!r}; "
+                f"available: {list(DISSEMINATION_MODES)}"
+            )
+        if not isinstance(self.fanout, int) or self.fanout < 0:
+            raise ConfigurationError(
+                f"fanout must be a non-negative integer (0 = auto), got {self.fanout!r}"
+            )
 
 
 #: Fault kinds accepted by :class:`FaultSpec`.
@@ -330,15 +355,20 @@ class SimulationConfig:
         """Plain-dict form, suitable for JSON.
 
         Fields at their benign defaults (an empty fault schedule, a disabled
-        watchdog) are omitted, so the serialized form — and therefore the
-        ``result_fingerprint`` of fault-free runs — is identical to what
-        older versions produced.
+        watchdog, full-fan-out dissemination) are omitted, so the serialized
+        form — and therefore the ``result_fingerprint`` of fault-free runs —
+        is identical to what older versions produced.
         """
         data = asdict(self)
         if not self.faults.active():
             data.pop("faults")
         if self.stall_timeout is None:
             data.pop("stall_timeout")
+        network = data["network"]
+        if network["dissemination"] == "full":
+            network.pop("dissemination")
+        if network["fanout"] == 0:
+            network.pop("fanout")
         return data
 
     @classmethod

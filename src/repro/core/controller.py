@@ -164,6 +164,16 @@ class Controller:
         self._stall: StallReport | None = None
         self._last_progress = 0.0
         self._node_activity: dict[int, float] = {i: 0.0 for i in range(self.n)}
+        #: Per-node activity tracking feeds only the stall report, which is
+        #: built only when the liveness watchdog is armed — gate the
+        #: per-event dict write (two of them per delivered event at n=1000)
+        #: behind that.
+        self._watchdog = config.stall_timeout is not None
+        #: Termination-check gate: ``metrics.terminated()`` can only change
+        #: after a decision or a change to the honest set, so the run loop
+        #: re-evaluates it only when this flag is raised (one attribute load
+        #: per event instead of a full predicate call).
+        self._termination_dirty = True
         self._schedule_crash_events()
 
     # ------------------------------------------------------------------
@@ -213,6 +223,7 @@ class Controller:
     def report_decision(self, node_id: int, slot: int, value: Any) -> None:
         now = self.clock.now
         self.metrics.on_decision(node_id, slot, value, now)
+        self._termination_dirty = True
         self._last_progress = now
         self._node_activity[node_id] = now
         if self.obs_metrics is not None:
@@ -273,6 +284,8 @@ class Controller:
         """Attacker corrupted ``node``: halt its replica from now on."""
         self._halted.add(node)
         self.metrics.mark_faulty(node)
+        # Shrinking the honest set can flip the termination predicate.
+        self._termination_dirty = True
         self.trace.record(self.clock.now, "corrupt", node)
 
     # ------------------------------------------------------------------
@@ -302,6 +315,9 @@ class Controller:
 
     def _on_env_event(self, event: TimeEvent) -> None:
         """Handle a controller-owned environment lifecycle event."""
+        # Crash/recovery may change the honest set (permanent crashes are
+        # marked faulty), which can flip the termination predicate.
+        self._termination_dirty = True
         node = int(event.data)
         if event.name == "env-crash":
             if node in self._down:
@@ -401,14 +417,22 @@ class Controller:
         clock = self.clock
         terminated_check = self.metrics.terminated
         peek_time = queue.peek_time
-        pop = queue.pop
+        pop_entry = queue.pop_entry
         advance_to = clock.advance_to
         dispatch = self._dispatch
         max_time = config.max_time
         max_events = config.max_events
         events_processed = self._events_processed
         try:
-            while not terminated_check():
+            while True:
+                # The termination predicate can only change when a decision
+                # lands or the honest set shrinks; those paths raise the
+                # dirty flag, so the common iteration pays one attribute
+                # load instead of the full predicate.
+                if self._termination_dirty:
+                    self._termination_dirty = False
+                    if terminated_check():
+                        break
                 next_time = peek_time()
                 if next_time is None:
                     if stall_timeout is not None:
@@ -439,16 +463,17 @@ class Controller:
                     self._stop_reason = f"max_events={max_events} reached"
                     break
                 if prof is None:
-                    event = pop()
+                    entry = pop_entry()
                 else:
                     t0 = _time.perf_counter()
-                    event = pop()
+                    entry = pop_entry()
                     prof.add("queue.pop", t0)
-                advance_to(event.time)
+                event_time = entry[0]
+                advance_to(event_time)
                 events_processed += 1
                 if obs is not None:
-                    obs.advance(event.time)
-                dispatch(event)
+                    obs.advance(event_time)
+                dispatch(entry[2], event_time, entry[3])
         finally:
             self._events_processed = events_processed
 
@@ -478,13 +503,22 @@ class Controller:
         )
         return self._build_result(terminated, wall)
 
-    def _dispatch(self, event: Any) -> None:
+    def _dispatch(self, event: Any, event_time: float | None = None, dest: int | None = None) -> None:
         # ``type() is`` instead of ``isinstance``: MessageEvent/TimeEvent are
         # the only event kinds the engine schedules, and the exact-type check
         # skips the subclass machinery on the hottest branch in the run loop.
+        #
+        # ``event_time``/``dest`` come from the queue *entry*: the
+        # dissemination fast path schedules one shared MessageEvent for a
+        # whole broadcast, so the per-hop firing time and recipient are
+        # entry data, not event fields.  For ordinary events they equal
+        # ``event.time`` / ``message.dest`` (the defaults).
+        if event_time is None:
+            event_time = event.time
         if type(event) is MessageEvent:
             message = event.message
-            dest = message.dest
+            if dest is None:
+                dest = message.dest
             if self._lineage:
                 # Everything sent or scheduled while this delivery is being
                 # handled was caused by this message.
@@ -498,14 +532,14 @@ class Controller:
                     # host and is lost (recovery does not replay it).
                     self.metrics.faults.crash_dropped += 1
                     self.trace.record(
-                        event.time, "env-crash-drop", dest,
+                        event_time, "env-crash-drop", dest,
                         source=message.source, msg_type=message.type,
                         msg_id=message.msg_id,
                     )
                     return
                 if dest in self._halted:
                     self.trace.record(
-                        event.time, "suppress", dest,
+                        event_time, "suppress", dest,
                         msg_type=message.type, msg_id=message.msg_id,
                     )
                     return
@@ -515,16 +549,17 @@ class Controller:
                     # never sees it.
                     self.metrics.faults.rejected += 1
                     self.trace.record(
-                        event.time, "env-reject", dest,
+                        event_time, "env-reject", dest,
                         source=message.source, msg_type=message.type,
                         msg_id=message.msg_id,
                     )
                     return
             self.metrics.counts.delivered += 1
-            self._last_progress = event.time
-            self._node_activity[dest] = event.time
+            self._last_progress = event_time
+            if self._watchdog:
+                self._node_activity[dest] = event_time
             if self.obs_metrics is not None:
-                self.obs_metrics.on_deliver(event.time - message.sent_at)
+                self.obs_metrics.on_deliver(event_time - message.sent_at)
             trace = self.trace
             if trace.enabled:
                 # Deliveries carry the message's own cause plus its slot/view
@@ -533,7 +568,7 @@ class Controller:
                 # causality DAG must be walkable from deliveries alone.
                 payload = message.payload
                 trace.record(
-                    event.time, "deliver", dest,
+                    event_time, "deliver", dest,
                     source=message.source, msg_type=message.type,
                     msg_id=message.msg_id, cause=message.cause,
                     slot=payload.get("slot", payload.get("height")),
@@ -564,11 +599,12 @@ class Controller:
                 return
             if owner in self._halted or owner in self._down:
                 return
-            self._node_activity[owner] = event.time
+            if self._watchdog:
+                self._node_activity[owner] = event_time
             trace = self.trace
             if trace.enabled:
                 trace.record(
-                    event.time, "timer", owner,
+                    event_time, "timer", owner,
                     name=event.name, timer_id=event.timer_id, cause=event.cause,
                 )
             prof = self.profiler

@@ -14,8 +14,8 @@ simulation run a pure function of its configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from heapq import heappop, heappush
-from typing import Any, Callable, Iterator
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Iterable, Iterator
 
 from .errors import SchedulingError
 from .message import Message
@@ -34,7 +34,17 @@ class Event:
 
 @dataclass(frozen=True, slots=True)
 class MessageEvent(Event):
-    """Delivery of a message to its destination node."""
+    """Delivery of a message to its destination node.
+
+    The recipient is normally ``message.dest``; the dissemination fast path
+    schedules one *shared* event (and message) for many recipients and
+    carries each recipient in the queue entry instead (see
+    :meth:`EventQueue.push_deliveries`), so n broadcast copies cost n slim
+    heap entries rather than n event + message structures.
+
+    Attributes:
+        message: the message being delivered.
+    """
 
     message: Message = field(default=None)  # type: ignore[assignment]
 
@@ -79,12 +89,19 @@ class EventQueue:
     cancelled entries stay in the heap as tombstones and are skipped on pop,
     which keeps both operations O(log n).
 
-    Hot-path layout: each heap entry is a mutable ``[time, handle, event]``
-    list.  Lists compare elementwise exactly like the previous tuples (the
-    unique handle always breaks time ties before the event is reached), but
-    cancellation can tombstone an entry in place (``entry[2] = None``)
-    instead of maintaining a separate membership set, so push and pop touch
-    one container each instead of two.
+    Hot-path layout: each heap entry is a mutable
+    ``[time, handle, event, dest]`` list.  Lists compare elementwise exactly
+    like tuples (the unique handle always breaks time ties before the event
+    is reached), but cancellation can tombstone an entry in place
+    (``entry[2] = None``) instead of maintaining a separate membership set,
+    so push and pop touch one container each instead of two.  The fourth
+    slot is a per-entry delivery-destination override (``None`` for every
+    ordinary event): the dissemination fast path schedules one *shared*
+    :class:`MessageEvent` for a whole broadcast and puts each recipient —
+    and each per-hop firing time, in ``entry[0]`` — in the entry, so a hop
+    costs one four-slot list instead of an event object.  Consumers that
+    need the override use :meth:`pop_entry`; :meth:`pop` stays the
+    event-only view.
     """
 
     __slots__ = ("_heap", "_entries", "_next_handle")
@@ -109,10 +126,67 @@ class EventQueue:
             raise SchedulingError(f"event scheduled at negative time {time}")
         handle = self._next_handle
         self._next_handle = handle + 1
-        entry = [time, handle, event]
+        entry = [time, handle, event, None]
         self._entries[handle] = entry
         heappush(self._heap, entry)
         return handle
+
+    def push_batch(self, events: "Iterable[Event]") -> None:
+        """Schedule many events in iteration order (one handle each).
+
+        Exactly equivalent to calling :meth:`push` per event — same handle
+        sequence, same tie-breaking — minus the per-call overhead.
+        """
+        entries = self._entries
+        heap = self._heap
+        handle = self._next_handle
+        try:
+            for event in events:
+                time = event.time
+                if time < 0:
+                    raise SchedulingError(f"event scheduled at negative time {time}")
+                entry = [time, handle, event, None]
+                entries[handle] = entry
+                heappush(heap, entry)
+                handle += 1
+        finally:
+            self._next_handle = handle
+
+    def push_deliveries(
+        self,
+        event: "MessageEvent",
+        times: "Iterable[float]",
+        dests: "Iterable[int]",
+    ) -> None:
+        """Schedule one *shared* delivery event at many ``(time, dest)`` pairs.
+
+        The broadcast fast path's bulk insert: every pair gets its own
+        handle (same sequence and tie-breaking as per-event :meth:`push`)
+        and its own heap entry carrying the recipient, but all entries alias
+        the single ``event``.  Dispatch must read the recipient and firing
+        time from the entry (:meth:`pop_entry`), never from the shared
+        event.
+        """
+        entries = self._entries
+        heap = self._heap
+        handle = self._next_handle
+        try:
+            for time, dest in zip(times, dests):
+                if time < 0:
+                    raise SchedulingError(f"event scheduled at negative time {time}")
+                entry = [time, handle, event, dest]
+                entries[handle] = entry
+                heappush(heap, entry)
+                handle += 1
+        finally:
+            self._next_handle = handle
+
+    #: Tombstone-compaction trigger: once the heap holds more dead entries
+    #: than live ones (and more than this floor), it is rebuilt from the
+    #: live set.  Keeps pop cost O(log live) under cancellation churn — a
+    #: protocol at n = 1000 cancels hundreds of thousands of timers — while
+    #: staying amortized O(1) per cancel.
+    COMPACT_MIN_TOMBSTONES = 64
 
     def cancel(self, handle: int) -> None:
         """Cancel a previously pushed event.
@@ -123,17 +197,42 @@ class EventQueue:
         entry = self._entries.pop(handle, None)
         if entry is not None:
             entry[2] = None
+            dead = len(self._heap) - len(self._entries)
+            if dead > self.COMPACT_MIN_TOMBSTONES and dead > len(self._entries):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap from live entries, dropping every tombstone.
+
+        Entry lists are kept (``_entries`` still points at them); only the
+        heap arrangement changes, and the pop order is untouched — events
+        compare by ``(time, handle)``, a total order independent of heap
+        layout.
+        """
+        live = [entry for entry in self._heap if entry[2] is not None]
+        heapify(live)
+        self._heap = live
 
     def pop(self) -> Event:
         """Remove and return the earliest live event."""
+        return self.pop_entry()[2]
+
+    def pop_entry(self) -> list:
+        """Remove and return the earliest live entry ``[time, handle, event,
+        dest]``.
+
+        The engine's run loop uses this instead of :meth:`pop`: for shared
+        broadcast deliveries (:meth:`push_deliveries`) the authoritative
+        firing time and recipient live in the entry, not the event.
+        ``dest`` is ``None`` for ordinary events.
+        """
         heap = self._heap
         while heap:
             entry = heappop(heap)
-            event = entry[2]
-            if event is None:
+            if entry[2] is None:
                 continue
             del self._entries[entry[1]]
-            return event
+            return entry
         raise SchedulingError("pop from an empty event queue")
 
     def peek_time(self) -> float | None:
@@ -161,6 +260,9 @@ class EventQueue:
                 entry[2] = None
                 del entries[entry[1]]
                 removed += 1
+        dead = len(self._heap) - len(entries)
+        if dead > self.COMPACT_MIN_TOMBSTONES and dead > len(entries):
+            self._compact()
         return removed
 
     def live_count(self, event_type: type) -> int:

@@ -83,6 +83,16 @@ class Message:
             ``"a"`` for attacker setup).  Pure observability metadata: it is
             assigned by the network module outside the RNG path, recorded
             into trace events, and never read by protocol or engine logic.
+        relay_from: the node that physically transmitted this copy when a
+            ``tree``/``gossip`` dissemination overlay relayed the broadcast
+            (``None`` for direct sends).  :attr:`source` always stays the
+            protocol-level originator — signatures, vote counting, and the
+            attacker's corruption accounting key on the origin — while link
+            scoped environmental faults match on the physical hop.
+        payload_shared: True while :attr:`payload` is aliased between the
+            copies of one broadcast (copy-on-write).  Receivers treat
+            payloads as read-only by contract; any writer (the attacker
+            proxy path) must call :meth:`own_payload` first.
     """
 
     source: int
@@ -94,6 +104,8 @@ class Message:
     forged: bool = False
     corrupted: bool = False
     cause: str | None = None
+    relay_from: int | None = None
+    payload_shared: bool = False
 
     @property
     def type(self) -> str:
@@ -107,22 +119,44 @@ class Message:
             raise ValueError("message has no delay assigned yet")
         return self.sent_at + self.delay
 
-    def copy_for(self, dest: int) -> "Message":
+    def copy_for(self, dest: int, *, share_payload: bool = False) -> "Message":
         """Return an independent copy addressed to ``dest``.
 
         Used by the network module to expand a broadcast into unicasts; each
-        copy gets its own id and an independent (deep-copied) payload so the
-        attacker may tamper with one recipient's copy without affecting the
-        others.
+        copy gets its own id and — by default — an independent (deep-copied)
+        payload so the attacker may tamper with one recipient's copy without
+        affecting the others.
+
+        With ``share_payload=True`` the copy aliases this message's payload
+        and is flagged :attr:`payload_shared` (copy-on-write): the
+        dissemination overlays use this to avoid materializing n structural
+        payload copies per broadcast.  Any path that may mutate the payload
+        (the attacker hand-off) un-shares via :meth:`own_payload` first.
         """
+        if share_payload:
+            payload = self.payload
+            self.payload_shared = True
+        else:
+            payload = deep_copy_payload(self.payload)
         return Message(
             source=self.source,
             dest=dest,
-            payload=deep_copy_payload(self.payload),
+            payload=payload,
             sent_at=self.sent_at,
             forged=self.forged,
             cause=self.cause,
+            payload_shared=share_payload,
         )
+
+    def own_payload(self) -> None:
+        """Replace a shared payload with a private structural copy.
+
+        No-op for already-private payloads.  Call before any in-place
+        payload mutation of a broadcast copy (copy-on-write discipline).
+        """
+        if self.payload_shared:
+            self.payload = deep_copy_payload(self.payload)
+            self.payload_shared = False
 
     def describe(self) -> str:
         """Short human-readable summary used in traces and logs."""

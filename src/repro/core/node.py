@@ -104,6 +104,9 @@ class Node:
         self.env = env
         self._decided_log: list[tuple[int, Any]] = []
         self._log: SimLogger | None = None
+        # n and f are fixed for a run, so quorum sizes are computed once per
+        # (node, kind) — protocols call quorum() on every vote delivery.
+        self._quorum_cache: dict[str, int] = {}
 
     # -- lifecycle callbacks (override in subclasses) ----------------------
 
@@ -173,13 +176,18 @@ class Node:
         ``n - f`` (every honest node), ``"plurality"`` returns ``f + 1``
         (at least one honest node).
         """
-        if kind == "byzantine":
-            return (self.n + self.f) // 2 + 1
-        if kind == "available":
-            return self.n - self.f
-        if kind == "plurality":
-            return self.f + 1
-        raise ValueError(f"unknown quorum kind {kind!r}")
+        size = self._quorum_cache.get(kind)
+        if size is None:
+            if kind == "byzantine":
+                size = (self.n + self.f) // 2 + 1
+            elif kind == "available":
+                size = self.n - self.f
+            elif kind == "plurality":
+                size = self.f + 1
+            else:
+                raise ValueError(f"unknown quorum kind {kind!r}")
+            self._quorum_cache[kind] = size
+        return size
 
     # -- actions ------------------------------------------------------------
 

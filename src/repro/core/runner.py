@@ -8,6 +8,12 @@ times and reports mean and standard deviation (§IV).  Both
 :class:`repro.parallel.ParallelRunner`; parallel execution returns exactly
 the results serial execution would, in the same order — only
 ``wall_clock_seconds`` (host time) differs.
+
+For large systems (n in the hundreds to 1000), select a relayed
+dissemination overlay (``NetworkConfig.dissemination = "tree"`` or
+``"gossip"``) — broadcasts then cost one shared delivery event and one
+vectorized delay batch instead of per-recipient copies; see
+``docs/scaling.md`` and ``benchmarks/bench_scale.py``.
 """
 
 from __future__ import annotations

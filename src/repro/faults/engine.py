@@ -102,10 +102,16 @@ class FaultInjector:
         duplicates: list[Message] = []
         alive = True
         sent_at = message.sent_at
+        # Link faults are physical: a dissemination hop travels the
+        # relay->dest link, not origin->dest, so spec matching uses the
+        # transmitting node when one is recorded.
+        src = message.relay_from
+        if src is None:
+            src = message.source
         for spec, draw in self._active:
             if not spec.in_window(sent_at):
                 continue
-            if not spec.matches_link(message.source, message.dest):
+            if not spec.matches_link(src, message.dest):
                 continue
             if spec.kind == "link-down":
                 faults.link_down += 1
@@ -147,6 +153,8 @@ class FaultInjector:
             forged=message.forged,
             corrupted=message.corrupted,
         )
+        dup.relay_from = message.relay_from
+        dup.cause = message.cause
         self._metrics.faults.duplicated += 1
         self._record("env-dup", dup, original=message.msg_id)
         return dup

@@ -31,6 +31,17 @@ class DelaySampler(ABC):
         """Return one delay sample in milliseconds (unbounded, may be <= 0;
         bounding is the :class:`DelayModel`'s job)."""
 
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Return ``size`` delay samples as a float64 vector.
+
+        Contract: **stream-identical** to ``size`` successive
+        :meth:`sample` calls on the same generator — numpy's ``Generator``
+        draws vectorized and scalar variates from the same stream, which
+        the built-in samplers exploit; this default simply loops, so custom
+        samplers inherit the contract for free.
+        """
+        return np.array([self.sample(rng) for _ in range(size)], dtype=np.float64)
+
     def describe(self) -> str:
         return type(self).__name__
 
@@ -43,6 +54,9 @@ class ConstantDelay(DelaySampler):
 
     def sample(self, rng: np.random.Generator) -> float:
         return self.value
+
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return np.full(size, self.value)
 
     def describe(self) -> str:
         return f"constant({self.value})"
@@ -59,6 +73,9 @@ class UniformDelay(DelaySampler):
     def sample(self, rng: np.random.Generator) -> float:
         return rng.uniform(self.mean - self.spread, self.mean + self.spread)
 
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.uniform(self.mean - self.spread, self.mean + self.spread, size)
+
     def describe(self) -> str:
         return f"uniform(mean={self.mean}, spread={self.spread:.1f})"
 
@@ -72,6 +89,9 @@ class NormalDelay(DelaySampler):
 
     def sample(self, rng: np.random.Generator) -> float:
         return rng.normal(self.mean, self.std)
+
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.normal(self.mean, self.std, size)
 
     def describe(self) -> str:
         return f"normal({self.mean}, {self.std})"
@@ -96,6 +116,9 @@ class LogNormalDelay(DelaySampler):
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.lognormal(self.mu, self.sigma))
 
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.lognormal(self.mu, self.sigma, size)
+
     def describe(self) -> str:
         return f"lognormal(mean={self.mean}, std={self.std})"
 
@@ -111,6 +134,9 @@ class ExponentialDelay(DelaySampler):
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.exponential(self.mean))
 
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.exponential(self.mean, size)
+
     def describe(self) -> str:
         return f"exponential(mean={self.mean})"
 
@@ -125,6 +151,9 @@ class PoissonDelay(DelaySampler):
 
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.poisson(self.mean))
+
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.poisson(self.mean, size).astype(np.float64)
 
     def describe(self) -> str:
         return f"poisson(mean={self.mean})"
@@ -202,6 +231,23 @@ class DelayModel:
         elif self._max_delay is not None and raw > self._max_delay:
             raw = self._max_delay
         return raw if raw > self._min_delay else self._min_delay
+
+    def sample_delays(self, now: float, size: int) -> np.ndarray:
+        """``size`` bounded delays for messages entering the network at ``now``.
+
+        The vectorized counterpart of :meth:`sample_delay`: one batched draw
+        (stream-identical to ``size`` scalar draws, see
+        :meth:`DelaySampler.sample_batch`) with the same GST / ``max_delay``
+        / ``min_delay`` semantics applied elementwise.  The dissemination
+        overlays use this to price a whole broadcast in one call.
+        """
+        raw = np.asarray(self.sampler.sample_batch(self._rng, size), dtype=np.float64)
+        if now < self._gst:
+            raw = raw * self._pre_gst_factor
+        elif self._max_delay is not None:
+            np.minimum(raw, self._max_delay, out=raw)
+        np.maximum(raw, self._min_delay, out=raw)
+        return raw
 
     def describe(self) -> str:
         bound = self.config.max_delay

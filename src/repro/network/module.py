@@ -33,6 +33,13 @@ from ..core.message import (
     estimate_message_bytes,
 )
 from .delays import DelayModel
+from .dissemination import (
+    DisseminationPlan,
+    TreeShape,
+    gossip_labels,
+    resolve_fanout,
+    restricted_plan,
+)
 from .topology import Topology
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -91,6 +98,19 @@ class NetworkModule:
         # Simulated-time metrics registry (or None), bound once: like the
         # profiler it is fixed for the controller's lifetime.
         self._obs = controller.obs_metrics
+        # Dissemination overlay state (tree/gossip modes only).  The shape
+        # cache and the two dedicated RNG substreams are created lazily on
+        # the first disseminated broadcast, so ``mode="full"`` runs issue no
+        # new substreams and stay byte-identical to older versions.
+        self._mode = config.dissemination
+        self._shape_obj: TreeShape | None = None
+        self._diss_model: DelayModel | None = None
+        self._gossip_rng: np.random.Generator | None = None
+        self._linkdown_specs = (
+            [s for s in faults.schedule.specs if s.kind == "link-down"]
+            if faults is not None
+            else []
+        )
 
     def set_delay_override(self, hook: Callable[[Message], float | None] | None) -> None:
         """Install (or clear) a delay-override hook.
@@ -127,6 +147,13 @@ class NetworkModule:
             # all n copies instead of re-serializing each one.
             wire_bytes = estimate_message_bytes(message)
             forged = message.forged
+            if self._mode != "full" and not forged and controller.n > 1:
+                # Honest broadcasts ride the configured dissemination
+                # overlay.  Attacker-forged broadcasts always use the full
+                # fan-out: the adversary injects packets directly at each
+                # victim and is not bound by the honest relay discipline.
+                self._submit_disseminated(message, wire_bytes)
+                return
             submit_single = self._submit_single
             for dest in range(self._controller.n):
                 single = message.copy_for(dest)
@@ -134,6 +161,147 @@ class NetworkModule:
                 submit_single(single, wire_bytes)
         else:
             self._submit_single(message)
+
+    # -- dissemination (tree / gossip broadcasts) ----------------------------
+
+    def _submit_disseminated(self, message: Message, wire_bytes: int) -> None:
+        """Expand a broadcast along the configured overlay (plan-ahead).
+
+        The sender's loopback copy is delivered first (exactly as in the
+        full fan-out); the remaining hops follow the dissemination plan
+        with one vectorized delay batch from the ``network.dissemination``
+        substream.  Every hop is charged at *origination*: its ``sent_at``
+        is the broadcast time and its ``delay`` the cumulative path offset,
+        so attacker/fault/partition windows and observability latency
+        behave exactly like the full fan-out's unicasts (cut-through
+        semantics — see :mod:`repro.network.dissemination`).
+        """
+        controller = self._controller
+        now = message.sent_at
+        source = message.source
+
+        self_copy = message.copy_for(source, share_payload=True)
+        self._submit_single(self_copy, wire_bytes)
+
+        plan = self._broadcast_plan(source, now)
+        h = plan.size
+        if h == 0:
+            return
+        offsets = plan.arrivals(self._dissemination_delays().sample_delays(now, h))
+
+        trace = controller.trace
+        if (
+            self._benign_env
+            and not trace.enabled
+            and self._delay_override is None
+            and type(self.attacker) is NullAttacker
+            and not self._attacker_ctx._corrupted_since
+        ):
+            # Fast tier (same predicate as the unicast fast path): nothing
+            # can observe or mutate individual copies, so ONE shared message
+            # and ONE shared delivery event serve every recipient — the
+            # queue entry carries each hop's firing time and destination —
+            # and counts are bulk-incremented.  Event push order (BFS hop
+            # order) and RNG consumption match the instrumented tier
+            # exactly; only per-copy allocation is elided.
+            message.msg_id = controller.next_message_id()
+            counts = self._counts
+            counts.sent += h
+            counts.bytes_sent += h * wire_bytes
+            obs = self._obs
+            if obs is not None:
+                on_send = obs.on_send
+                for relay in plan.relays.tolist():
+                    on_send(relay, wire_bytes)
+            controller.queue.push_deliveries(
+                MessageEvent(time=now, message=message),
+                (now + offsets).tolist(),
+                plan.dests.tolist(),
+            )
+            return
+
+        # Instrumented tier: one real copy per hop through the standard
+        # single-message path (attacker proxying, fault engine, tracing).
+        # Payloads are shared copy-on-write; ``_run_attacker`` unshares
+        # before any non-null attacker can mutate.  The preassigned delay
+        # suppresses the per-copy draw, so RNG use matches the fast tier.
+        dests = plan.dests.tolist()
+        relays = plan.relays.tolist()
+        offset_list = offsets.tolist()
+        submit_single = self._submit_single
+        for i in range(h):
+            hop = message.copy_for(dests[i], share_payload=True)
+            hop.relay_from = relays[i]
+            hop.delay = offset_list[i]
+            submit_single(hop, wire_bytes)
+
+    def _broadcast_plan(self, source: int, now: float) -> DisseminationPlan:
+        """The overlay for one broadcast rooted at ``source`` at time ``now``.
+
+        On the pristine complete graph with no active ``link-down`` window
+        this is the cached k-ary shape (tree) or a fresh heap attachment of
+        one drawn permutation (gossip).  Otherwise it falls back to a
+        breadth-first spanning of the reachable component over currently
+        usable links — gossip's permutation becomes the visit priority, so
+        both branches consume identical RNG.
+        """
+        n = self._controller.n
+        topology = self.topology
+        restricted = not topology.is_complete()
+        if not restricted:
+            for spec in self._linkdown_specs:
+                if spec.in_window(now):
+                    restricted = True
+                    break
+        if self._mode == "gossip":
+            labels = gossip_labels(self._gossip_generator(), n, source)
+            if restricted:
+                return restricted_plan(source, n, self._usable_at(now), labels)
+            return self._shape().plan_from_labels(labels)
+        if restricted:
+            return restricted_plan(source, n, self._usable_at(now))
+        return self._shape().plan(source)
+
+    def _usable_at(self, now: float) -> Callable[[int, int], bool]:
+        """Directed-link usability predicate at origination time ``now``."""
+        topology = self.topology
+        active = [s for s in self._linkdown_specs if s.in_window(now)]
+
+        def usable(a: int, b: int) -> bool:
+            if not topology.connected(a, b):
+                return False
+            for spec in active:
+                if spec.matches_link(a, b):
+                    return False
+            return True
+
+        return usable
+
+    def _shape(self) -> TreeShape:
+        shape = self._shape_obj
+        if shape is None:
+            n = self._controller.n
+            shape = self._shape_obj = TreeShape(
+                n, resolve_fanout(self.config.fanout, n)
+            )
+        return shape
+
+    def _gossip_generator(self) -> np.random.Generator:
+        rng = self._gossip_rng
+        if rng is None:
+            rng = self._gossip_rng = self._controller.random_source.numpy(
+                "network.gossip"
+            )
+        return rng
+
+    def _dissemination_delays(self) -> DelayModel:
+        model = self._diss_model
+        if model is None:
+            model = self._diss_model = DelayModel(
+                self.config,
+                self._controller.random_source.numpy("network.dissemination"),
+            )
+        return model
 
     # -- internals ----------------------------------------------------------
 
@@ -180,12 +348,19 @@ class NetworkModule:
         byzantine = message.forged or self._attacker_ctx.controls_message(message)
         controller.metrics.on_sent(byzantine=byzantine)
         controller.metrics.on_bytes(wire_bytes)
+        # Wire accounting is charged to the physical transmitter: the relay
+        # for dissemination hops, the protocol-level source otherwise.
+        relay = message.relay_from
         if self._obs is not None:
-            self._obs.on_send(message.source, wire_bytes)
+            self._obs.on_send(relay if relay is not None else message.source, wire_bytes)
         if trace.enabled:
             payload = message.payload
             slot = payload.get("slot", payload.get("height"))
             view = payload.get("view", payload.get("round"))
+            # Dissemination hops additionally record the relaying node; the
+            # field is omitted entirely in full mode so existing trace
+            # consumers and golden traces see unchanged records.
+            extra = {} if relay is None else {"relay": relay}
             if byzantine:
                 # Tagged so trace consumers (``repro inspect``) can reproduce
                 # the honest/byzantine split of MessageCounts from the trace.
@@ -199,20 +374,21 @@ class NetworkModule:
                         dest=message.dest, msg_type=message.type,
                         msg_id=message.msg_id, size=wire_bytes, byzantine=True,
                         origin="attacker", cause=message.cause,
-                        slot=slot, view=view,
+                        slot=slot, view=view, **extra,
                     )
                 else:
                     trace.record(
                         controller.clock.now, "send", message.source,
                         dest=message.dest, msg_type=message.type,
                         msg_id=message.msg_id, size=wire_bytes, byzantine=True,
-                        cause=message.cause, slot=slot, view=view,
+                        cause=message.cause, slot=slot, view=view, **extra,
                     )
             else:
                 trace.record(
                     controller.clock.now, "send", message.source,
                     dest=message.dest, msg_type=message.type, msg_id=message.msg_id,
                     size=wire_bytes, cause=message.cause, slot=slot, view=view,
+                    **extra,
                 )
         prof = self._profiler
         if message.delay is None:
@@ -250,6 +426,13 @@ class NetworkModule:
     def _run_attacker(self, message: Message) -> Iterable[Message]:
         """Pass one message through the attacker and enforce capabilities."""
         ctx = self._attacker_ctx
+        if message.payload_shared and type(self.attacker) is not NullAttacker:
+            # Copy-on-write boundary: dissemination hops share one payload
+            # object.  A real attacker may legitimately mutate a controlled
+            # message in place, which must never leak into sibling copies —
+            # unshare first.  The exact-class NullAttacker check keeps
+            # trace-only runs sharing (its ``attack`` cannot mutate).
+            message.own_payload()
         observable = (
             Capability.OBSERVE in ctx.capabilities or ctx.controls_message(message)
         )

@@ -67,14 +67,29 @@ class BFTProtocol(Node):
                 f"({cls.network_model} resilience); got f={f}"
             )
 
-    def proposal_value(self, slot: int, view: int | None = None) -> str:
+    def proposal_value(self, slot: int, view: int | None = None) -> Any:
         """A deterministic placeholder value for a fresh proposal.
 
-        The simulator does not execute application payloads, so proposals
-        are tagged strings carrying the proposer, slot, and view (enough for
-        safety checking to be meaningful)."""
+        The simulator does not execute application payloads, so by default
+        proposals are tagged strings carrying the proposer, slot, and view
+        (enough for safety checking to be meaningful).
+
+        Setting the protocol parameter ``block_txns`` to ``T > 0`` switches
+        proposals to structured *blocks*: a dict carrying the same tag plus a
+        list of ``T`` synthetic transaction strings.  The tag alone still
+        identifies the value (transactions are a deterministic function of
+        it), so protocols may digest blocks by tag.  Blocks give proposals a
+        realistic payload weight — under ``full`` dissemination every
+        recipient copy structurally copies the transaction list, while the
+        ``tree``/``gossip`` overlays share it copy-on-write — without
+        touching the default (``block_txns=0``) behaviour or its digests.
+        """
         suffix = f"/v{view}" if view is not None else ""
-        return f"value(slot={slot}, proposer={self.id}{suffix})"
+        tag = f"value(slot={slot}, proposer={self.id}{suffix})"
+        txns = int(self.env.protocol_param("block_txns", 0) or 0)
+        if txns <= 0:
+            return tag
+        return {"tag": tag, "txns": [f"tx{slot}.{i}" for i in range(txns)]}
 
 
 class VoteCounter:
@@ -93,8 +108,9 @@ class VoteCounter:
 
     def add(self, key: Hashable, voter: int) -> int:
         """Record ``voter``'s vote for ``key``; returns the updated count."""
-        self._voters[key].add(voter)
-        return len(self._voters[key])
+        voters = self._voters[key]
+        voters.add(voter)
+        return len(voters)
 
     def count(self, key: Hashable) -> int:
         voters = self._voters.get(key)

@@ -92,6 +92,12 @@ class PBFTNode(BFTProtocol):
         )
 
     def _digest(self, value: Any) -> str:
+        # Block values (see BFTProtocol.proposal_value) are digested by tag:
+        # the transaction list is a deterministic function of the tag, so the
+        # tag uniquely identifies the block — the simulator-scale stand-in
+        # for hashing the transaction list itself.
+        if type(value) is dict and "tag" in value:
+            return f"d({value['tag']})"
         return f"d({value})"
 
     # ------------------------------------------------------------------
@@ -162,6 +168,18 @@ class PBFTNode(BFTProtocol):
             self._on_decided(message)
         # Unknown kinds are ignored: Byzantine senders may emit garbage.
 
+    # The three hot handlers below run targeted rechecks instead of the full
+    # ``_recheck``.  This is behavior-preserving, not an approximation: the
+    # replica's state between events is a fixed point of every non-firing
+    # ``_try_*`` rule with respect to that rule's read set (each rule ran
+    # after the previous event and declined), so only rules whose read set
+    # the handler just wrote can newly fire.  PREPARE writes
+    # ``prepare_votes`` (read only by ``_try_commit``); COMMIT writes
+    # ``commit_votes``/``commit_values`` (read only by ``_try_decide``);
+    # PRE-PREPARE writes ``pre_prepares`` (read by prepare/commit/decide).
+    # Rare paths (view changes, timers, slot entry, recovery) keep the full
+    # sweep.
+
     def _on_pre_prepare(self, message: Message) -> None:
         payload = message.payload
         view, slot = int(payload["view"]), int(payload["slot"])
@@ -174,22 +192,37 @@ class PBFTNode(BFTProtocol):
         if digest != self._digest(value):
             return
         self.pre_prepares[key] = (digest, value)
-        self._recheck()
+        if self.slot not in self._decided:
+            self._try_prepare()
+            self._try_commit()
+            self._try_decide()
 
     def _on_prepare(self, message: Message) -> None:
         payload = message.payload
         key = (int(payload["view"]), int(payload["slot"]), str(payload["digest"]))
         self.prepare_votes.add(key, message.source)
-        self._recheck()
+        # Inline the two cheap disqualifiers (_try_commit re-checks them,
+        # but most post-quorum PREPARE arrivals exit right here).
+        if self.slot not in self._decided and (
+            (self.view, self.slot) not in self._sent_commit
+        ):
+            self._try_commit()
 
     def _on_commit(self, message: Message) -> None:
         payload = message.payload
         key = (int(payload["view"]), int(payload["slot"]), str(payload["digest"]))
         self.commit_votes.add(key, message.source)
         value = payload.get("value")
-        if value is not None and self._digest(value) == key[2]:
-            self.commit_values.setdefault(key, value)
-        self._recheck()
+        # Membership first: the digest check (which stringifies the value)
+        # only needs to run for the first matching COMMIT of each key.
+        if (
+            value is not None
+            and key not in self.commit_values
+            and self._digest(value) == key[2]
+        ):
+            self.commit_values[key] = value
+        if self.slot not in self._decided:
+            self._try_decide()
 
     def _on_view_change(self, message: Message) -> None:
         payload = message.payload
@@ -336,7 +369,7 @@ class PBFTNode(BFTProtocol):
         replicas (stuck one view ahead after an aborted view change) adopt
         the decision — the simulator-scale stand-in for PBFT state transfer.
         """
-        for key in list(self.commit_votes.keys()):
+        for key in self.commit_votes.keys():  # keys() is already a fresh list
             view, slot, digest = key
             if slot != self.slot:
                 continue

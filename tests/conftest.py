@@ -36,6 +36,8 @@ def quick_config(
     num_decisions: int = 1,
     attack: AttackConfig | None = None,
     max_delay: float | None = None,
+    dissemination: str = "full",
+    fanout: int = 0,
     **kwargs,
 ) -> SimulationConfig:
     """A small, fast simulation configuration for unit tests."""
@@ -43,7 +45,13 @@ def quick_config(
         protocol=protocol,
         n=n,
         lam=lam,
-        network=NetworkConfig(mean=mean, std=std, max_delay=max_delay),
+        network=NetworkConfig(
+            mean=mean,
+            std=std,
+            max_delay=max_delay,
+            dissemination=dissemination,
+            fanout=fanout,
+        ),
         attack=attack or AttackConfig(),
         num_decisions=num_decisions,
         seed=seed,

@@ -127,3 +127,114 @@ def test_property_cancel_subset(times, data):
     )
     popped = [queue.pop().time for _ in range(len(queue))]
     assert popped == remaining
+
+
+class TestSharedDeliveries:
+    """push_deliveries / pop_entry: one shared event, per-entry time+dest."""
+
+    def _shared(self):
+        from repro.core.events import MessageEvent
+        from repro.core.message import BROADCAST, Message
+
+        message = Message(source=0, dest=BROADCAST, payload={"type": "B"})
+        return MessageEvent(time=1.0, message=message)
+
+    def test_entries_fire_at_their_own_times_and_dests(self):
+        queue = EventQueue()
+        event = self._shared()
+        queue.push_deliveries(event, [3.0, 1.0, 2.0], [7, 5, 6])
+        popped = [queue.pop_entry() for _ in range(3)]
+        assert [(e[0], e[3]) for e in popped] == [(1.0, 5), (2.0, 6), (3.0, 7)]
+        assert all(e[2] is event for e in popped)
+
+    def test_interleaves_with_ordinary_events(self):
+        queue = EventQueue()
+        queue.push(timer(1.5, "mid"))
+        queue.push_deliveries(self._shared(), [1.0, 2.0], [3, 4])
+        first, second, third = (queue.pop_entry() for _ in range(3))
+        assert first[3] == 3
+        assert second[2].name == "mid" and second[3] is None
+        assert third[3] == 4
+
+    def test_handle_sequence_shared_with_push(self):
+        """Tie-breaking across push and push_deliveries is insertion order."""
+        queue = EventQueue()
+        queue.push(timer(1.0, "a"))
+        queue.push_deliveries(self._shared(), [1.0], [9])
+        queue.push(timer(1.0, "b"))
+        kinds = []
+        for _ in range(3):
+            entry = queue.pop_entry()
+            kinds.append(entry[2].name if entry[3] is None else "delivery")
+        assert kinds == ["a", "delivery", "b"]
+
+    def test_negative_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(SchedulingError):
+            queue.push_deliveries(self._shared(), [1.0, -0.5], [0, 1])
+
+    def test_pop_is_event_view_of_pop_entry(self):
+        queue = EventQueue()
+        event = self._shared()
+        queue.push_deliveries(event, [1.0], [4])
+        assert queue.pop() is event
+
+
+class TestTombstoneCompaction:
+    """Heavy cancellation churn must not let the heap grow unboundedly:
+    at n=1000 a protocol run cancels hundreds of thousands of timers."""
+
+    def test_heap_stays_bounded_under_100k_cancels(self):
+        queue = EventQueue()
+        cancels = 0
+        for i in range(120_000):
+            handle = queue.push(timer(float(i % 977)))
+            if i % 10 != 0:  # cancel 90% immediately
+                queue.cancel(handle)
+                cancels += 1
+        assert cancels > 100_000
+        live = len(queue)
+        # Without compaction the heap would hold all 120k entries.
+        assert len(queue._heap) < 2 * live + EventQueue.COMPACT_MIN_TOMBSTONES + 1
+
+    def test_pop_order_correct_after_compaction(self):
+        queue = EventQueue()
+        handles = {}
+        for i in range(5_000):
+            handles[i] = queue.push(timer(float((i * 37) % 1009), name=str(i)))
+        for i in range(0, 5_000, 2):
+            queue.cancel(handles[i])
+        for i in range(1, 5_000, 4):
+            queue.cancel(handles[i])
+        expected = sorted(
+            (float((i * 37) % 1009), i)
+            for i in range(5_000)
+            if i % 2 != 0 and i % 4 != 1
+        )
+        popped = [queue.pop() for _ in range(len(queue))]
+        assert [(e.time, int(e.name)) for e in popped] == expected
+        assert not queue
+
+    def test_cancel_if_triggers_compaction(self):
+        queue = EventQueue()
+        for i in range(10_000):
+            queue.push(timer(float(i), name="victim" if i % 4 else "keep"))
+        removed = queue.cancel_if(lambda e: e.name == "victim")
+        assert removed == 7_500
+        # Dead entries outnumber live ones, so the sweep compacts the heap.
+        assert len(queue._heap) == 2_500
+
+    def test_compaction_keeps_shared_delivery_entries(self):
+        from repro.core.events import MessageEvent
+        from repro.core.message import BROADCAST, Message
+
+        queue = EventQueue()
+        event = MessageEvent(
+            time=1.0, message=Message(source=0, dest=BROADCAST, payload={})
+        )
+        queue.push_deliveries(event, [10.0, 20.0], [1, 2])
+        handles = [queue.push(timer(float(i))) for i in range(500)]
+        for handle in handles:
+            queue.cancel(handle)
+        assert len(queue) == 2
+        assert [queue.pop_entry()[3] for _ in range(2)] == [1, 2]

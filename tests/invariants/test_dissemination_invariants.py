@@ -1,0 +1,203 @@
+"""Scale-invariant properties of the dissemination overlays.
+
+Two property families, complementing ``test_safety_invariants.py`` (which
+fixes ``mode="full"``):
+
+* **Safety is overlay-independent** — agreement and contiguity hold for
+  every dissemination mode, fanout, system size up to 64, seed, and
+  environmental fault schedule.  Relaying reshapes *when* copies arrive,
+  never *what* honest nodes decide.
+
+* **Reachability** — under timed ``link-down`` windows the tree and gossip
+  overlays fall back to a breadth-first spanning of usable links; a
+  broadcast must reach **exactly** the nodes reachable from the sender over
+  usable directed links — nobody stranded behind a saturated relay, nobody
+  smuggled across a down link.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Controller, Message, run_simulation
+from repro.core.config import (
+    FaultScheduleConfig,
+    FaultSpec,
+    NetworkConfig,
+    SimulationConfig,
+)
+from repro.core.events import MessageEvent
+from repro.core.message import BROADCAST
+
+from tests.conftest import quick_config
+from tests.invariants.test_safety_invariants import (
+    assert_agreement,
+    assert_contiguous,
+)
+
+LAM = 300.0
+HORIZON = 240_000.0
+
+#: One partially-synchronous protocol per communication shape: all-to-all
+#: broadcast phases (pbft), leader-centric chained voting (hotstuff-ns),
+#: and round-based gossip of proposals (tendermint).
+PROTOCOLS = ["pbft", "hotstuff-ns", "tendermint"]
+
+
+# -- strategies --------------------------------------------------------------
+
+def dissemination_settings() -> st.SearchStrategy[tuple[str, int]]:
+    """(mode, fanout) pairs; fanout 0 is the auto sqrt(n) rule."""
+    return st.one_of(
+        st.just(("full", 0)),
+        st.tuples(st.sampled_from(["tree", "gossip"]), st.sampled_from([0, 2, 3, 8])),
+    )
+
+
+def fault_schedules(n: int) -> st.SearchStrategy[FaultScheduleConfig]:
+    """Benign-environment adversity, including the link-down windows that
+    force the overlays onto the restricted (BFS) path mid-run."""
+    loss = st.builds(
+        lambda rate: FaultSpec(kind="loss", rate=rate),
+        st.floats(min_value=0.01, max_value=0.15),
+    )
+    delay = st.builds(
+        lambda rate, factor: FaultSpec(kind="delay", rate=rate, factor=factor),
+        st.floats(min_value=0.01, max_value=0.2),
+        st.floats(min_value=1.5, max_value=4.0),
+    )
+    link_down = st.builds(
+        lambda src, dst, start, width: FaultSpec(
+            kind="link-down", src=[src], dst=[dst], start=start, end=start + width
+        ),
+        st.integers(min_value=0, max_value=n - 1),
+        st.integers(min_value=0, max_value=n - 1),
+        st.floats(min_value=0.0, max_value=2_000.0),
+        st.floats(min_value=100.0, max_value=3_000.0),
+    )
+    crash = st.builds(
+        lambda node, start: FaultSpec(kind="crash", node=node, start=start),
+        st.integers(min_value=0, max_value=n - 1),
+        st.floats(min_value=100.0, max_value=3_000.0),
+    )
+    return st.builds(
+        lambda links, crashed: FaultScheduleConfig(specs=links + crashed),
+        st.lists(st.one_of(loss, delay, link_down), min_size=0, max_size=3),
+        st.lists(crash, min_size=0, max_size=1),
+    )
+
+
+@st.composite
+def battery_settings(draw):
+    n = draw(st.sampled_from([4, 7, 16, 31, 64]))
+    mode, fanout = draw(dissemination_settings())
+    return (
+        draw(st.sampled_from(PROTOCOLS)),
+        n,
+        mode,
+        fanout,
+        draw(st.integers(min_value=0, max_value=100_000)),
+        draw(fault_schedules(n)),
+    )
+
+
+def build_config(protocol, n, mode, fanout, seed, faults) -> SimulationConfig:
+    return SimulationConfig(
+        protocol=protocol,
+        n=n,
+        lam=LAM,
+        network=NetworkConfig(
+            mean=50.0, std=15.0, dissemination=mode, fanout=fanout
+        ),
+        faults=faults,
+        num_decisions=1,
+        seed=seed,
+        max_time=HORIZON,
+        allow_horizon=True,
+    )
+
+
+# -- safety battery ----------------------------------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(drawn=battery_settings())
+def test_safety_invariant_across_modes_and_scales(drawn):
+    protocol, n, mode, fanout, seed, faults = drawn
+    result = run_simulation(build_config(protocol, n, mode, fanout, seed, faults))
+    assert_agreement(result)
+    assert_contiguous(result)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    mode=st.sampled_from(["tree", "gossip"]),
+    fanout=st.sampled_from([0, 2, 8]),
+    seed=st.integers(min_value=0, max_value=100_000),
+)
+def test_benign_relayed_runs_terminate_at_n64(mode, fanout, seed):
+    """Without adversity the overlays must never cost liveness: a relayed
+    n=64 run terminates like the full fan-out does."""
+    result = run_simulation(
+        build_config("pbft", 64, mode, fanout, seed, FaultScheduleConfig())
+    )
+    assert result.terminated
+
+
+# -- reachability ------------------------------------------------------------
+
+def _reachable(n: int, down: set[tuple[int, int]], root: int) -> set[int]:
+    """Directed BFS over the complement of ``down`` (the oracle)."""
+    seen = {root}
+    frontier = [root]
+    while frontier:
+        nxt = []
+        for a in frontier:
+            for b in range(n):
+                if b not in seen and a != b and (a, b) not in down:
+                    seen.add(b)
+                    nxt.append(b)
+        frontier = nxt
+    return seen
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=16),
+    mode=st.sampled_from(["tree", "gossip"]),
+    fanout=st.sampled_from([0, 2]),
+    seed=st.integers(min_value=0, max_value=10_000),
+    data=st.data(),
+)
+def test_broadcast_reaches_exactly_the_reachable_set(n, mode, fanout, seed, data):
+    """Under an active link-down window, a relayed broadcast is delivered to
+    exactly the directed-reachable set — coverage is never lost to the
+    fanout cap and never gained across a down link."""
+    root = data.draw(st.integers(min_value=0, max_value=n - 1), label="root")
+    edges = [(a, b) for a in range(n) for b in range(n) if a != b]
+    down = data.draw(
+        st.sets(st.sampled_from(edges), max_size=min(len(edges), 24)), label="down"
+    )
+    specs = [
+        FaultSpec(kind="link-down", src=[a], dst=[b], start=0.0, end=None)
+        for a, b in sorted(down)
+    ]
+    controller = Controller(
+        quick_config(
+            n=n,
+            seed=seed,
+            dissemination=mode,
+            fanout=fanout,
+            faults=FaultScheduleConfig(specs=specs),
+        )
+    )
+    controller.network.submit(
+        Message(source=root, dest=BROADCAST, payload={"type": "B"})
+    )
+    delivered = set()
+    queue = controller.queue
+    while queue:
+        entry = queue.pop_entry()
+        if type(entry[2]) is MessageEvent:
+            dest = entry[3]
+            delivered.add(entry[2].message.dest if dest is None else dest)
+    assert delivered == _reachable(n, down, root)
