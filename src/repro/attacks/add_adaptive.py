@@ -43,6 +43,10 @@ class ADDAdaptiveAttacker(Attacker):
 
     capabilities = Capability.OBSERVE | Capability.BYZANTINE | Capability.ADAPTIVE
 
+    @classmethod
+    def corruption_demand(cls, params, f):
+        return int(params.get("budget", f))
+
     def setup(self) -> None:
         self.budget = int(self.params.get("budget", self.ctx.f))
         self._spent = 0

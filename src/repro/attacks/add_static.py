@@ -34,6 +34,13 @@ class ADDStaticAttacker(Attacker):
 
     capabilities = Capability.BYZANTINE
 
+    @classmethod
+    def corruption_demand(cls, params, f):
+        victims = params.get("victims")
+        if victims is not None:
+            return len(victims)
+        return int(params.get("count", f))
+
     def setup(self) -> None:
         ctx = self.ctx
         victims = self.params.get("victims")

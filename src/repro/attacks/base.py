@@ -52,6 +52,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..core.config import SimulationConfig
     from ..core.controller import Controller
     from ..network.topology import Topology
+    from ..observability.signals import LiveSignals
 
 
 class Capability(enum.Flag):
@@ -109,6 +110,54 @@ class AttackerContext:
     def rng(self, name: str = "attacker") -> random.Random:
         """Deterministic random stream for attacker decisions."""
         return self._controller.shared_rng(f"attack.{name}")
+
+    @property
+    def signals(self) -> "LiveSignals":
+        """Live run-progress signals (see :mod:`repro.observability.signals`).
+
+        Available only to attackers that declare ``wants_signals = True``
+        (the controller then maintains the counters) **and** hold the
+        ``OBSERVE`` capability: the run's own progress telemetry — who is
+        straggling, who keeps closing quorums — is rushing-adversary
+        knowledge, reserved for observing attackers.
+
+        Raises:
+            CapabilityError: without ``OBSERVE``, or when the attacker did
+                not declare ``wants_signals`` (nothing was collected).
+        """
+        if Capability.OBSERVE not in self.capabilities:
+            raise CapabilityError(
+                "reading live run signals requires the OBSERVE capability"
+            )
+        signals = self._controller.signals
+        if signals is None:
+            raise CapabilityError(
+                "live signals were not collected for this run; the attacker "
+                "class must declare wants_signals = True"
+            )
+        return signals
+
+    def overlay_relays(self, root: int) -> tuple[int, ...]:
+        """The relay nodes a ``tree`` broadcast from ``root`` routes through.
+
+        Structural knowledge of the dissemination overlay — the set of
+        internal (non-root) nodes of the spanning tree every broadcast from
+        ``root`` rides.  Delaying exactly these nodes chokes the overlay
+        without touching the root itself.  Requires the ``NETWORK``
+        capability (it is network-topology knowledge, not message content).
+
+        Returns an empty tuple for ``full`` dissemination (no relays) and
+        for ``gossip`` (the relay set is drawn per broadcast — there is no
+        static choke point to target).
+
+        Raises:
+            CapabilityError: without ``NETWORK``.
+        """
+        if Capability.NETWORK not in self.capabilities:
+            raise CapabilityError(
+                "overlay introspection requires the NETWORK capability"
+            )
+        return self._controller.network.overlay_relays(root)
 
     # -- corruption ---------------------------------------------------------
 
@@ -232,10 +281,27 @@ class Attacker:
     capabilities: Capability = Capability.NONE
     #: Registry name; set by the registry decorator.
     name: str = "abstract"
+    #: Declare True to make the controller maintain
+    #: :class:`~repro.observability.signals.LiveSignals` for this run
+    #: (read them via ``ctx.signals``, which additionally requires
+    #: ``OBSERVE``).  Off by default: benign runs collect nothing.
+    wants_signals: bool = False
 
     def __init__(self, params: dict[str, Any] | None = None) -> None:
         self.params = dict(params or {})
         self.ctx: AttackerContext = None  # type: ignore[assignment]
+
+    @classmethod
+    def corruption_demand(cls, params: dict[str, Any], f: int) -> int:
+        """Upper bound on nodes this attacker will corrupt under ``params``.
+
+        Used by the scenario validator to reject budget overruns at config
+        time (the sum of demands across a composed scenario must stay
+        within ``f``) instead of mid-run.  Pure-network attackers keep the
+        default of ``0``; corrupting attackers override it to mirror how
+        they read their parameters.
+        """
+        return 0
 
     def bind(self, ctx: AttackerContext) -> None:
         """Called by the controller before the run starts."""

@@ -33,6 +33,10 @@ class EquivocationAttacker(Attacker):
 
     capabilities = Capability.OBSERVE | Capability.BYZANTINE
 
+    @classmethod
+    def corruption_demand(cls, params, f):
+        return 1
+
     def setup(self) -> None:
         self.target = int(self.params.get("target", 0))
         self.slot = int(self.params.get("slot", 0))

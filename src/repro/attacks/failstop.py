@@ -7,7 +7,9 @@ times and the attacker never speaks for them, so they simply go dark.
 
 Parameters (``AttackConfig.params``):
     count: number of nodes to fail (default: the configured ``f``).
-    nodes: explicit list of node ids to fail (overrides ``count``).
+    nodes: explicit list of node ids to fail (overrides ``count``); a bare
+        int is accepted as a one-element list, matching the scenario
+        grammar's scalar form (``failstop=nodes:6``).
     at: simulation time (ms) at which the nodes crash.  ``0`` (default)
         crashes them before the protocol starts — the paper's setting for
         Fig. 7.  Non-zero values require no extra configuration: the
@@ -29,9 +31,18 @@ class FailStopAttacker(Attacker):
 
     capabilities = Capability.BYZANTINE | Capability.ADAPTIVE
 
+    @classmethod
+    def corruption_demand(cls, params, f):
+        nodes = params.get("nodes")
+        if nodes is not None:
+            return 1 if isinstance(nodes, int) else len(nodes)
+        return int(params.get("count", f))
+
     def setup(self) -> None:
         ctx = self.ctx
         nodes = self.params.get("nodes")
+        if isinstance(nodes, int):
+            nodes = [nodes]
         if nodes is None:
             count = int(self.params.get("count", ctx.f))
             nodes = list(range(count))

@@ -18,7 +18,13 @@ A = TypeVar("A", bound=Type[Attacker])
 
 
 def register_attack(name: str) -> Callable[[A], A]:
-    """Class decorator: register an attacker under ``name``."""
+    """Class decorator: register an attacker under ``name``.
+
+    A leading underscore in ``name`` registers the attacker as *unlisted*
+    (same convention as the protocol registry): usable from configurations,
+    invisible to :func:`available_attacks` — so scripted test doubles never
+    leak into the CLI listing or error messages.
+    """
 
     def decorator(cls: A) -> A:
         if name in _REGISTRY:
@@ -47,13 +53,20 @@ def make_attacker(config: AttackConfig) -> Attacker:
 
 
 def available_attacks() -> list[str]:
-    """Sorted names of every registered attack."""
+    """Sorted names of every *listed* registered attack.
+
+    Names starting with an underscore are registered but unlisted: they
+    stay resolvable through :func:`get_attack` but are hidden from
+    enumeration — and from the ``ConfigurationError`` raised on a typo'd
+    attack name, which quotes this listing.
+    """
     _ensure_builtins()
-    return sorted(_REGISTRY)
+    return sorted(name for name in _REGISTRY if not name.startswith("_"))
 
 
 def _ensure_builtins() -> None:
     from . import (  # noqa: F401
+        adaptive,
         add_adaptive,
         add_static,
         equivocation,
@@ -62,3 +75,4 @@ def _ensure_builtins() -> None:
         partition,
         targeted_delay,
     )
+    from ..scenarios import composite  # noqa: F401

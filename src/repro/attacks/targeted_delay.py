@@ -12,7 +12,12 @@ of least-privilege attack modelling.
 
 Parameters (``AttackConfig.params``):
     targets: node ids whose traffic (either direction) is slowed
-        (default: all nodes).
+        (default: all nodes), or the string ``"relays"`` to target the
+        relay nodes of the tree dissemination overlay rooted at
+        ``relay_root`` (overlay-aware targeting; tree mode only — the
+        scenario validator rejects it under ``full``/``gossip``).
+    relay_root: root whose broadcast tree defines the relay set when
+        ``targets="relays"`` (default 0, the usual initial leader).
     extra_delay: milliseconds added to each matching message (default 0).
     factor: multiplier applied to each matching message's delay
         (default 1.0).
@@ -43,7 +48,15 @@ class TargetedDelayAttacker(Attacker):
 
     def setup(self) -> None:
         targets = self.params.get("targets")
-        self.targets = None if targets is None else {int(t) for t in targets}
+        if targets == "relays":
+            # Overlay-aware targeting: resolve the relay set of the tree
+            # broadcast overlay at setup time (the shape is static and
+            # RNG-free).  Empty under full/gossip — the validator rejects
+            # the configuration before a run gets here.
+            root = int(self.params.get("relay_root", 0))
+            self.targets: set[int] | None = set(self.ctx.overlay_relays(root))
+        else:
+            self.targets = None if targets is None else {int(t) for t in targets}
         self.extra_delay = float(self.params.get("extra_delay", 0.0))
         self.factor = float(self.params.get("factor", 1.0))
         self.match_type = self.params.get("match_type")

@@ -55,6 +55,12 @@ from .observability.metrics import RunMetrics
 from .observability.phases import analyze_phases, render_phase_report
 from .observability.profiler import RunProfile
 from .protocols.registry import available_protocols, get_protocol
+from .scenarios import (
+    OBJECTIVES,
+    available_scenarios,
+    load_scenario,
+    mine,
+)
 
 
 def _add_run_options(parser: argparse.ArgumentParser) -> None:
@@ -90,6 +96,12 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                         help="environmental fault schedule, e.g. "
                              "'loss=0.1; delay=0.2x5; crash=3@1000:8000' "
                              "or a preset name like 'unreliable-network'")
+    parser.add_argument("--scenario", default=None,
+                        help="declarative attack scenario: a preset name "
+                             "(see 'repro list'), a JSON spec file, or the "
+                             "compact grammar, e.g. 'targeted-delay="
+                             "targets:relays,factor:4; loss=0.05' "
+                             "(see docs/scenarios.md)")
     parser.add_argument("--stall-timeout", type=float, default=None,
                         help="liveness watchdog window in simulated ms: runs "
                              "without honest progress for this long stop "
@@ -135,6 +147,14 @@ def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
+    config = _base_config_from_args(args)
+    scenario = getattr(args, "scenario", None)
+    if scenario:
+        config = load_scenario(scenario).apply(config)
+    return config
+
+
+def _base_config_from_args(args: argparse.Namespace) -> SimulationConfig:
     if args.config:
         with open(args.config, encoding="utf-8") as handle:
             return SimulationConfig.from_dict(json.load(handle))
@@ -206,6 +226,9 @@ def cmd_list(_args: argparse.Namespace) -> int:
         print(f"  {name}")
     print("fault presets:")
     for name in available_presets():
+        print(f"  {name}")
+    print("scenario presets:")
+    for name in available_scenarios():
         print(f"  {name}")
     return 0
 
@@ -448,6 +471,47 @@ def _load_metrics(path: str) -> RunMetrics:
         return RunMetrics.from_dict(json.load(handle))
 
 
+def cmd_mine(args: argparse.Namespace) -> int:
+    scenario = args.scenario
+    args.scenario = None  # the base must stay null-attack; seed the search
+    base = _config_from_args(args)
+    seed_specs = [load_scenario(scenario)] if scenario else None
+    report = mine(
+        base,
+        objective=args.objective,
+        generations=args.generations,
+        population=args.population,
+        reps=args.reps,
+        elites=args.elites,
+        search_seed=args.search_seed,
+        jobs=_jobs_from_args(args),
+        timeout=args.timeout,
+        retries=args.retries,
+        seed_specs=seed_specs,
+        refine=args.refine,
+        log=lambda line: print(f"  {line}", file=sys.stderr, flush=True),
+    )
+    if args.out:
+        report.write(args.out)
+    if args.json:
+        data = report.to_dict()
+        if args.out:
+            data["artifact"] = args.out
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+        print(f"baseline median latency/decision: "
+              f"{report.baseline_latency:.1f} ms over {report.reps} rep(s)")
+        if report.winner is not None and report.winner.median_latency is not None:
+            print(f"winner median latency/decision:   "
+                  f"{report.winner.median_latency:.1f} ms")
+        if report.winner is not None:
+            print(f"winner fingerprints: {report.winner.fingerprints}")
+        if args.out:
+            print(f"artifact: -> {args.out}")
+    return 0 if report.winner is not None else 2
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     from .baseline import run_baseline_simulation
     from .validator import compare_decisions, replay_simulation
@@ -493,6 +557,37 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--profile", action="store_true",
                               help="profile every run and print the merged "
                                    "fleet profile after the sweep table")
+
+    mine_parser = sub.add_parser(
+        "mine",
+        help="search for worst-case attack scenarios against a base "
+             "configuration and write a replayable artifact",
+    )
+    _add_run_options(mine_parser)
+    mine_parser.add_argument("--objective", default="median-latency",
+                             choices=OBJECTIVES,
+                             help="what the adversary maximizes "
+                                  "(default: median-latency)")
+    mine_parser.add_argument("--generations", type=int, default=3,
+                             help="evolve iterations (default 3)")
+    mine_parser.add_argument("--population", type=int, default=8,
+                             help="candidate specs per generation (default 8)")
+    mine_parser.add_argument("--reps", type=int, default=1,
+                             help="evaluation repetitions per spec (default 1)")
+    mine_parser.add_argument("--elites", type=int, default=2,
+                             help="top specs kept as parents (default 2)")
+    mine_parser.add_argument("--search-seed", type=int, default=0,
+                             help="seed for candidate generation/mutation")
+    mine_parser.add_argument("--refine", action="store_true",
+                             help="parameter-refinement mode: only perturb "
+                                  "the numeric parameters of the --scenario "
+                                  "seed spec (clause structure and targeting "
+                                  "stay fixed)")
+    mine_parser.add_argument("--out", default=None, metavar="PATH",
+                             help="write the mining artifact (winner, "
+                                  "baseline, full lineage) as JSON")
+    mine_parser.add_argument("--json", action="store_true",
+                             help="print the full artifact as JSON")
 
     validate_parser = sub.add_parser(
         "validate", help="cross-check against the packet-level baseline engine"
@@ -549,6 +644,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "list": cmd_list,
         "run": cmd_run,
         "sweep": cmd_sweep,
+        "mine": cmd_mine,
         "validate": cmd_validate,
         "inspect": cmd_inspect,
         "metrics": cmd_metrics,

@@ -22,6 +22,7 @@ from ..attacks.registry import make_attacker
 from ..faults.engine import FaultInjector
 from ..network.module import NetworkModule
 from ..observability.logging import SimLogger, get_logger
+from ..observability.signals import LiveSignals
 from ..protocols.registry import get_protocol
 from .clock import SimulationClock
 from .config import SimulationConfig
@@ -125,6 +126,12 @@ class Controller:
         self.log = SimLogger(get_logger("controller"), clock=self.clock)
 
         self.attacker: Attacker = make_attacker(config.attack)
+        #: Live run signals for signal-driven adversaries; allocated only
+        #: when the attacker asks for them (``wants_signals``), so benign
+        #: runs carry no extra per-event state and no RNG perturbation.
+        self.signals: "LiveSignals | None" = (
+            LiveSignals(self.n) if self.attacker.wants_signals else None
+        )
         self.attacker_ctx = AttackerContext(self, self.attacker.capabilities)
         self.attacker.bind(self.attacker_ctx)
 
@@ -226,6 +233,8 @@ class Controller:
         self._termination_dirty = True
         self._last_progress = now
         self._node_activity[node_id] = now
+        if self.signals is not None:
+            self.signals.on_decide(node_id, now)
         if self.obs_metrics is not None:
             self.obs_metrics.on_decide()
         if self.trace.enabled:
@@ -558,6 +567,8 @@ class Controller:
             self._last_progress = event_time
             if self._watchdog:
                 self._node_activity[dest] = event_time
+            if self.signals is not None:
+                self.signals.on_deliver(dest, message.source, event_time)
             if self.obs_metrics is not None:
                 self.obs_metrics.on_deliver(event_time - message.sent_at)
             trace = self.trace

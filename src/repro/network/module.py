@@ -277,6 +277,21 @@ class NetworkModule:
 
         return usable
 
+    def overlay_relays(self, source: int) -> tuple[int, ...]:
+        """Sorted relay (internal) nodes of a ``tree`` broadcast from ``source``.
+
+        Structural overlay introspection for overlay-aware attacks: the
+        non-root nodes that forward a tree broadcast rooted at ``source``.
+        The tree shape is deterministic and RNG-free, so calling this never
+        perturbs delay draws or fingerprints.  ``full`` dissemination has no
+        relays and ``gossip`` draws a fresh overlay per broadcast (no static
+        choke point), so both return an empty tuple.
+        """
+        if self._mode != "tree" or self._controller.n <= 1:
+            return ()
+        plan = self._shape().plan(source)
+        return tuple(sorted(set(plan.relays.tolist()) - {source}))
+
     def _shape(self) -> TreeShape:
         shape = self._shape_obj
         if shape is None:

@@ -1,0 +1,134 @@
+"""Live run signals for signal-driven (adaptive) adversaries.
+
+The causality analyses in :mod:`repro.observability.causality` are post-hoc:
+they rebuild quorum timelines and critical paths from a recorded trace.  An
+*adaptive* attacker needs the same information **while the run is still
+going** — who is the current quorum-timeline straggler, which senders keep
+closing quorums (the tail of every decision's critical path), how deliveries
+are distributed across nodes — so it can choose whom to delay, corrupt, or
+equivocate next.
+
+:class:`LiveSignals` is that channel.  The controller maintains it with O(1)
+work per delivered message and per decision, and **only** when the run's
+attacker declares ``wants_signals = True`` — benign runs never allocate or
+touch it, and it never draws randomness, so fingerprints of signal-free runs
+are byte-identical with the feature present.  Attackers reach it through
+:attr:`repro.attacks.base.AttackerContext.signals`, which gates access on
+the ``OBSERVE`` capability: reading the run's own progress telemetry is
+exactly the kind of rushing-adversary knowledge the threat model reserves
+for observing attackers.
+
+Signal semantics (all maintained incrementally):
+
+* **delivery counts** — messages dispatched to each node so far;
+* **decision counts** — slots each node has decided so far;
+* **closing senders** — for every decision, the source of the message the
+  deciding node was handling when it decided: the quorum-closing sender,
+  i.e. the last hop of that decision's critical path;
+* **stragglers** — nodes with the fewest decisions, ties broken by least
+  recent activity then lowest id: the live counterpart of the
+  quorum-timeline straggler.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+
+class LiveSignals:
+    """Incrementally maintained run-progress signals.
+
+    Built by the controller when the configured attacker sets
+    ``wants_signals = True``; read by attackers via ``ctx.signals``.
+    """
+
+    __slots__ = (
+        "n",
+        "delivered",
+        "decided",
+        "last_activity",
+        "closing_senders",
+        "_handling_source",
+        "decisions_seen",
+    )
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        #: Per-node count of messages delivered (dispatched) to the node.
+        self.delivered = [0] * n
+        #: Per-node count of decided slots.
+        self.decided = [0] * n
+        #: Per-node simulated time of the last delivery or decision.
+        self.last_activity = [0.0] * n
+        #: node id -> number of decisions whose quorum it closed.
+        self.closing_senders: Counter[int] = Counter()
+        #: Source of the message each node is currently/last handling.
+        self._handling_source = [-1] * n
+        #: Total decisions observed.
+        self.decisions_seen = 0
+
+    # -- controller-side updates (O(1) each) --------------------------------
+
+    def on_deliver(self, dest: int, source: int, time: float) -> None:
+        self.delivered[dest] += 1
+        self._handling_source[dest] = source
+        self.last_activity[dest] = time
+
+    def on_decide(self, node: int, time: float) -> None:
+        self.decided[node] += 1
+        self.decisions_seen += 1
+        self.last_activity[node] = time
+        closer = self._handling_source[node]
+        if closer >= 0 and closer != node:
+            self.closing_senders[closer] += 1
+
+    # -- attacker-side queries ----------------------------------------------
+
+    def delivery_counts(self) -> tuple[int, ...]:
+        """Messages delivered to each node so far (index = node id)."""
+        return tuple(self.delivered)
+
+    def decision_counts(self) -> tuple[int, ...]:
+        """Slots decided by each node so far (index = node id)."""
+        return tuple(self.decided)
+
+    def stragglers(self, k: int = 1, exclude: Iterable[int] = ()) -> list[int]:
+        """The ``k`` nodes furthest behind on decisions.
+
+        Ordered worst-first: fewest decisions, then least recent activity,
+        then lowest id — a deterministic live stand-in for the post-hoc
+        quorum-timeline straggler.  ``exclude`` removes nodes (e.g. already
+        corrupted ones) from consideration.
+        """
+        skip = set(exclude)
+        candidates = [i for i in range(self.n) if i not in skip]
+        candidates.sort(key=lambda i: (self.decided[i], self.last_activity[i], i))
+        return candidates[:k]
+
+    def critical_senders(self, k: int = 1, exclude: Iterable[int] = ()) -> list[int]:
+        """The ``k`` nodes that closed the most quorums so far.
+
+        Ordered most-critical-first (ties by lowest id).  Nodes that closed
+        no quorum yet never appear; callers should fall back to
+        :meth:`stragglers` (or fan-in counts) when the list is short.
+        """
+        skip = set(exclude)
+        ranked = sorted(
+            (node for node in self.closing_senders if node not in skip),
+            key=lambda node: (-self.closing_senders[node], node),
+        )
+        return ranked[:k]
+
+    def busiest_nodes(self, k: int = 1, exclude: Iterable[int] = ()) -> list[int]:
+        """The ``k`` nodes with the most deliveries (fan-in hot spots)."""
+        skip = set(exclude)
+        candidates = [i for i in range(self.n) if i not in skip]
+        candidates.sort(key=lambda i: (-self.delivered[i], i))
+        return candidates[:k]
+
+    def describe(self) -> str:
+        return (
+            f"LiveSignals(n={self.n}, decisions={self.decisions_seen}, "
+            f"delivered={sum(self.delivered)})"
+        )

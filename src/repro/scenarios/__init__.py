@@ -1,0 +1,43 @@
+"""Declarative attack scenarios, composition, and worst-case mining.
+
+The scenario layer turns the global attacker framework's strategies into
+*data*: a :class:`ScenarioSpec` composes capability-gated attack clauses
+(with timed activation windows), environmental fault clauses, and overlay-
+aware targeting into one seed-deterministic adversary, serializable to
+JSON and to a compact CLI grammar (``--scenario``), validated at config
+time.  :mod:`repro.scenarios.search` closes the loop: a deterministic
+evolve harness (``repro mine``) that searches the spec space for worst
+cases and emits replayable artifacts.  See ``docs/scenarios.md``.
+"""
+
+from .presets import available_scenarios, get_scenario, register_scenario
+from .search import (
+    OBJECTIVES,
+    MiningReport,
+    load_artifact,
+    mine,
+    replay_winner,
+    winner_config,
+)
+from .spec import (
+    AttackClause,
+    ScenarioSpec,
+    load_scenario,
+    parse_scenario_spec,
+)
+
+__all__ = [
+    "AttackClause",
+    "MiningReport",
+    "OBJECTIVES",
+    "ScenarioSpec",
+    "available_scenarios",
+    "get_scenario",
+    "load_artifact",
+    "load_scenario",
+    "mine",
+    "parse_scenario_spec",
+    "register_scenario",
+    "replay_winner",
+    "winner_config",
+]

@@ -1,0 +1,266 @@
+"""The ``"scenario"`` composite attacker.
+
+Executes a :class:`~repro.scenarios.spec.ScenarioSpec`'s attack clauses as
+one attacker: children run in clause order per message, each only inside
+its activation window, all sharing a single corruption budget (``f`` total,
+not ``f`` each).
+
+The composite declares the **union** of its children's capabilities (the
+network module enforces that outer bound), but additionally holds every
+child to its **own** declared capabilities:
+
+* each child acts through a :class:`_ChildContext` whose ``capabilities``
+  are the child's — so ``corrupt``/``forge``/``signals``/``overlay_relays``
+  raise unless *that child* declared the right;
+* a child without ``OBSERVE`` sees redacted payloads even when a sibling
+  is observing;
+* payload edits, re-timing, and drops by a child are diffed against that
+  child's rights, mirroring :meth:`NetworkModule._run_attacker`.
+
+Child timers are namespaced (``sc<i>:<name>``) so the composite can route
+each firing back to the owning clause; the original name is restored on a
+reconstructed event, so children are written exactly as they would be
+standalone.  Child RNG streams are namespaced the same way
+(``attack.sc<i>.<name>``), keeping every clause's draws independent of its
+siblings and of clause order-preserving edits elsewhere in the spec.
+
+A clause with ``start > 0`` is *dormant* until its window opens: its
+``setup`` runs when the activation timer fires (which is why the validator
+demands ``ADAPTIVE`` for windowed corrupting clauses), and its ``attack``
+is only consulted for messages sent inside the window.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from ..attacks.base import (
+    Attacker,
+    AttackerContext,
+    Capability,
+    REDACTED_PAYLOAD,
+)
+from ..attacks.registry import register_attack
+from ..core.errors import CapabilityError
+from ..core.events import TimeEvent
+from ..core.message import Message, deep_copy_payload
+from ..core.node import TimerHandle
+from .spec import ScenarioSpec
+
+#: Timer-name prefix separating clause index from the child's own name.
+_PREFIX = "sc"
+#: Reserved child timer fired when a windowed clause activates.
+_ACTIVATE = "__activate__"
+
+
+class _ChildContext(AttackerContext):
+    """A clause-scoped view of the shared attacker context.
+
+    Shares the parent's corruption ledger (one budget for the whole
+    scenario) but presents the *child's* declared capabilities, so the
+    capability checks inherited from :class:`AttackerContext` enforce the
+    clause's own threat model.  Timer and RNG names are prefixed with the
+    clause index.
+    """
+
+    def __init__(self, parent: AttackerContext, capabilities: Capability,
+                 index: int) -> None:
+        self._controller = parent._controller
+        self.capabilities = capabilities
+        # Shared object, not a copy: every clause draws from one budget.
+        self._corrupted_since = parent._corrupted_since
+        self._index = index
+        #: True once the clause's ``setup`` has run.
+        self.ready = False
+
+    def rng(self, name: str = "attacker") -> random.Random:
+        return self._controller.shared_rng(
+            f"attack.{_PREFIX}{self._index}.{name}"
+        )
+
+    def set_timer(self, delay: float, name: str, **data: Any) -> TimerHandle:
+        return super().set_timer(
+            delay, f"{_PREFIX}{self._index}:{name}", **data
+        )
+
+
+@register_attack("scenario")
+class CompositeAttacker(Attacker):
+    """Runs a scenario's attack clauses as one budget-sharing adversary."""
+
+    def __init__(self, params: dict[str, Any] | None = None) -> None:
+        super().__init__(params)
+        self.spec = ScenarioSpec.from_dict(self.params)
+        self._clauses = self.spec.attacks
+        self._children = [
+            clause.attacker_class()(clause.params) for clause in self._clauses
+        ]
+        caps = Capability.NONE
+        for child in self._children:
+            caps |= child.capabilities
+        self.capabilities = caps
+        self.wants_signals = any(child.wants_signals for child in self._children)
+        self._child_ctxs: list[_ChildContext] = []
+
+    def bind(self, ctx: AttackerContext) -> None:
+        super().bind(ctx)
+        self._child_ctxs = [
+            _ChildContext(ctx, child.capabilities, index)
+            for index, child in enumerate(self._children)
+        ]
+        for child, child_ctx in zip(self._children, self._child_ctxs):
+            child.bind(child_ctx)
+
+    def setup(self) -> None:
+        for index, clause in enumerate(self._clauses):
+            if clause.start <= 0:
+                self._activate(index)
+            else:
+                self.ctx.set_timer(
+                    clause.start, f"{_PREFIX}{index}:{_ACTIVATE}"
+                )
+
+    def _activate(self, index: int) -> None:
+        child_ctx = self._child_ctxs[index]
+        if not child_ctx.ready:
+            self._children[index].setup()
+            child_ctx.ready = True
+
+    # -- per-message chain ---------------------------------------------------
+
+    def attack(self, message: Message):
+        now = message.sent_at
+        forged: list[Message] = []
+        dropped = False
+        for index, clause in enumerate(self._clauses):
+            if not clause.active_at(now) or not self._child_ctxs[index].ready:
+                continue
+            keep, extra = self._child_attack(index, message)
+            forged.extend(extra)
+            if not keep:
+                dropped = True
+                break
+        if dropped:
+            return forged
+        if forged:
+            return [message, *forged]
+        return None
+
+    def _child_attack(self, index: int, message: Message) -> tuple[bool, list[Message]]:
+        """Run one clause on ``message``; returns (keep, forged messages).
+
+        Enforces the clause's own capability rules by diffing the child's
+        output against a snapshot, exactly as the network module does for
+        the composite as a whole.
+        """
+        child = self._children[index]
+        controls = self.ctx.controls_message(message)
+        observable = Capability.OBSERVE in child.capabilities or controls
+        if observable:
+            proxy = message
+            snapshot_payload = deep_copy_payload(message.payload)
+        else:
+            proxy = Message(
+                source=message.source,
+                dest=message.dest,
+                payload=dict(REDACTED_PAYLOAD),
+                sent_at=message.sent_at,
+                delay=message.delay,
+                msg_id=message.msg_id,
+            )
+            snapshot_payload = None
+        snapshot_delay = message.delay
+
+        returned = child.attack(proxy)
+        if returned is None:
+            if proxy is not message:
+                return True, []
+            returned = [proxy]
+        returned = list(returned)
+
+        kept_item: Message | None = None
+        forged: list[Message] = []
+        for item in returned:
+            if item.msg_id == message.msg_id:
+                kept_item = item
+            elif item.forged:
+                forged.append(item)
+            else:
+                raise CapabilityError(
+                    f"scenario clause #{index} ({self._clauses[index].attack}) "
+                    "returned a message it neither received nor forged: "
+                    f"{item.describe()}"
+                )
+
+        if kept_item is None:
+            if Capability.NETWORK not in child.capabilities and not controls:
+                raise CapabilityError(
+                    f"scenario clause #{index} ({self._clauses[index].attack}) "
+                    f"dropped honest message {message.describe()} without the "
+                    "NETWORK capability"
+                )
+            return False, forged
+
+        if proxy is not message:
+            if kept_item.payload != REDACTED_PAYLOAD:
+                raise CapabilityError(
+                    f"scenario clause #{index} ({self._clauses[index].attack}) "
+                    "modified a redacted payload without OBSERVE"
+                )
+            message.delay = kept_item.delay
+        elif kept_item.payload != snapshot_payload and not controls:
+            raise CapabilityError(
+                f"scenario clause #{index} ({self._clauses[index].attack}) "
+                f"modified the payload of honest message {message.describe()} "
+                "without controlling its source"
+            )
+        if message.delay != snapshot_delay:
+            if Capability.NETWORK not in child.capabilities and not controls:
+                raise CapabilityError(
+                    f"scenario clause #{index} ({self._clauses[index].attack}) "
+                    f"re-timed message {message.describe()} without the "
+                    "NETWORK capability"
+                )
+            if message.delay is None or message.delay < 0:
+                raise CapabilityError(
+                    f"scenario clause #{index} ({self._clauses[index].attack}) "
+                    "assigned an invalid delay"
+                )
+        return True, forged
+
+    # -- timer routing -------------------------------------------------------
+
+    def on_timer(self, timer: TimeEvent) -> None:
+        name = timer.name
+        if not name.startswith(_PREFIX):
+            return
+        index_s, sep, child_name = name[len(_PREFIX):].partition(":")
+        if not sep:
+            return
+        try:
+            index = int(index_s)
+        except ValueError:
+            return
+        if not 0 <= index < len(self._children):
+            return
+        if child_name == _ACTIVATE:
+            self._activate(index)
+            return
+        if not self._child_ctxs[index].ready:
+            return
+        # TimeEvent is frozen; rebuild it with the child's original name so
+        # the clause's own ``on_timer`` dispatch works unmodified.
+        self._children[index].on_timer(
+            TimeEvent(
+                time=timer.time,
+                owner=timer.owner,
+                name=child_name,
+                data=timer.data,
+                timer_id=timer.timer_id,
+                cause=timer.cause,
+            )
+        )
+
+    def describe(self) -> str:
+        return f"CompositeAttacker({self.spec.describe()})"

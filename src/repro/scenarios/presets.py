@@ -1,0 +1,128 @@
+"""Named attack-scenario presets.
+
+Mirrors :mod:`repro.faults.presets`: a preset is a factory returning a
+fresh :class:`~repro.scenarios.spec.ScenarioSpec` under a short name,
+usable anywhere a scenario is — ``--scenario worst-case-pbft-n32`` on the
+CLI, or :func:`get_scenario` programmatically.  ``repro list`` prints the
+registry.
+
+Two of the built-ins are **mined**: they are the winning specs of committed
+``repro mine`` runs (see ``artifacts/mining/``), promoted to names so the
+worst cases the search found stay one flag away.  Each mined preset's spec
+dict is kept byte-identical to its artifact's ``winner.spec`` so replaying
+the preset reproduces the artifact's fingerprints.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.errors import ConfigurationError
+from .spec import ScenarioSpec
+
+_SCENARIOS: dict[str, Callable[[], ScenarioSpec]] = {}
+
+
+def register_scenario(name: str, factory: Callable[[], ScenarioSpec]) -> None:
+    """Register ``factory`` under ``name`` (overwrites silently, as with
+    the fault-preset registry)."""
+    _SCENARIOS[name] = factory
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """A fresh spec for preset ``name``.
+
+    Raises:
+        ConfigurationError: unknown preset.
+    """
+    try:
+        factory = _SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario preset {name!r}; available: {available_scenarios()}"
+        ) from None
+    return factory()
+
+
+def available_scenarios() -> list[str]:
+    """Registered scenario preset names, sorted."""
+    return sorted(_SCENARIOS)
+
+
+# ---------------------------------------------------------------------------
+# Built-in presets
+# ---------------------------------------------------------------------------
+
+# A hand-written starter: the signal-driven adaptive adversary chasing the
+# current quorum-closing senders with 6x delay inflation.
+register_scenario(
+    "adaptive-chaser",
+    lambda: ScenarioSpec.from_dict({
+        "name": "adaptive-chaser",
+        "attacks": [
+            {"attack": "adaptive",
+             "params": {"action": "delay", "signal": "critical", "k": 2,
+                        "factor": 6.0}},
+        ],
+    }),
+)
+
+# Mined preset (artifacts/mining/worst-case-pbft-n32.json): the winning
+# spec of the committed `repro mine` run against pbft n=32.  Filled in by
+# that run; see the artifact for the full lineage and baseline.
+register_scenario(
+    "worst-case-pbft-n32",
+    lambda: ScenarioSpec.from_dict(_WORST_CASE_PBFT_N32),
+)
+
+# Mined preset (artifacts/mining/relay-chokehold-tree.json): the winning
+# spec of the committed tree-overlay mining run — requires
+# dissemination='tree' (the validator rejects relay targeting otherwise).
+register_scenario(
+    "relay-chokehold-tree",
+    lambda: ScenarioSpec.from_dict(_RELAY_CHOKEHOLD_TREE),
+)
+
+#: Winner of artifacts/mining/worst-case-pbft-n32.json (kept byte-identical
+#: to the artifact's ``winner.spec``, mined name included — the name feeds
+#: the config and hence the replay fingerprint).  104.4x the null-attacker
+#: baseline on pbft n=32: an opening partition plus two signal-driven
+#: adaptive delay clauses stacked on a global slowdown.
+_WORST_CASE_PBFT_N32: dict = {
+    "attacks": [
+        {
+            "attack": "partition",
+            "params": {"end": 20000.0, "mode": "drop", "start": 0.0},
+        },
+        {
+            "attack": "adaptive",
+            "params": {"action": "delay", "factor": 10.0, "k": 3,
+                       "period": 500.0, "signal": "critical"},
+        },
+        {
+            "attack": "targeted-delay",
+            "params": {"extra_delay": 500.0, "factor": 3.0},
+        },
+        {
+            "attack": "adaptive",
+            "params": {"action": "delay", "factor": 6.0, "k": 1,
+                       "period": 1000.0, "signal": "critical"},
+        },
+    ],
+    "name": "mined-020",
+}
+
+#: Winner of artifacts/mining/relay-chokehold-tree.json (kept byte-identical
+#: to the artifact's ``winner.spec``).  Mined in ``--refine`` mode from a
+#: relay-only seed: delaying just the tree overlay's relay nodes 16x (plus
+#: 1s of fixed delay) costs pbft n=32 a 38.5x median-latency hit.
+_RELAY_CHOKEHOLD_TREE: dict = {
+    "attacks": [
+        {
+            "attack": "targeted-delay",
+            "params": {"extra_delay": 1000.0, "factor": 16.0,
+                       "targets": "relays"},
+        },
+    ],
+    "name": "mined-020",
+}

@@ -1,0 +1,468 @@
+"""Declarative attack-scenario specifications.
+
+A :class:`ScenarioSpec` is a serializable document composing one or more
+capability-gated attacker strategies (with timed activation windows) and
+environmental fault-schedule clauses into a single seed-deterministic
+adversary.  The same document exists in three equivalent forms:
+
+* the **Python API** (:class:`ScenarioSpec` / :class:`AttackClause`),
+* **JSON** (``to_json`` / ``from_json``, byte-identical round-trip), and
+* the **compact CLI grammar** (:func:`parse_scenario_spec`), a superset of
+  the ``--faults`` grammar: ``;``-separated clauses, each either a fault
+  clause (``loss=0.1``, ``crash=3@1000:8000``, a fault preset name) or an
+  attack clause ``attack[=key:value,...][@start:end]``::
+
+      targeted-delay=targets:relays,factor:4
+      failstop=count:2@5000
+      partition=start:2000,end:12000; loss=0.05
+      adaptive=action:delay,signal:critical,factor:6
+
+  Attack parameter values parse as int, float, ``true``/``false``, a
+  ``+``-separated list (``targets:1+2+3``), or a bare string.
+
+Applying a spec (:meth:`ScenarioSpec.apply`) compiles it onto an existing
+:class:`~repro.core.config.SimulationConfig`: fault clauses merge into the
+config's fault schedule and the attack clauses become the ``"scenario"``
+composite attacker (:mod:`repro.scenarios.composite`) with the spec itself
+as its parameters — so a scenario run is an ordinary run, replayable from
+its config alone, and the JSON and Python forms produce fingerprint-
+identical runs.
+
+Validation (:meth:`ScenarioSpec.validate`) happens at config time, not
+mid-run: unknown attacks, malformed windows, corruption demands exceeding
+the budget ``f``, windowed corruption without the ``ADAPTIVE`` capability,
+overlay targeting without a tree overlay, and clauses exceeding an ``allow``
+capability cap are all rejected before a single event fires.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..attacks.base import Capability
+from ..attacks.registry import get_attack
+from ..core.config import (
+    FAULT_KINDS,
+    AttackConfig,
+    FaultScheduleConfig,
+    FaultSpec,
+    SimulationConfig,
+)
+from ..core.errors import ConfigurationError
+from ..faults.presets import available_presets as available_fault_presets
+from ..faults.spec import _parse_clause as _parse_fault_clause
+from ..faults.spec import _split_window
+
+#: Capability names accepted by ``ScenarioSpec.allow``.
+CAPABILITY_NAMES = {
+    "observe": Capability.OBSERVE,
+    "network": Capability.NETWORK,
+    "byzantine": Capability.BYZANTINE,
+    "adaptive": Capability.ADAPTIVE,
+}
+
+
+def _parse_allow(names: list[str]) -> Capability:
+    caps = Capability.NONE
+    for name in names:
+        try:
+            caps |= CAPABILITY_NAMES[str(name).lower()]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown capability {name!r} in scenario allow list; "
+                f"available: {sorted(CAPABILITY_NAMES)}"
+            ) from None
+    return caps
+
+
+def capability_names(caps: Capability) -> list[str]:
+    """Sorted lower-case names of the capabilities in ``caps``."""
+    return sorted(name for name, flag in CAPABILITY_NAMES.items() if flag in caps)
+
+
+@dataclass
+class AttackClause:
+    """One attacker strategy inside a scenario, with an activation window.
+
+    Attributes:
+        attack: registry name of the attacker (``repro.attacks``).
+        params: attacker parameters, passed through verbatim.
+        start: activation time in ms (0 = active from the start).
+        end: deactivation time in ms, exclusive (``None`` = never).
+    """
+
+    attack: str
+    params: dict[str, Any] = field(default_factory=dict)
+    start: float = 0.0
+    end: float | None = None
+
+    def active_at(self, time: float) -> bool:
+        """True when ``time`` falls inside the activation window."""
+        return time >= self.start and (self.end is None or time < self.end)
+
+    def attacker_class(self):
+        """The clause's attacker class (raises on unknown names)."""
+        return get_attack(self.attack)
+
+    def declared_capabilities(self) -> Capability:
+        """The capabilities this clause's attacker will hold.
+
+        Instantiates the attacker (without binding it) so instance-level
+        declarations — e.g. ``targeted-delay`` adding ``OBSERVE`` when a
+        type filter is configured — are honoured.
+        """
+        return self.attacker_class()(self.params).capabilities
+
+    def validate(self, config: SimulationConfig, f: int) -> None:
+        if self.start < 0:
+            raise ConfigurationError(
+                f"attack clause {self.attack!r}: window start must be >= 0, "
+                f"got {self.start}"
+            )
+        if self.end is not None and self.end <= self.start:
+            raise ConfigurationError(
+                f"attack clause {self.attack!r}: window end must be > start, "
+                f"got [{self.start}, {self.end})"
+            )
+        cls = self.attacker_class()
+        caps = self.declared_capabilities()
+        demand = cls.corruption_demand(self.params, f)
+        if demand > 0 and self.start > 0 and Capability.ADAPTIVE not in caps:
+            raise ConfigurationError(
+                f"attack clause {self.attack!r} corrupts nodes but activates "
+                f"at t={self.start:g} ms without the ADAPTIVE capability; "
+                "corruption after time zero is static-attacker-illegal"
+            )
+        if (
+            self.params.get("targets") == "relays"
+            and config.network.dissemination != "tree"
+        ):
+            raise ConfigurationError(
+                f"attack clause {self.attack!r} targets the dissemination "
+                "overlay's relays, but dissemination="
+                f"{config.network.dissemination!r} has no static relay set; "
+                "overlay targeting requires dissemination='tree'"
+            )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical dict form; benign defaults are omitted."""
+        data: dict[str, Any] = {"attack": self.attack}
+        if self.params:
+            data["params"] = self.params
+        if self.start != 0.0:
+            data["start"] = self.start
+        if self.end is not None:
+            data["end"] = self.end
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "AttackClause":
+        data = dict(data)
+        unknown = set(data) - {"attack", "params", "start", "end"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown attack clause keys: {sorted(unknown)}"
+            )
+        if "attack" not in data:
+            raise ConfigurationError("attack clause needs an 'attack' name")
+        return cls(
+            attack=data["attack"],
+            params=dict(data.get("params", {})),
+            start=float(data.get("start", 0.0)),
+            end=None if data.get("end") is None else float(data["end"]),
+        )
+
+    def describe(self) -> str:
+        window = ""
+        if self.start != 0.0 or self.end is not None:
+            window = f"@{self.start:g}:{'' if self.end is None else f'{self.end:g}'}"
+        args = ",".join(f"{k}:{v}" for k, v in self.params.items())
+        return f"{self.attack}{'=' + args if args else ''}{window}"
+
+
+@dataclass
+class ScenarioSpec:
+    """A declarative, serializable attack scenario.
+
+    Attributes:
+        name: human-readable scenario name (carried into artifacts).
+        attacks: attacker clauses, applied in order per message.
+        faults: environmental fault clauses merged into the run's fault
+            schedule (never charged against the attacker).
+        allow: optional capability cap — lower-case capability names; every
+            clause's declared capabilities must stay within it.  ``None``
+            means uncapped.
+    """
+
+    name: str = "scenario"
+    attacks: list[AttackClause] = field(default_factory=list)
+    faults: list[FaultSpec] = field(default_factory=list)
+    allow: list[str] | None = None
+
+    # -- validation ----------------------------------------------------------
+
+    def capabilities(self) -> Capability:
+        """Union of the declared capabilities of every attack clause."""
+        caps = Capability.NONE
+        for clause in self.attacks:
+            caps |= clause.declared_capabilities()
+        return caps
+
+    def corruption_demand(self, f: int) -> int:
+        """Total corruption-budget demand across all attack clauses."""
+        return sum(
+            clause.attacker_class().corruption_demand(clause.params, f)
+            for clause in self.attacks
+        )
+
+    def resolve_f(self, config: SimulationConfig) -> int:
+        """The run's corruption budget ``f`` (protocol maximum if unset)."""
+        if config.f is not None:
+            return config.f
+        from ..protocols.registry import get_protocol
+
+        return get_protocol(config.protocol).max_resilience(config.n)
+
+    def validate(self, config: SimulationConfig) -> None:
+        """Reject capability violations and budget overruns at config time.
+
+        Raises:
+            ConfigurationError: unknown attack, malformed window, windowed
+                corruption without ``ADAPTIVE``, overlay targeting without a
+                tree overlay, total corruption demand exceeding ``f``, or a
+                clause exceeding the ``allow`` capability cap.
+        """
+        f = self.resolve_f(config)
+        cap = _parse_allow(self.allow) if self.allow is not None else None
+        for clause in self.attacks:
+            clause.validate(config, f)
+            if cap is not None:
+                excess = clause.declared_capabilities() & ~cap
+                if excess:
+                    raise ConfigurationError(
+                        f"attack clause {clause.attack!r} needs capabilities "
+                        f"{capability_names(excess)} outside the scenario's "
+                        f"allow list {sorted(self.allow or [])}"
+                    )
+        demand = self.corruption_demand(f)
+        if demand > f:
+            raise ConfigurationError(
+                f"scenario {self.name!r} demands {demand} corruptions in "
+                f"total but the budget is f={f}"
+            )
+        for spec in self.faults:
+            spec.validate(config.n)
+
+    # -- application ---------------------------------------------------------
+
+    def apply(self, config: SimulationConfig) -> SimulationConfig:
+        """Compile this scenario onto ``config``.
+
+        Fault clauses are appended to the config's fault schedule; attack
+        clauses become the ``"scenario"`` composite attacker carrying this
+        spec as its parameters.  The result is an ordinary configuration:
+        serializable, replayable, fingerprint-stable.
+
+        Raises:
+            ConfigurationError: if ``config`` already carries a non-null
+                attack (put it in the scenario instead), or on any
+                validation failure.
+        """
+        self.validate(config)
+        if config.attack.name != "null":
+            raise ConfigurationError(
+                f"cannot apply scenario {self.name!r} on top of attack "
+                f"{config.attack.name!r}; add it to the scenario as a clause"
+            )
+        changes: dict[str, Any] = {}
+        if self.attacks:
+            changes["attack"] = AttackConfig(name="scenario", params=self.to_dict())
+        if self.faults:
+            changes["faults"] = FaultScheduleConfig(
+                specs=list(config.faults.specs) + [FaultSpec(**_spec_dict(s)) for s in self.faults]
+            )
+        if not changes:
+            return config
+        return config.replace(**changes)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical dict form; empty sections are omitted."""
+        data: dict[str, Any] = {"name": self.name}
+        if self.attacks:
+            data["attacks"] = [clause.to_dict() for clause in self.attacks]
+        if self.faults:
+            data["faults"] = [_fault_dict(spec) for spec in self.faults]
+        if self.allow is not None:
+            data["allow"] = sorted(str(name).lower() for name in self.allow)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ScenarioSpec":
+        data = dict(data)
+        unknown = set(data) - {"name", "attacks", "faults", "allow"}
+        if unknown:
+            raise ConfigurationError(f"unknown scenario keys: {sorted(unknown)}")
+        attacks = [
+            clause if isinstance(clause, AttackClause) else AttackClause.from_dict(clause)
+            for clause in data.get("attacks", [])
+        ]
+        faults = [
+            spec if isinstance(spec, FaultSpec) else FaultSpec(**spec)
+            for spec in data.get("faults", [])
+        ]
+        allow = data.get("allow")
+        return cls(
+            name=str(data.get("name", "scenario")),
+            attacks=attacks,
+            faults=faults,
+            allow=None if allow is None else [str(n) for n in allow],
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    def describe(self) -> str:
+        parts = [clause.describe() for clause in self.attacks]
+        parts.extend(spec.describe() for spec in self.faults)
+        return f"{self.name}: " + ("; ".join(parts) or "<empty>")
+
+
+def _spec_dict(spec: FaultSpec) -> dict[str, Any]:
+    from dataclasses import asdict
+
+    return asdict(spec)
+
+
+def _fault_dict(spec: FaultSpec) -> dict[str, Any]:
+    """Canonical (default-free) dict form of one fault spec."""
+    data = _spec_dict(spec)
+    defaults = FaultSpec(kind=spec.kind)
+    return {
+        key: value
+        for key, value in data.items()
+        if key == "kind" or value != getattr(defaults, key)
+    }
+
+
+# ---------------------------------------------------------------------------
+# Compact CLI grammar
+# ---------------------------------------------------------------------------
+
+
+def parse_scenario_spec(text: str, name: str = "cli-scenario") -> ScenarioSpec:
+    """Parse a ``--scenario`` string into a :class:`ScenarioSpec`.
+
+    Each ``;``-separated clause is an attack clause
+    (``attack[=key:value,...][@start:end]``) when its head names a
+    registered attack, otherwise a fault clause in the ``--faults`` grammar
+    (fault kinds and fault presets).
+
+    Raises:
+        ConfigurationError: on any grammar violation, with the offending
+            clause named.
+    """
+    from ..attacks.registry import available_attacks
+
+    spec = ScenarioSpec(name=name)
+    for clause in text.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        head, (start, end) = _split_window(clause)
+        attack_name, sep, args = head.partition("=")
+        attack_name = attack_name.strip()
+        if attack_name in FAULT_KINDS:
+            spec.faults.extend(_parse_fault_clause(clause))
+            continue
+        try:
+            get_attack(attack_name)
+        except ConfigurationError:
+            if not sep and attack_name in available_fault_presets():
+                spec.faults.extend(_parse_fault_clause(clause))
+                continue
+            raise ConfigurationError(
+                f"unknown scenario clause {clause!r}: {attack_name!r} is "
+                f"neither an attack ({available_attacks()}), a fault kind "
+                f"({list(FAULT_KINDS)}), nor a fault preset "
+                f"({available_fault_presets()})"
+            ) from None
+        params = _parse_attack_args(args.strip(), clause) if sep else {}
+        spec.attacks.append(
+            AttackClause(attack=attack_name, params=params, start=start, end=end)
+        )
+    return spec
+
+
+def _parse_attack_args(args: str, clause: str) -> dict[str, Any]:
+    if not args:
+        raise ConfigurationError(
+            f"attack clause {clause!r} has an empty parameter list; "
+            "use key:value pairs, e.g. targeted-delay=factor:4"
+        )
+    params: dict[str, Any] = {}
+    for pair in args.split(","):
+        key, sep, value = pair.partition(":")
+        key = key.strip()
+        if not sep or not key or not value.strip():
+            raise ConfigurationError(
+                f"bad attack parameter {pair!r} in clause {clause!r}; "
+                "expected key:value"
+            )
+        params[key] = _parse_value(value.strip())
+    return params
+
+
+def _parse_value(text: str) -> Any:
+    if "+" in text:
+        return [_parse_scalar(part) for part in text.split("+")]
+    return _parse_scalar(text)
+
+
+def _parse_scalar(text: str) -> Any:
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def load_scenario(source: str) -> ScenarioSpec:
+    """Resolve a ``--scenario`` argument into a spec.
+
+    In order: a registered scenario preset name, a path to a JSON spec
+    file (recognised by an existing file or a ``.json`` suffix), or the
+    compact grammar.
+    """
+    import os
+
+    from .presets import available_scenarios, get_scenario
+
+    if source in available_scenarios():
+        return get_scenario(source)
+    if source.endswith(".json") or os.path.isfile(source):
+        try:
+            with open(source, encoding="utf-8") as handle:
+                return ScenarioSpec.from_json(handle.read())
+        except OSError as error:
+            raise ConfigurationError(
+                f"cannot read scenario file {source!r}: {error}"
+            ) from None
+    return parse_scenario_spec(source)

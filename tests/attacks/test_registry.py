@@ -1,0 +1,46 @@
+"""Tests for the attack registry's listing contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks.base import Attacker, Capability
+from repro.attacks.registry import (
+    available_attacks,
+    get_attack,
+    register_attack,
+)
+from repro.core.errors import ConfigurationError
+
+
+@register_attack("_test-registry-double")
+class _Double(Attacker):
+    capabilities = Capability.NONE
+
+    def attack(self, message):
+        return None
+
+
+class TestAvailableAttacks:
+    def test_sorted(self):
+        names = available_attacks()
+        assert names == sorted(names)
+
+    def test_lists_builtins(self):
+        names = available_attacks()
+        for name in ("adaptive", "failstop", "null", "partition",
+                     "pbft-equivocation", "scenario", "targeted-delay"):
+            assert name in names
+
+    def test_underscore_names_are_unlisted_but_resolvable(self):
+        assert "_test-registry-double" not in available_attacks()
+        assert get_attack("_test-registry-double") is _Double
+
+    def test_unknown_attack_error_quotes_only_listed_names(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            get_attack("no-such-attack")
+        assert "_test-registry-double" not in str(excinfo.value)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_attack("null")(_Double)

@@ -363,3 +363,81 @@ class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestScenarioOption:
+    ARGS = ["--protocol", "pbft", "-n", "4", "--mean", "50", "--std", "10",
+            "--lam", "500", "--stall-timeout", "20000"]
+
+    def test_run_with_grammar_scenario(self, capsys):
+        code = main(["run", *self.ARGS,
+                     "--scenario", "targeted-delay=factor:2.0", "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["terminated"] is True
+
+    def test_run_with_preset_scenario(self, capsys):
+        code = main(["run", *self.ARGS, "--scenario", "adaptive-chaser",
+                     "--json"])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["terminated"] is True
+
+    def test_run_with_scenario_file(self, capsys, tmp_path):
+        from repro.scenarios import parse_scenario_spec
+
+        path = tmp_path / "spec.json"
+        path.write_text(parse_scenario_spec("targeted-delay=factor:2.0").to_json())
+        assert main(["run", *self.ARGS, "--scenario", str(path), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["terminated"] is True
+
+    def test_invalid_scenario_is_a_config_error(self, capsys):
+        code = main(["run", *self.ARGS, "--scenario", "failstop=count:3"])
+        assert code == 1
+        assert "demands 3 corruptions" in capsys.readouterr().err
+
+    def test_scenario_and_attack_flags_conflict(self, capsys):
+        code = main(["run", *self.ARGS, "--attack", "failstop",
+                     "--scenario", "targeted-delay=factor:2.0"])
+        assert code == 1
+        assert "on top of attack" in capsys.readouterr().err
+
+    def test_list_shows_scenario_presets(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario presets:" in out
+        for name in ("adaptive-chaser", "worst-case-pbft-n32",
+                     "relay-chokehold-tree"):
+            assert name in out
+        assert "scenario" in out  # the composite attacker itself
+
+
+class TestMineCommand:
+    ARGS = ["--protocol", "pbft", "-n", "4", "--mean", "50", "--std", "10",
+            "--lam", "500", "--stall-timeout", "5000", "--seed", "3"]
+
+    def test_mine_smoke_writes_artifact(self, capsys, tmp_path):
+        out = tmp_path / "artifact.json"
+        code = main(["mine", *self.ARGS, "--generations", "1",
+                     "--population", "2", "--search-seed", "4",
+                     "--out", str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "mine[median-latency]" in text
+        assert "baseline median latency/decision" in text
+        artifact = json.loads(out.read_text())
+        assert artifact["kind"] == "repro-mining-artifact"
+        assert artifact["winner"] is not None
+        assert len(artifact["lineage"]) == 2
+
+    def test_mine_json_output(self, capsys):
+        code = main(["mine", *self.ARGS, "--generations", "1",
+                     "--population", "2", "--search-seed", "4", "--json"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["winner"]["score"] > 0
+
+    def test_mine_refine_requires_scenario(self, capsys):
+        code = main(["mine", *self.ARGS, "--generations", "1",
+                     "--population", "2", "--refine"])
+        assert code == 1
+        assert "refine mode" in capsys.readouterr().err

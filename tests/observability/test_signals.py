@@ -1,0 +1,78 @@
+"""Unit tests for the live run signals maintained for adaptive attackers."""
+
+from __future__ import annotations
+
+from repro.observability.signals import LiveSignals
+
+
+def _populated() -> LiveSignals:
+    s = LiveSignals(4)
+    # Node 1 handles a message from node 3 and decides on it: 3 closed the
+    # quorum.  Node 0 decides twice on messages from node 2.
+    s.on_deliver(1, 3, 10.0)
+    s.on_decide(1, 11.0)
+    s.on_deliver(0, 2, 12.0)
+    s.on_decide(0, 13.0)
+    s.on_deliver(0, 2, 14.0)
+    s.on_decide(0, 15.0)
+    s.on_deliver(2, 0, 16.0)
+    return s
+
+
+class TestCounters:
+    def test_delivery_and_decision_counts(self):
+        s = _populated()
+        assert s.delivery_counts() == (2, 1, 1, 0)
+        assert s.decision_counts() == (2, 1, 0, 0)
+        assert s.decisions_seen == 3
+
+    def test_self_delivery_never_closes_a_quorum(self):
+        s = LiveSignals(2)
+        s.on_deliver(0, 0, 1.0)
+        s.on_decide(0, 2.0)
+        assert s.closing_senders == {}
+
+    def test_decide_without_delivery_closes_nothing(self):
+        s = LiveSignals(2)
+        s.on_decide(1, 1.0)
+        assert s.closing_senders == {}
+        assert s.decision_counts() == (0, 1)
+
+
+class TestRankings:
+    def test_stragglers_rank_by_decisions_then_activity_then_id(self):
+        s = _populated()
+        # 3 has no decisions and no activity; 2 has no decisions but was
+        # active at t=16; 1 decided once; 0 decided twice.
+        assert s.stragglers(4) == [3, 2, 1, 0]
+
+    def test_stragglers_exclude(self):
+        s = _populated()
+        assert s.stragglers(2, exclude={3}) == [2, 1]
+
+    def test_critical_senders_rank_by_quorums_closed(self):
+        s = _populated()
+        assert s.critical_senders(2) == [2, 3]
+        assert s.critical_senders(2, exclude={2}) == [3]
+
+    def test_critical_senders_never_pads(self):
+        s = _populated()
+        # Only two nodes ever closed a quorum; k=4 still returns two.
+        assert len(s.critical_senders(4)) == 2
+
+    def test_busiest_nodes_rank_by_deliveries(self):
+        s = _populated()
+        assert s.busiest_nodes(2) == [0, 1]
+        assert s.busiest_nodes(1, exclude={0}) == [1]
+
+    def test_fresh_signals_rank_by_id(self):
+        s = LiveSignals(3)
+        assert s.stragglers(3) == [0, 1, 2]
+        assert s.busiest_nodes(3) == [0, 1, 2]
+        assert s.critical_senders(3) == []
+
+    def test_describe_mentions_counts(self):
+        s = _populated()
+        text = s.describe()
+        assert "decisions=3" in text
+        assert "delivered=4" in text

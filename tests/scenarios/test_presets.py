@@ -1,0 +1,96 @@
+"""Tests for scenario presets and the committed mining artifacts.
+
+The two mined presets are promises: their spec dicts must stay
+byte-identical to the committed artifacts' ``winner.spec``, and replaying
+either winner — in this process or a fresh one — must reproduce the
+artifact's recorded ``result_fingerprint`` exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.results import SimulationResult, result_fingerprint
+from repro.scenarios import (
+    available_scenarios,
+    get_scenario,
+    load_artifact,
+    load_scenario,
+    replay_winner,
+    winner_config,
+)
+
+ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "artifacts", "mining")
+
+MINED = {
+    "worst-case-pbft-n32": "worst-case-pbft-n32.json",
+    "relay-chokehold-tree": "relay-chokehold-tree.json",
+}
+
+
+def _artifact(preset: str) -> dict:
+    return load_artifact(os.path.join(ARTIFACT_DIR, MINED[preset]))
+
+
+class TestRegistry:
+    def test_builtin_presets_listed_sorted(self):
+        names = available_scenarios()
+        assert names == sorted(names)
+        for name in ("adaptive-chaser", *MINED):
+            assert name in names
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario preset"):
+            get_scenario("no-such-preset")
+
+    def test_load_scenario_resolves_presets_first(self):
+        assert load_scenario("adaptive-chaser").to_dict() == get_scenario(
+            "adaptive-chaser"
+        ).to_dict()
+
+
+class TestMinedArtifacts:
+    @pytest.mark.parametrize("preset", sorted(MINED))
+    def test_preset_is_byte_identical_to_artifact_winner(self, preset):
+        artifact = _artifact(preset)
+        preset_json = json.dumps(get_scenario(preset).to_dict(), sort_keys=True)
+        winner_json = json.dumps(artifact["winner"]["spec"], sort_keys=True)
+        assert preset_json == winner_json
+
+    @pytest.mark.parametrize("preset", sorted(MINED))
+    def test_artifact_meets_the_mining_bar(self, preset):
+        artifact = _artifact(preset)
+        assert artifact["winner"]["ratio_vs_baseline"] >= 2.0
+        assert artifact["baseline"]["median_latency"] > 0
+
+    def test_pbft_artifact_searched_at_least_twenty_specs(self):
+        artifact = _artifact("worst-case-pbft-n32")
+        assert len(artifact["lineage"]) >= 20
+        assert artifact["base_config"]["protocol"] == "pbft"
+        assert artifact["base_config"]["n"] == 32
+
+    def test_tree_artifact_winner_targets_relays(self):
+        artifact = _artifact("relay-chokehold-tree")
+        clause = artifact["winner"]["spec"]["attacks"][0]
+        assert clause["params"]["targets"] == "relays"
+        assert artifact["base_config"]["network"]["dissemination"] == "tree"
+
+    @pytest.mark.parametrize("preset", sorted(MINED))
+    def test_winner_replays_to_recorded_fingerprint(self, preset):
+        _, fingerprint, expected = replay_winner(_artifact(preset))
+        assert fingerprint == expected
+
+    def test_winner_replays_identically_in_a_fresh_process(self):
+        # ParallelRunner workers are freshly spawned interpreters: this is
+        # the artifact's cross-process replayability contract.
+        from repro.parallel import ParallelRunner
+
+        artifact = _artifact("worst-case-pbft-n32")
+        config = winner_config(artifact)
+        (entry,) = ParallelRunner(jobs=1).map([config])
+        assert isinstance(entry, SimulationResult)
+        assert result_fingerprint(entry) == artifact["winner"]["fingerprints"][0]

@@ -1,0 +1,197 @@
+"""Tests for the worst-case mining harness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.attacks.base import Attacker, Capability
+from repro.attacks.registry import register_attack
+from repro.core.errors import ConfigurationError
+from repro.scenarios import (
+    ScenarioSpec,
+    load_artifact,
+    mine,
+    parse_scenario_spec,
+    replay_winner,
+    winner_config,
+)
+from repro.scenarios.spec import AttackClause
+
+from tests.conftest import quick_config
+
+
+@register_attack("_test-exploder")
+class _Exploder(Attacker):
+    """Raises mid-run — a spec that kills its own evaluation."""
+
+    capabilities = Capability.NETWORK
+
+    def attack(self, message):
+        raise RuntimeError("boom")
+
+
+def _base(**kwargs):
+    kwargs.setdefault("n", 4)
+    kwargs.setdefault("seed", 3)
+    kwargs.setdefault("stall_timeout", 5000.0)
+    return quick_config(**kwargs)
+
+
+def _tiny_mine(base=None, **kwargs):
+    kwargs.setdefault("generations", 2)
+    kwargs.setdefault("population", 3)
+    kwargs.setdefault("search_seed", 4)
+    return mine(base or _base(), **kwargs)
+
+
+class TestMineBasics:
+    def test_finds_a_winner_worse_than_baseline(self):
+        report = _tiny_mine()
+        assert report.winner is not None
+        assert report.winner.median_latency > report.baseline_latency
+        assert report.ratio_vs_baseline > 1.0
+        assert len(report.lineage) == 6
+
+    def test_same_search_seed_mines_the_same_winner(self):
+        a = _tiny_mine()
+        b = _tiny_mine()
+        assert a.winner.spec == b.winner.spec
+        assert a.winner.fingerprints == b.winner.fingerprints
+        assert [e.spec for e in a.lineage] == [e.spec for e in b.lineage]
+
+    def test_candidates_respect_the_corruption_budget(self):
+        report = _tiny_mine(generations=3, population=6)
+        base = _base()
+        f = ScenarioSpec().resolve_f(base)
+        for entry in report.lineage:
+            spec = ScenarioSpec.from_dict(entry.spec)
+            assert spec.corruption_demand(f) <= f
+
+    def test_non_null_base_attack_rejected(self):
+        from repro import AttackConfig
+
+        base = _base(attack=AttackConfig(name="failstop"))
+        with pytest.raises(ConfigurationError, match="null-attack base"):
+            _tiny_mine(base)
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown mining objective"):
+            _tiny_mine(objective="latency-max")
+
+
+class TestGracefulDegradation:
+    def test_stalling_spec_is_recorded_unfit_not_fatal(self):
+        # A zero-window full partition under pbft n=4 (f=1) kills liveness:
+        # the run stalls.  The harness must score it unfit and keep going.
+        staller = ScenarioSpec(
+            name="staller",
+            attacks=[
+                AttackClause(
+                    attack="partition",
+                    params={"start": 0.0, "end": 10_000_000.0, "mode": "drop"},
+                )
+            ],
+        )
+        report = _tiny_mine(seed_specs=[staller])
+        entry = next(e for e in report.lineage if e.spec["name"] == "staller")
+        assert entry.stalled >= 1
+        assert not entry.fit
+        assert "stalled" in entry.unfit_reason
+        assert report.winner is not None
+        assert report.winner.spec["name"] != "staller"
+
+    def test_crashing_spec_is_recorded_unfit_not_fatal(self):
+        exploder = ScenarioSpec(
+            name="exploder",
+            attacks=[AttackClause(attack="_test-exploder")],
+        )
+        report = _tiny_mine(seed_specs=[exploder])
+        entry = next(e for e in report.lineage if e.spec["name"] == "exploder")
+        assert entry.failures == 1
+        assert not entry.fit
+        assert "boom" in entry.unfit_reason
+        assert report.winner is not None
+
+    def test_invalid_spec_is_recorded_unfit_not_fatal(self):
+        greedy = parse_scenario_spec("failstop=count:3")  # f=1 at n=4
+        greedy.name = "greedy"
+        report = _tiny_mine(seed_specs=[greedy])
+        entry = next(e for e in report.lineage if e.spec["name"] == "greedy")
+        assert not entry.fit
+        assert "invalid spec" in entry.unfit_reason
+        assert report.winner is not None
+
+
+class TestRefineMode:
+    def test_refine_requires_seed_specs(self):
+        with pytest.raises(ConfigurationError, match="refine mode"):
+            _tiny_mine(refine=True)
+
+    def test_refine_preserves_clause_structure(self):
+        seed = parse_scenario_spec("targeted-delay=targets:0+1,factor:2.0")
+        seed.name = "shape"
+        report = _tiny_mine(seed_specs=[seed], refine=True, generations=3)
+        for entry in report.lineage:
+            spec = ScenarioSpec.from_dict(entry.spec)
+            assert len(spec.attacks) == 1
+            assert spec.attacks[0].attack == "targeted-delay"
+            assert spec.attacks[0].params["targets"] == [0, 1]
+        assert report.winner is not None
+
+
+class TestObjectives:
+    def test_stall_objective_rewards_stalling_specs(self):
+        staller = ScenarioSpec(
+            name="staller",
+            attacks=[
+                AttackClause(
+                    attack="partition",
+                    params={"start": 0.0, "end": 10_000_000.0, "mode": "drop"},
+                )
+            ],
+        )
+        report = _tiny_mine(seed_specs=[staller], objective="stall")
+        entry = next(e for e in report.lineage if e.spec["name"] == "staller")
+        assert entry.fit
+        assert entry.score >= 1.0
+        assert report.winner.score >= 1.0
+
+    def test_first_decision_objective_scores_every_spec(self):
+        report = _tiny_mine(objective="first-decision")
+        assert report.winner is not None
+        assert report.winner.first_decision > 0
+
+
+class TestArtifacts:
+    def test_artifact_round_trip_and_replay(self, tmp_path):
+        report = _tiny_mine()
+        path = tmp_path / "artifact.json"
+        report.write(str(path))
+        artifact = load_artifact(str(path))
+        assert artifact["kind"] == "repro-mining-artifact"
+        assert artifact["winner"]["spec"] == report.winner.spec
+        result, fingerprint, expected = replay_winner(artifact)
+        assert fingerprint == expected
+
+    def test_artifact_is_canonical_json(self, tmp_path):
+        report = _tiny_mine()
+        path = tmp_path / "artifact.json"
+        report.write(str(path))
+        text = path.read_text()
+        assert text == json.dumps(json.loads(text), indent=2, sort_keys=True) + "\n"
+
+    def test_winner_config_carries_scenario_attack(self, tmp_path):
+        report = _tiny_mine()
+        path = tmp_path / "artifact.json"
+        report.write(str(path))
+        config = winner_config(load_artifact(str(path)))
+        assert config.attack.name == "scenario"
+        assert config.attack.params == report.winner.spec
+
+    def test_non_artifact_file_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"kind": "something-else"}')
+        with pytest.raises(ConfigurationError, match="not a mining artifact"):
+            load_artifact(str(path))
