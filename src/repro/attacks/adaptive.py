@@ -28,8 +28,12 @@ termination predicate behave exactly as they do under every other attacker.
 Parameters (``AttackConfig.params``):
     action: ``"delay"`` (default) or ``"corrupt"``.
     signal: which ranking picks victims — ``"critical"`` (default, quorum-
-        closing senders with straggler fallback), ``"stragglers"``, or
-        ``"busiest"`` (delivery fan-in).
+        closing senders with straggler fallback), ``"stragglers"``,
+        ``"busiest"`` (overall delivery fan-in), or ``"fan-in"`` (delivery
+        fan-in of one message kind — set ``kind``; falls back to the
+        overall ranking until that kind has been seen).
+    kind: the message type the ``"fan-in"`` signal ranks by (e.g.
+        ``"PREPARE"``; required for that signal).
     k: victims targeted per tick (default 1; ``delay`` action only).
     factor: delay multiplier for matching messages (default 4.0).
     extra_delay: flat ms added to matching messages (default 0).
@@ -51,7 +55,7 @@ from .base import Attacker, Capability
 from .registry import register_attack
 
 #: Victim-ranking signals accepted by the ``signal`` parameter.
-SIGNALS = ("critical", "stragglers", "busiest")
+SIGNALS = ("critical", "stragglers", "busiest", "fan-in")
 
 #: Actions accepted by the ``action`` parameter.
 ACTIONS = ("delay", "corrupt")
@@ -94,6 +98,12 @@ class AdaptiveAttacker(Attacker):
                 f"adaptive attacker signal must be one of {list(SIGNALS)}, "
                 f"got {self.signal!r}"
             )
+        self.kind = str(params.get("kind", ""))
+        if self.signal == "fan-in" and not self.kind:
+            raise ConfigurationError(
+                "adaptive attacker signal 'fan-in' needs a 'kind' parameter "
+                "naming the message type to rank by (e.g. 'PREPARE')"
+            )
         self.k = int(params.get("k", 1))
         self.factor = float(params.get("factor", 4.0))
         self.extra_delay = float(params.get("extra_delay", 0.0))
@@ -116,6 +126,8 @@ class AdaptiveAttacker(Attacker):
             return signals.stragglers(k, exclude=exclude)
         if self.signal == "busiest":
             return signals.busiest_nodes(k, exclude=exclude)
+        if self.signal == "fan-in":
+            return signals.hottest_by_kind(self.kind, k, exclude=exclude)
         picks = signals.critical_senders(k, exclude=exclude)
         if len(picks) < k:
             # Early in the run no quorum has closed yet; fall back to the

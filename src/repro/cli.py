@@ -13,6 +13,11 @@ scenario" (§III-A); the CLI makes that workflow shell-scriptable:
     python -m repro inspect trace.jsonl --top 10
     python -m repro inspect trace.jsonl --critical-path --quorum --phases
     python -m repro metrics metrics.json --format prom
+    python -m repro run --protocol pbft --store experiments.sqlite
+    python -m repro experiments list
+    python -m repro experiments diff 1 2
+    python -m repro serve --port 8008
+    python -m repro mine --check artifacts/mining/worst-case-pbft-n32.json
 
 Every command is a thin shell over the library; anything it can do, the
 Python API can do too.  ``--log-level`` / ``--log-json`` (before the
@@ -117,6 +122,21 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                              "are killed and recorded as failures")
     parser.add_argument("--retries", type=int, default=1,
                         help="retries for runs whose worker crashed or hung")
+
+
+#: Default experiment-store path for ``experiments`` / ``serve``.
+DEFAULT_STORE = "experiments.sqlite"
+
+
+def _add_store_option(
+    parser: argparse.ArgumentParser, default: str | None = None
+) -> None:
+    parser.add_argument("--store", default=default, metavar="PATH",
+                        help="sqlite experiment store to record into "
+                             "(created on first use; browse with "
+                             "'repro experiments' / 'repro serve')"
+                        if default is None else
+                        f"sqlite experiment store (default: {default})")
 
 
 def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
@@ -270,26 +290,58 @@ def _metrics_option(args: argparse.Namespace) -> bool | float:
     return args.metrics or args.metrics_out is not None
 
 
+def _open_recorder(args: argparse.Namespace, kind: str, config, total_runs: int,
+                   *, params: dict | None = None, labels=None,
+                   trace_paths=None):
+    """A :class:`StoreRecorder` for ``--store``, or ``None`` when unset."""
+    if getattr(args, "store", None) is None:
+        return None
+    from .store import ExperimentStore, StoreRecorder
+
+    store = ExperimentStore(args.store)
+    name = getattr(args, "experiment_name", None) or (
+        f"{config.protocol if hasattr(config, 'protocol') else config['protocol']}"
+        f" {kind}"
+    )
+    return StoreRecorder.open(
+        store, name, kind, config, total_runs,
+        params=params, labels=labels, trace_paths=trace_paths,
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     profile = args.profile or args.profile_out is not None
     metrics = _metrics_option(args)
     sink = _run_sink(args)
+    recorder = _open_recorder(
+        args, "run", config, 1,
+        trace_paths={0: args.trace_out} if args.trace_out else None,
+    )
+    failure: RunFailure | None = None
     if args.timeout is not None and sink is None:
         entry = repeat_simulation(
             config, 1, timeout=args.timeout, retries=args.retries,
             on_error="record", profile=profile, metrics=metrics,
         )[0]
         if isinstance(entry, RunFailure):
-            print(f"error: {entry.summary()}", file=sys.stderr)
-            return 1
-        result = entry
+            failure = entry
+        else:
+            result = entry
     else:
         if args.timeout is not None:
             print("note: --trace-out streams from this process; "
                   "--timeout is ignored", file=sys.stderr)
         result = run_simulation(config, sink=sink, profile=profile,
                                 metrics=metrics)
+    if recorder is not None:
+        recorder(0, failure if failure is not None else result)
+        recorder.finish()
+        print(f"store: experiment {recorder.experiment_id} -> {args.store}",
+              file=sys.stderr)
+    if failure is not None:
+        print(f"error: {failure.summary()}", file=sys.stderr)
+        return 1
     if args.profile_out is not None and result.profile is not None:
         with open(args.profile_out, "w", encoding="utf-8") as handle:
             json.dump(result.profile.to_dict(), handle, indent=2, sort_keys=True)
@@ -332,7 +384,18 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     values = [float(v) for v in args.values.split(",")]
     rows = []
     fleet_profiles: list[RunProfile] = []
-    for value in values:
+    recorder = _open_recorder(
+        args, "sweep", _config_from_args(args), len(values) * args.reps,
+        params={"param": args.param, "values": values, "reps": args.reps},
+        labels={
+            v_index * args.reps + rep: f"{args.param}={value} rep {rep}"
+            for v_index, value in enumerate(values)
+            for rep in range(args.reps)
+        },
+    )
+    from .store.recorder import offset_recorder
+
+    for v_index, value in enumerate(values):
         config = _config_from_args(args)
         if args.param == "lam":
             config = config.replace(lam=value)
@@ -351,6 +414,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             config = config.replace(stall_timeout=value if value > 0 else None)
         else:
             print(f"unsupported sweep parameter: {args.param}", file=sys.stderr)
+            if recorder is not None:
+                recorder.finish("failed")
             return 1
         entries = repeat_simulation(
             config,
@@ -361,6 +426,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             on_error="record",
             progress=_progress_printer(args),
             profile=args.profile,
+            recorder=(
+                offset_recorder(recorder, v_index * args.reps)
+                if recorder is not None else None
+            ),
         )
         fleet_profiles.extend(
             entry.profile for entry in entries
@@ -373,6 +442,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             print(f"error: all {len(failures)} runs failed at "
                   f"{args.param}={value}: {failures[0].summary()}",
                   file=sys.stderr)
+            if recorder is not None:
+                recorder.finish("failed")
             return 1
         rows.append(
             (
@@ -396,10 +467,40 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if fleet_profiles:
         print()
         print(RunProfile.merge(fleet_profiles).format_table())
+    if recorder is not None:
+        recorder.finish()
+        print(f"store: experiment {recorder.experiment_id} -> {args.store}",
+              file=sys.stderr)
     return 0
 
 
+def _resolve_trace(args: argparse.Namespace) -> str:
+    """The trace path named by ``args.trace`` — a file, or a store run id.
+
+    ``store:<run_id>`` always reads the experiment store (``--store``, or
+    the default path); a bare integer does too when ``--store`` was given
+    explicitly.  Anything else is a filesystem path.
+    """
+    trace = args.trace
+    store_path = getattr(args, "store", None)
+    run_id: int | None = None
+    if trace.startswith("store:"):
+        run_id = int(trace[len("store:"):])
+    elif store_path is not None and trace.isdigit():
+        run_id = int(trace)
+    if run_id is None:
+        return trace
+    from .store import ExperimentStore
+
+    store = ExperimentStore(store_path or DEFAULT_STORE, create=False)
+    try:
+        return store.trace_path(run_id)
+    finally:
+        store.close()
+
+
 def cmd_inspect(args: argparse.Namespace) -> int:
+    args.trace = _resolve_trace(args)
     profile = None
     if args.profile_json is not None:
         with open(args.profile_json, encoding="utf-8") as handle:
@@ -471,11 +572,55 @@ def _load_metrics(path: str) -> RunMetrics:
         return RunMetrics.from_dict(json.load(handle))
 
 
+def _cmd_mine_check(args: argparse.Namespace) -> int:
+    """``repro mine --check``: re-score a committed mining artifact."""
+    from .scenarios import check_artifact
+
+    check = check_artifact(
+        args.check,
+        tolerance=args.tolerance,
+        jobs=_jobs_from_args(args),
+        timeout=args.timeout,
+        retries=args.retries,
+    )
+    if args.json:
+        print(json.dumps(check.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(check.summary())
+    return 0 if check.ok else 2
+
+
 def cmd_mine(args: argparse.Namespace) -> int:
+    if args.check is not None:
+        return _cmd_mine_check(args)
     scenario = args.scenario
     args.scenario = None  # the base must stay null-attack; seed the search
     base = _config_from_args(args)
     seed_specs = [load_scenario(scenario)] if scenario else None
+    recorder = _open_recorder(
+        args, "mine", base, args.generations,
+        params={
+            "objective": args.objective,
+            "generations": args.generations,
+            "population": args.population,
+            "reps": args.reps,
+            "search_seed": args.search_seed,
+        },
+    )
+
+    generations_done = 0
+
+    def log(line: str) -> None:
+        nonlocal generations_done
+        print(f"  {line}", file=sys.stderr, flush=True)
+        if recorder is not None and line.startswith("generation "):
+            # One progress tick per completed generation: the dashboard
+            # shows a mining experiment filling up generation by generation.
+            generations_done += 1
+            recorder.store.set_progress(
+                recorder.experiment_id, generations_done
+            )
+
     report = mine(
         base,
         objective=args.objective,
@@ -489,8 +634,35 @@ def cmd_mine(args: argparse.Namespace) -> int:
         retries=args.retries,
         seed_specs=seed_specs,
         refine=args.refine,
-        log=lambda line: print(f"  {line}", file=sys.stderr, flush=True),
+        log=log,
     )
+    if recorder is not None:
+        store, experiment_id = recorder.store, recorder.experiment_id
+        data = report.to_dict()
+        store.record_artifact(
+            experiment_id, "mining-report",
+            name=f"mine[{report.objective}]",
+            path=args.out,
+            payload={k: v for k, v in data.items() if k != "lineage"},
+        )
+        store.record_artifact(
+            experiment_id, "mining-lineage",
+            name=f"{len(report.lineage)} evaluated specs",
+            payload=data["lineage"],
+        )
+        if report.winner is not None:
+            store.record_artifact(
+                experiment_id, "mining-winner",
+                name=report.winner.spec["name"],
+                path=args.out,
+                payload=data["winner"],
+            )
+        store.finish_experiment(
+            experiment_id,
+            "complete" if report.winner is not None else "failed",
+        )
+        print(f"store: experiment {experiment_id} -> {args.store}",
+              file=sys.stderr)
     if args.out:
         report.write(args.out)
     if args.json:
@@ -510,6 +682,113 @@ def cmd_mine(args: argparse.Namespace) -> int:
         if args.out:
             print(f"artifact: -> {args.out}")
     return 0 if report.winner is not None else 2
+
+
+def _format_when(timestamp: float | None) -> str:
+    if not timestamp:
+        return "-"
+    import datetime
+
+    return datetime.datetime.fromtimestamp(timestamp).strftime(
+        "%Y-%m-%d %H:%M:%S"
+    )
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    from .store import ExperimentStore
+
+    store = ExperimentStore(args.store, create=False)
+    try:
+        if args.experiments_command == "list":
+            rows = store.experiments()
+            if args.json:
+                print(json.dumps(
+                    {"experiments": [row.to_dict() for row in rows]},
+                    indent=2, sort_keys=True,
+                ))
+                return 0
+            if not rows:
+                print(f"no experiments in {args.store}")
+                return 0
+            print(render_table(
+                f"experiments in {args.store}",
+                ["id", "name", "kind", "status", "runs", "failed",
+                 "stalled", "created"],
+                [
+                    (row.id, row.name, row.kind, row.status,
+                     f"{row.done_runs}/{row.total_runs}",
+                     row.failed_runs, row.stalled_runs,
+                     _format_when(row.created_at))
+                    for row in rows
+                ],
+            ))
+            return 0
+        if args.experiments_command == "show":
+            experiment = store.experiment(args.id)
+            runs = store.runs(args.id)
+            artifacts = store.artifacts(args.id)
+            if args.json:
+                print(json.dumps({
+                    "experiment": experiment.to_dict(),
+                    "runs": [row.to_dict() for row in runs],
+                    "artifacts": [row.to_dict() for row in artifacts],
+                }, indent=2, sort_keys=True))
+                return 0
+            print(
+                f"experiment {experiment.id}: {experiment.name} "
+                f"[{experiment.kind}] {experiment.status} "
+                f"{experiment.done_runs}/{experiment.total_runs} runs "
+                f"({experiment.failed_runs} failed, "
+                f"{experiment.stalled_runs} stalled), "
+                f"created {_format_when(experiment.created_at)}"
+            )
+            if runs:
+                print(render_table(
+                    "runs",
+                    ["#", "label", "status", "seed", "latency/dec",
+                     "msgs/dec", "fingerprint", "trace"],
+                    [
+                        (
+                            row.run_index,
+                            row.label or "-",
+                            row.status + (" (stalled)" if row.stalled else ""),
+                            row.seed,
+                            f"{row.latency_per_decision:.1f}ms"
+                            if row.latency_per_decision is not None else "-",
+                            f"{row.messages_per_decision:.1f}"
+                            if row.messages_per_decision is not None else "-",
+                            (row.fingerprint or "-")[:12],
+                            row.trace_path or "-",
+                        )
+                        for row in runs
+                    ],
+                ))
+            for artifact in artifacts:
+                where = f" -> {artifact.path}" if artifact.path else ""
+                print(f"artifact {artifact.id}: {artifact.kind} "
+                      f"{artifact.name}{where}")
+            return 0
+        # diff
+        diff = store.diff(args.a, args.b)
+        if args.json:
+            print(json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(diff.summary())
+            for row in diff.mismatches:
+                print(
+                    f"  run {row.run_index}: "
+                    f"{(row.a or 'missing')[:16]} vs {(row.b or 'missing')[:16]}"
+                )
+        return 0 if diff.identical else 2
+    finally:
+        store.close()
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import serve
+
+    serve(args.store, args.host, args.port)
+    return 0
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
@@ -544,10 +823,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="run one simulation")
     _add_run_options(run_parser)
     _add_telemetry_options(run_parser)
+    _add_store_option(run_parser)
     run_parser.add_argument("--json", action="store_true", help="JSON output")
 
     sweep_parser = sub.add_parser("sweep", help="sweep one parameter")
     _add_run_options(sweep_parser)
+    _add_store_option(sweep_parser)
     sweep_parser.add_argument("--param", required=True,
                               help="lam | mean | std | max_delay | n | "
                                    "loss | stall_timeout")
@@ -588,6 +869,16 @@ def build_parser() -> argparse.ArgumentParser:
                                   "baseline, full lineage) as JSON")
     mine_parser.add_argument("--json", action="store_true",
                              help="print the full artifact as JSON")
+    _add_store_option(mine_parser)
+    mine_parser.add_argument("--check", default=None, metavar="ARTIFACT",
+                             help="regression mode: skip mining, re-score "
+                                  "this committed artifact against its "
+                                  "stored baseline; exits 2 when the attack "
+                                  "ratio drifted beyond --tolerance or the "
+                                  "fingerprints moved")
+    mine_parser.add_argument("--tolerance", type=float, default=0.05,
+                             help="accepted relative attack-ratio drift for "
+                                  "--check (default 0.05 = ±5%%)")
 
     validate_parser = sub.add_parser(
         "validate", help="cross-check against the packet-level baseline engine"
@@ -597,7 +888,11 @@ def build_parser() -> argparse.ArgumentParser:
     inspect_parser = sub.add_parser(
         "inspect", help="analyze a JSONL trace written by 'run --trace-out'"
     )
-    inspect_parser.add_argument("trace", help="JSONL trace file")
+    inspect_parser.add_argument("trace",
+                                help="JSONL trace file, or a store run id "
+                                     "('store:12', or plain '12' with "
+                                     "--store) whose recorded trace to read")
+    _add_store_option(inspect_parser)
     inspect_parser.add_argument("--top", type=int, default=20,
                                 help="row cap for each table (default 20)")
     inspect_parser.add_argument("--json", action="store_true",
@@ -631,6 +926,47 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_parser.add_argument("--top", type=int, default=20,
                                 help="row cap for the table format")
 
+    experiments_parser = sub.add_parser(
+        "experiments",
+        help="browse an experiment store written by run/sweep/mine --store",
+    )
+    experiments_sub = experiments_parser.add_subparsers(
+        dest="experiments_command", required=True
+    )
+    list_parser = experiments_sub.add_parser(
+        "list", help="every stored experiment, newest first"
+    )
+    _add_store_option(list_parser, default=DEFAULT_STORE)
+    list_parser.add_argument("--json", action="store_true",
+                             help="machine-readable output")
+    show_parser = experiments_sub.add_parser(
+        "show", help="one experiment: runs, progress, artifacts"
+    )
+    show_parser.add_argument("id", type=int, help="experiment id")
+    _add_store_option(show_parser, default=DEFAULT_STORE)
+    show_parser.add_argument("--json", action="store_true",
+                             help="machine-readable output")
+    diff_parser = experiments_sub.add_parser(
+        "diff",
+        help="compare two experiments' per-run fingerprints "
+             "(exit 2 when they differ)",
+    )
+    diff_parser.add_argument("a", type=int, help="first experiment id")
+    diff_parser.add_argument("b", type=int, help="second experiment id")
+    _add_store_option(diff_parser, default=DEFAULT_STORE)
+    diff_parser.add_argument("--json", action="store_true",
+                             help="machine-readable output")
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="live dashboard over an experiment store (stdlib http.server)",
+    )
+    _add_store_option(serve_parser, default=DEFAULT_STORE)
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8008,
+                              help="port (default 8008; 0 = ephemeral)")
+
     return parser
 
 
@@ -648,6 +984,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "validate": cmd_validate,
         "inspect": cmd_inspect,
         "metrics": cmd_metrics,
+        "experiments": cmd_experiments,
+        "serve": cmd_serve,
     }[args.command]
     try:
         return handler(args)

@@ -249,8 +249,14 @@ class Controller:
         Deliberately side-effect free with respect to the engine: unlike
         :meth:`report_to_system` it touches neither the liveness watchdog
         nor node-activity bookkeeping, so instrumented and uninstrumented
-        protocols terminate identically.
+        protocols terminate identically.  Live signals (attacker-requested
+        only) accumulate per-view phase timings from the same annotations.
         """
+        if self.signals is not None:
+            self.signals.on_phase(
+                node_id, phase, fields.get("view"), fields.get("height"),
+                self.clock.now,
+            )
         if self.trace.enabled:
             self.trace.record(self.clock.now, "phase", node_id, phase=phase, **fields)
 
@@ -568,7 +574,9 @@ class Controller:
             if self._watchdog:
                 self._node_activity[dest] = event_time
             if self.signals is not None:
-                self.signals.on_deliver(dest, message.source, event_time)
+                self.signals.on_deliver(
+                    dest, message.source, event_time, message.type
+                )
             if self.obs_metrics is not None:
                 self.obs_metrics.on_deliver(event_time - message.sent_at)
             trace = self.trace
@@ -663,6 +671,10 @@ class Controller:
         run_metrics = None
         if self.obs_metrics is not None:
             run_metrics = self.obs_metrics.build(sim_time_ms=self.clock.now)
+        signals_summary = None
+        if self.signals is not None:
+            self.signals.finish(self.clock.now)
+            signals_summary = self.signals.summary_dict()
         return SimulationResult(
             config=self.config,
             terminated=terminated,
@@ -682,4 +694,5 @@ class Controller:
             stall=self._stall,
             profile=profile,
             run_metrics=run_metrics,
+            signals_summary=signals_summary,
         )

@@ -115,6 +115,12 @@ class SimulationResult:
             (:class:`~repro.observability.metrics.RunMetrics`) when the run
             carried a metrics registry, else ``None``.  Observability
             output — excluded from the fingerprint like ``profile``.
+        signals_summary: final :meth:`~repro.observability.signals.
+            LiveSignals.summary_dict` snapshot (fan-in by message kind,
+            per-view phase timings, closing senders) when the run's attacker
+            requested live signals, else ``None``.  What the adversary saw —
+            persisted by the experiment store, excluded from the fingerprint
+            like the other observability fields.
     """
 
     config: SimulationConfig
@@ -135,6 +141,7 @@ class SimulationResult:
     stall: StallReport | None = None
     profile: "RunProfile | None" = None
     run_metrics: "RunMetrics | None" = None
+    signals_summary: dict | None = None
 
     @property
     def stalled(self) -> bool:

@@ -150,6 +150,7 @@ def repeat_simulation(
     progress: Callable[..., None] | None = None,
     profile: bool = False,
     metrics: bool | float = False,
+    recorder: Callable[[int, "SimulationResult | RunFailure"], None] | None = None,
 ) -> list[SimulationResult | RunFailure]:
     """Run ``config`` under ``repetitions`` consecutive seeds.
 
@@ -188,6 +189,11 @@ def repeat_simulation(
             :func:`run_simulation`); each result carries its own
             :class:`~repro.observability.metrics.RunMetrics`, mergeable
             with :meth:`RunMetrics.merge`.
+        recorder: optional run recorder ``recorder(run_index, entry)``
+            (e.g. a :class:`repro.store.StoreRecorder`) invoked once per
+            terminal run — streamed as runs finish, so a persistent store
+            shows live progress.  Recording happens strictly after a run
+            completes; results are byte-identical with or without it.
 
     Returns:
         One entry per run, in seed order: :class:`SimulationResult`, or
@@ -216,6 +222,8 @@ def repeat_simulation(
                         message=str(exc),
                         run_index=index,
                     )
+            if recorder is not None:
+                recorder(index, result)
             if callback is not None:
                 callback(index, result)
             entries.append(result)
@@ -225,7 +233,7 @@ def repeat_simulation(
 
     runner = ParallelRunner(
         jobs=jobs, timeout=timeout, retries=retries, progress=progress,
-        profile=profile, metrics=metrics,
+        profile=profile, metrics=metrics, recorder=recorder,
     )
     entries = runner.map(configs)
     if on_error == "raise":
@@ -248,6 +256,7 @@ def sweep(
     progress: Callable[..., None] | None = None,
     profile: bool = False,
     metrics: bool | float = False,
+    recorder: Callable[[int, "SimulationResult | RunFailure"], None] | None = None,
 ) -> list[list[SimulationResult | RunFailure]]:
     """Run ``base`` once per variation, each repeated ``repetitions`` times.
 
@@ -259,25 +268,37 @@ def sweep(
     saturated across variation boundaries; the grouped result order is
     identical to the serial one.  ``timeout``, ``retries``, ``on_error``,
     ``progress``, ``profile``, and ``metrics`` behave as in
-    :func:`repeat_simulation`.
+    :func:`repeat_simulation`.  A ``recorder`` sees the grid's *flattened*
+    run indices (``variation_index * repetitions + rep``), identically for
+    serial and parallel execution.
     """
     _check_batch_options(jobs, timeout, retries, on_error)
     variations = list(variations)
 
     if jobs == 1 and timeout is None:
-        return [
-            repeat_simulation(
-                base.replace(**variation), repetitions, on_error=on_error,
-                profile=profile, metrics=metrics,
+        groups = []
+        for v_index, variation in enumerate(variations):
+            group_recorder = None
+            if recorder is not None:
+                from ..store.recorder import offset_recorder
+
+                group_recorder = offset_recorder(
+                    recorder, v_index * repetitions
+                )
+            groups.append(
+                repeat_simulation(
+                    base.replace(**variation), repetitions, on_error=on_error,
+                    profile=profile, metrics=metrics,
+                    recorder=group_recorder,
+                )
             )
-            for variation in variations
-        ]
+        return groups
 
     from ..parallel import ParallelRunner
 
     runner = ParallelRunner(
         jobs=jobs, timeout=timeout, retries=retries, progress=progress,
-        profile=profile, metrics=metrics,
+        profile=profile, metrics=metrics, recorder=recorder,
     )
     groups = runner.run_sweep(base, variations, repetitions)
     if on_error == "raise":

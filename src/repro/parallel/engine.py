@@ -234,6 +234,11 @@ class ParallelRunner:
             :class:`~repro.observability.metrics.RunMetrics` and the runner
             exposes the merged fleet view as :attr:`fleet_metrics` after
             each batch.
+        recorder: optional run recorder ``recorder(task_index, entry)``
+            (e.g. a :class:`repro.store.StoreRecorder`), invoked in the
+            parent process the moment a run reaches a terminal outcome —
+            completion order, not task order — so a persistent store's
+            progress rows update live while the fleet is still in flight.
 
     The three entry points (:meth:`map`, :meth:`run_repeat`,
     :meth:`run_sweep`) all return results in deterministic task order; a
@@ -249,6 +254,7 @@ class ParallelRunner:
         progress: Callable[[ProgressUpdate], None] | None = None,
         profile: bool = False,
         metrics: bool | float = False,
+        recorder: Callable[[int, SimulationResult | RunFailure], None] | None = None,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -262,6 +268,7 @@ class ParallelRunner:
         self.progress = progress
         self.profile = profile
         self.metrics = metrics
+        self.recorder = recorder
         #: Merged :class:`~repro.observability.profiler.RunProfile` of the
         #: most recent batch (``None`` until a profiled batch completes).
         self.fleet_profile = None
@@ -343,6 +350,8 @@ class ParallelRunner:
                 sim_time_ms += value.latency
                 if value.stalled:
                     stalled += 1
+            if self.recorder is not None:
+                self.recorder(index, value)
             if self.progress is not None:
                 self.progress(
                     ProgressUpdate(

@@ -13,7 +13,9 @@ cases and emits replayable artifacts.  See ``docs/scenarios.md``.
 from .presets import available_scenarios, get_scenario, register_scenario
 from .search import (
     OBJECTIVES,
+    ArtifactCheck,
     MiningReport,
+    check_artifact,
     load_artifact,
     mine,
     replay_winner,
@@ -27,11 +29,13 @@ from .spec import (
 )
 
 __all__ = [
+    "ArtifactCheck",
     "AttackClause",
     "MiningReport",
     "OBJECTIVES",
     "ScenarioSpec",
     "available_scenarios",
+    "check_artifact",
     "get_scenario",
     "load_artifact",
     "load_scenario",

@@ -646,3 +646,174 @@ def replay_winner(
     result = run_simulation(config)
     expected = artifact["winner"]["fingerprints"][seed_index]
     return result, result_fingerprint(result), expected
+
+
+# ---------------------------------------------------------------------------
+# Artifact regression checking (``repro mine --check``)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ArtifactCheck:
+    """Outcome of re-scoring a committed mining artifact.
+
+    A committed artifact is a worst-case *claim*: "this scenario costs the
+    protocol ``stored_ratio``x its baseline latency".  The check re-runs the
+    stored baseline and winner at the artifact's own seeds and compares —
+    so a protocol or engine change that silently weakens (or strengthens)
+    a mined attack shows up in CI instead of aging in the repo.
+
+    Fingerprint mismatches and drift are reported separately: a fingerprint
+    mismatch means the run itself changed (the determinism contract moved),
+    while ratio drift with matching fingerprints is impossible — so
+    ``drift`` only carries signal on an engine whose determinism changed
+    deliberately, and the tolerance exists for exactly that migration case.
+    """
+
+    path: str
+    objective: str
+    tolerance: float
+    stored_baseline: float
+    fresh_baseline: float
+    stored_winner: float | None
+    fresh_winner: float | None
+    stored_ratio: float | None
+    fresh_ratio: float | None
+    baseline_fingerprints_ok: bool
+    winner_fingerprints_ok: bool
+    failures: int = 0
+
+    @property
+    def drift(self) -> float | None:
+        """Relative attack-ratio change, fresh vs stored (signed)."""
+        if not self.stored_ratio or self.fresh_ratio is None:
+            return None
+        return self.fresh_ratio / self.stored_ratio - 1.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the artifact still reproduces within tolerance."""
+        if self.failures or self.drift is None:
+            return False
+        return (
+            self.baseline_fingerprints_ok
+            and self.winner_fingerprints_ok
+            and abs(self.drift) <= self.tolerance
+        )
+
+    def summary(self) -> str:
+        if self.drift is None:
+            return f"check[{self.path}]: FAILED ({self.failures} failed runs)"
+        verdict = "OK" if self.ok else "DRIFT"
+        fps = "match" if (
+            self.baseline_fingerprints_ok and self.winner_fingerprints_ok
+        ) else "MISMATCH"
+        return (
+            f"check[{self.path}]: {verdict} — stored "
+            f"{self.stored_ratio:.2f}x, fresh {self.fresh_ratio:.2f}x "
+            f"({self.drift:+.1%}, tolerance ±{self.tolerance:.0%}), "
+            f"fingerprints {fps}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "objective": self.objective,
+            "tolerance": self.tolerance,
+            "stored_baseline": self.stored_baseline,
+            "fresh_baseline": self.fresh_baseline,
+            "stored_winner": self.stored_winner,
+            "fresh_winner": self.fresh_winner,
+            "stored_ratio": self.stored_ratio,
+            "fresh_ratio": self.fresh_ratio,
+            "drift": self.drift,
+            "baseline_fingerprints_ok": self.baseline_fingerprints_ok,
+            "winner_fingerprints_ok": self.winner_fingerprints_ok,
+            "failures": self.failures,
+            "ok": self.ok,
+        }
+
+
+def check_artifact(
+    path: str,
+    *,
+    tolerance: float = 0.05,
+    jobs: int | None = 1,
+    timeout: float | None = None,
+    retries: int = 1,
+) -> ArtifactCheck:
+    """Re-score ``path``'s winner against its stored baseline.
+
+    Re-runs the baseline configuration and the winning scenario at every
+    seed the artifact recorded, then compares the fresh attack ratio
+    (winner median latency/decision over baseline median) against the
+    stored one.  ``tolerance`` bounds the accepted relative drift.
+    """
+    artifact = load_artifact(path)
+    winner = artifact.get("winner")
+    if not winner:
+        raise ConfigurationError(f"{path!r} has no winner to check")
+    base = SimulationConfig.from_dict(artifact["base_config"])
+    seeds = artifact["seeds"]
+
+    baseline_entries = _run_batch(
+        [base.replace(seed=s) for s in seeds], jobs, timeout, retries
+    )
+    winner_entries = _run_batch(
+        [winner_config(artifact, i) for i in range(len(seeds))],
+        jobs, timeout, retries,
+    )
+    failures = sum(
+        1 for e in baseline_entries + winner_entries if isinstance(e, RunFailure)
+    )
+    baseline_results = [
+        e for e in baseline_entries if isinstance(e, SimulationResult)
+    ]
+    winner_results = [
+        e for e in winner_entries if isinstance(e, SimulationResult)
+    ]
+
+    fresh_baseline = (
+        statistics.median(r.latency_per_decision for r in baseline_results)
+        if baseline_results else float("nan")
+    )
+    fresh_winner = (
+        statistics.median(r.latency_per_decision for r in winner_results)
+        if winner_results else None
+    )
+    stored_baseline = float(artifact["baseline"]["median_latency"])
+    stored_winner = winner.get("median_latency")
+    stored_ratio = winner.get("ratio_vs_baseline")
+    if stored_ratio is None and stored_winner and stored_baseline > 0:
+        stored_ratio = stored_winner / stored_baseline
+    fresh_ratio = (
+        fresh_winner / fresh_baseline
+        if fresh_winner is not None and fresh_baseline > 0
+        else None
+    )
+
+    stored_base_fps = artifact["baseline"]["fingerprints"]
+    stored_winner_fps = winner.get("fingerprints", [])
+    fresh_base_fps = [
+        result_fingerprint(e) if isinstance(e, SimulationResult) else None
+        for e in baseline_entries
+    ]
+    fresh_winner_fps = [
+        result_fingerprint(e) if isinstance(e, SimulationResult) else None
+        for e in winner_entries
+    ]
+
+    return ArtifactCheck(
+        path=path,
+        objective=str(artifact.get("objective", "?")),
+        tolerance=tolerance,
+        stored_baseline=stored_baseline,
+        fresh_baseline=fresh_baseline,
+        stored_winner=stored_winner,
+        fresh_winner=fresh_winner,
+        stored_ratio=stored_ratio,
+        fresh_ratio=fresh_ratio,
+        baseline_fingerprints_ok=fresh_base_fps == stored_base_fps,
+        winner_fingerprints_ok=fresh_winner_fps == stored_winner_fps,
+        failures=failures,
+    )

@@ -1,0 +1,10 @@
+"""The ``repro serve`` live dashboard (stdlib-only HTTP + embedded page)."""
+
+from .server import DashboardHandler, create_server, run_analysis, serve
+
+__all__ = [
+    "DashboardHandler",
+    "create_server",
+    "run_analysis",
+    "serve",
+]

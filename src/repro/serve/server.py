@@ -1,0 +1,284 @@
+"""``repro serve`` — the experiment-store dashboard server.
+
+A deliberately small HTTP layer over :class:`~repro.store.ExperimentStore`:
+Python's stdlib :class:`~http.server.ThreadingHTTPServer` plus one embedded
+HTML page (:mod:`repro.serve.dashboard`).  No web framework, no template
+engine, no static asset pipeline — the simulator's zero-runtime-dependency
+policy extends to its observability surface.
+
+Routes (all JSON except ``/``):
+
+==============================================  ================================
+``GET /``                                       the dashboard page
+``GET /api/meta``                               store path, schema, version
+``GET /api/experiments``                        all experiments, newest first
+``GET /api/experiments/<id>``                   experiment + runs + artifacts
+``GET /api/experiments/<a>/diff/<b>``           fingerprint diff of two batches
+``GET /api/runs/<id>``                          one run row
+``GET /api/runs/<id>/analysis``                 quorums/phases/critical paths
+==============================================  ================================
+
+The analysis endpoint re-reads the run's JSONL trace (via the stored
+``trace_path`` pointer) through the existing analyzers —
+:mod:`repro.observability.causality`, :mod:`~repro.observability.phases`
+and :mod:`~repro.observability.inspect` — so the dashboard's drill-down
+views are exactly what ``repro inspect`` prints, rendered instead of
+printed.  A run without a trace answers ``{"available": false}`` rather
+than erroring: traces are opt-in and the dashboard must degrade.
+
+Live progress needs no push channel: the store updates an experiment's
+``done_runs`` counter transactionally per completed run, so the page simply
+polls ``/api/experiments`` while any experiment is ``running``.  Each
+request opens its own :class:`ExperimentStore` handle (sqlite connections
+are cheap and this sidesteps cross-thread connection sharing entirely);
+WAL mode keeps those readers from ever blocking the writing fleet.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from .. import __version__
+from ..store import ExperimentStore, StoreError
+from .dashboard import PAGE_HTML
+
+_RUN_ANALYSIS_LIMIT = 200  # decisions/views shipped per analysis response
+
+
+def run_analysis(trace_path: str) -> dict[str, Any]:
+    """Drill-down payload for one stored trace, via the inspect analyzers.
+
+    Returns ``{"available": False, "reason": ...}`` when the trace file is
+    gone or unreadable — the store keeps pointers, not copies, and a
+    deleted temp directory must not take the dashboard down with it.
+    """
+    if not os.path.exists(trace_path):
+        return {"available": False, "reason": f"trace file missing: {trace_path}"}
+    from ..observability.causality import (
+        CausalityGraph,
+        critical_paths,
+        quorum_timelines,
+    )
+    from ..observability.inspect import analyze_trace
+    from ..observability.phases import analyze_phases
+
+    try:
+        report = analyze_trace(trace_path)
+        graph = CausalityGraph.build(trace_path)
+        phases = analyze_phases(trace_path)
+    except (OSError, ValueError, KeyError) as exc:
+        return {"available": False, "reason": f"trace unreadable: {exc}"}
+
+    quorums = [
+        {
+            "slot": t.decision.slot,
+            "node": t.decision.node,
+            "msg_type": t.msg_type,
+            "quorum_size": t.quorum_size,
+            "first_arrival": t.first_arrival,
+            "closed_at": t.closed_at,
+            "straggler": t.straggler,
+            "wasted": t.wasted,
+        }
+        for t in quorum_timelines(graph)[:_RUN_ANALYSIS_LIMIT]
+    ]
+    paths = [
+        {
+            "slot": p.decision.slot,
+            "node": p.decision.node,
+            "hops": p.hops,
+            "duration": p.duration_ms,
+            "complete": p.complete,
+            "steps": [
+                {"time": s.time, "kind": s.kind, "node": s.node, "label": s.label}
+                for s in p.steps
+            ],
+        }
+        for p in critical_paths(graph)[:_RUN_ANALYSIS_LIMIT]
+    ]
+    phase_dict = phases.to_dict()
+    per_view = [
+        {
+            "view": entry["view"],
+            "node": entry["node"],
+            "durations": entry["phases_ms"],
+            "duration": entry["duration_ms"],
+        }
+        for entry in phase_dict["per_view"][:_RUN_ANALYSIS_LIMIT]
+    ]
+    return {
+        "available": True,
+        "report": report.to_dict(),
+        "quorums": quorums,
+        "critical_paths": paths,
+        "phases": {
+            "totals": phase_dict["phase_totals_ms"],
+            "per_view": per_view,
+        },
+    }
+
+
+class DashboardHandler(BaseHTTPRequestHandler):
+    """Route table for the dashboard; one store handle per request."""
+
+    # Set by create_server on the handler subclass it builds.
+    store_path: str = ""
+    quiet: bool = True
+
+    _ROUTES = (
+        (re.compile(r"^/$"), "page"),
+        (re.compile(r"^/api/meta$"), "meta"),
+        (re.compile(r"^/api/experiments$"), "experiments"),
+        (re.compile(r"^/api/experiments/(\d+)$"), "experiment"),
+        (re.compile(r"^/api/experiments/(\d+)/diff/(\d+)$"), "diff"),
+        (re.compile(r"^/api/runs/(\d+)$"), "run"),
+        (re.compile(r"^/api/runs/(\d+)/analysis$"), "analysis"),
+    )
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, fmt: str, *args: Any) -> None:  # noqa: A003
+        if not self.quiet:
+            super().log_message(fmt, *args)
+
+    def _send(self, code: int, body: bytes, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json(self, payload: dict[str, Any], code: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self._send(code, body, "application/json; charset=utf-8")
+
+    def _error(self, code: int, message: str) -> None:
+        self._json({"error": message}, code=code)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0]
+        for pattern, name in self._ROUTES:
+            match = pattern.match(path)
+            if match:
+                handler = getattr(self, f"_get_{name}")
+                try:
+                    handler(*(int(g) for g in match.groups()))
+                except StoreError as exc:
+                    self._error(404, str(exc))
+                except BrokenPipeError:  # client went away mid-response
+                    pass
+                return
+        self._error(404, f"no such endpoint: {path}")
+
+    def _open(self) -> ExperimentStore:
+        # create=False: a store deleted mid-serve must 404 per request, not
+        # be silently re-materialized as an empty database.
+        return ExperimentStore(self.store_path, create=False)
+
+    # -- endpoints -----------------------------------------------------------
+
+    def _get_page(self) -> None:
+        self._send(200, PAGE_HTML.encode(), "text/html; charset=utf-8")
+
+    def _get_meta(self) -> None:
+        from ..store import SCHEMA_VERSION
+
+        self._json({
+            "store": self.store_path,
+            "schema_version": SCHEMA_VERSION,
+            "version": __version__,
+        })
+
+    def _get_experiments(self) -> None:
+        store = self._open()
+        try:
+            rows = store.experiments()
+        finally:
+            store.close()
+        self._json({"experiments": [row.to_dict() for row in rows]})
+
+    def _get_experiment(self, experiment_id: int) -> None:
+        store = self._open()
+        try:
+            experiment = store.experiment(experiment_id)
+            runs = store.runs(experiment_id)
+            artifacts = store.artifacts(experiment_id)
+        finally:
+            store.close()
+        self._json({
+            "experiment": experiment.to_dict(),
+            "runs": [row.to_dict() for row in runs],
+            "artifacts": [row.to_dict() for row in artifacts],
+        })
+
+    def _get_diff(self, a: int, b: int) -> None:
+        store = self._open()
+        try:
+            diff = store.diff(a, b)
+        finally:
+            store.close()
+        self._json(diff.to_dict())
+
+    def _get_run(self, run_id: int) -> None:
+        store = self._open()
+        try:
+            row = store.run(run_id)
+        finally:
+            store.close()
+        self._json({"run": row.to_dict()})
+
+    def _get_analysis(self, run_id: int) -> None:
+        store = self._open()
+        try:
+            row = store.run(run_id)
+        finally:
+            store.close()
+        if not row.trace_path:
+            self._json({"available": False, "reason": "run recorded no trace"})
+            return
+        self._json(run_analysis(row.trace_path))
+
+
+def create_server(
+    store_path: str,
+    host: str = "127.0.0.1",
+    port: int = 8008,
+    *,
+    quiet: bool = True,
+) -> ThreadingHTTPServer:
+    """Build (but do not start) the dashboard server.
+
+    Opens the store once up front so a missing path or a schema mismatch
+    fails here, loudly, instead of per-request — serving a store that does
+    not exist yet would just materialize an empty database over a typo.
+    ``port=0`` asks the OS for a free port — the tests use this; read
+    ``server.server_address[1]``.
+    """
+    probe = ExperimentStore(store_path, create=False)
+    probe.close()
+
+    handler = type(
+        "BoundDashboardHandler",
+        (DashboardHandler,),
+        {"store_path": str(store_path), "quiet": quiet},
+    )
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def serve(store_path: str, host: str = "127.0.0.1", port: int = 8008) -> None:
+    """Run the dashboard until interrupted (the ``repro serve`` entry)."""
+    server = create_server(store_path, host, port, quiet=False)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro serve: dashboard on http://{bound_host}:{bound_port}/")
+    print(f"repro serve: store {store_path}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nrepro serve: stopped")
+    finally:
+        server.server_close()

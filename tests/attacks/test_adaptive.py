@@ -50,6 +50,25 @@ class TestDelayAction:
         result = _run({"action": "delay", "signal": signal, "factor": 3.0})
         assert result.terminated
 
+    def test_fan_in_signal_runs_and_slows(self):
+        baseline = run_simulation(
+            quick_config(n=4, seed=7, num_decisions=5, stall_timeout=20000.0)
+        )
+        attacked = _run({"action": "delay", "signal": "fan-in",
+                         "kind": "PREPARE", "k": 2, "factor": 8.0})
+        assert attacked.terminated
+        assert attacked.latency > baseline.latency
+
+    def test_fan_in_signal_requires_kind(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            _run({"action": "delay", "signal": "fan-in"})
+
+    def test_fan_in_signal_is_deterministic(self):
+        params = {"action": "delay", "signal": "fan-in", "kind": "PREPARE",
+                  "factor": 6.0}
+        assert result_fingerprint(_run(params)) \
+            == result_fingerprint(_run(params))
+
 
 class TestCorruptAction:
     def test_corrupts_within_budget(self):

@@ -1,0 +1,268 @@
+"""Unit tests for the sqlite experiment store: round trips, schema
+versioning, progress counters, and fingerprint diffing."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.core.results import RunFailure, result_fingerprint
+from repro.core.runner import run_simulation
+from repro.store import (
+    SCHEMA_VERSION,
+    ExperimentStore,
+    StoreError,
+    StoreSchemaError,
+)
+from tests.conftest import quick_config
+
+
+@pytest.fixture
+def store(tmp_path) -> ExperimentStore:
+    handle = ExperimentStore(tmp_path / "exp.sqlite")
+    yield handle
+    handle.close()
+
+
+def _result(seed: int = 1, **kwargs):
+    return run_simulation(quick_config(seed=seed, **kwargs))
+
+
+def _failure(seed: int = 1, run_index: int = 0) -> RunFailure:
+    return RunFailure(
+        config=quick_config(seed=seed),
+        kind="error",
+        error_type="ValueError",
+        message="synthetic",
+        run_index=run_index,
+        traceback="Traceback: synthetic",
+    )
+
+
+class TestRoundTrip:
+    def test_result_row_round_trips(self, store):
+        config = quick_config()
+        result = _result()
+        experiment_id = store.create_experiment("rt", "run", config, 1)
+        run_id = store.record_run(experiment_id, 0, result, label="rep 0")
+
+        row = store.run(run_id)
+        assert row.run_index == 0
+        assert row.label == "rep 0"
+        assert row.status == "ok"
+        assert row.seed == config.seed
+        assert row.protocol == config.protocol
+        assert row.config == config.to_dict()
+        assert row.fingerprint == result_fingerprint(result)
+        assert row.terminated is True
+        assert row.stalled is False
+        assert row.latency == result.latency
+        assert row.latency_per_decision == result.latency_per_decision
+        assert row.messages == result.messages
+        assert row.messages_per_decision == result.messages_per_decision
+        assert row.events_processed == result.events_processed
+        assert row.max_view == result.max_view
+        assert row.failure is None
+
+    def test_failure_row_round_trips(self, store):
+        experiment_id = store.create_experiment("rt", "run", quick_config(), 1)
+        run_id = store.record_run(experiment_id, 0, _failure())
+        row = store.run(run_id)
+        assert row.status == "failed"
+        assert row.failed
+        assert row.fingerprint is None
+        assert row.latency is None
+        assert row.failure["error_type"] == "ValueError"
+        assert row.failure["message"] == "synthetic"
+
+    def test_progress_counters_update_per_run(self, store):
+        experiment_id = store.create_experiment("p", "run", quick_config(), 3)
+        assert store.experiment(experiment_id).done_runs == 0
+        store.record_run(experiment_id, 0, _result())
+        assert store.experiment(experiment_id).done_runs == 1
+        store.record_run(experiment_id, 1, _failure(run_index=1))
+        row = store.experiment(experiment_id)
+        assert (row.done_runs, row.failed_runs) == (2, 1)
+        assert row.running  # still open until finish_experiment
+
+    def test_finish_experiment_status_inference(self, store):
+        ok = store.create_experiment("ok", "run", quick_config(), 1)
+        store.record_run(ok, 0, _result())
+        store.finish_experiment(ok)
+        assert store.experiment(ok).status == "complete"
+
+        bad = store.create_experiment("bad", "run", quick_config(), 1)
+        store.record_run(bad, 0, _failure())
+        store.finish_experiment(bad)
+        assert store.experiment(bad).status == "failed"
+
+    def test_duplicate_run_index_rejected(self, store):
+        experiment_id = store.create_experiment("d", "run", quick_config(), 2)
+        store.record_run(experiment_id, 0, _result())
+        with pytest.raises(StoreError):
+            store.record_run(experiment_id, 0, _result())
+
+    def test_signals_summary_round_trips(self, store):
+        from repro.core.config import AttackConfig
+
+        config = quick_config(
+            attack=AttackConfig(name="adaptive", params={"signal": "busiest"})
+        )
+        result = run_simulation(config)
+        assert result.signals_summary is not None
+        experiment_id = store.create_experiment("s", "run", config, 1)
+        run_id = store.record_run(experiment_id, 0, result)
+        assert store.run(run_id).signals == result.signals_summary
+
+    def test_trace_path_round_trip_and_missing(self, store, tmp_path):
+        experiment_id = store.create_experiment("t", "run", quick_config(), 2)
+        trace = str(tmp_path / "trace.jsonl")
+        with_trace = store.record_run(
+            experiment_id, 0, _result(), trace_path=trace
+        )
+        without = store.record_run(experiment_id, 1, _result(seed=2))
+        assert store.trace_path(with_trace) == trace
+        with pytest.raises(StoreError):
+            store.trace_path(without)
+
+    def test_artifacts_round_trip(self, store):
+        experiment_id = store.create_experiment("a", "mine", quick_config(), 1)
+        store.record_artifact(
+            experiment_id, "mining-winner", name="mined-001",
+            path="out.json", payload={"score": 12.5},
+        )
+        rows = store.artifacts(experiment_id)
+        assert len(rows) == 1
+        assert rows[0].kind == "mining-winner"
+        assert rows[0].payload == {"score": 12.5}
+        assert rows[0].path == "out.json"
+
+    def test_set_progress_overwrites_counters(self, store):
+        experiment_id = store.create_experiment("m", "mine", quick_config(), 5)
+        store.set_progress(experiment_id, 3)
+        assert store.experiment(experiment_id).done_runs == 3
+        store.set_progress(experiment_id, 4, total_runs=8)
+        row = store.experiment(experiment_id)
+        assert (row.done_runs, row.total_runs) == (4, 8)
+
+    def test_experiments_listed_newest_first(self, store):
+        first = store.create_experiment("one", "run", quick_config(), 1)
+        second = store.create_experiment("two", "run", quick_config(), 1)
+        assert [row.id for row in store.experiments()] == [second, first]
+
+    def test_unknown_ids_raise(self, store):
+        with pytest.raises(StoreError):
+            store.experiment(99)
+        with pytest.raises(StoreError):
+            store.run(99)
+        with pytest.raises(StoreError):
+            store.diff(1, 2)
+
+
+class TestPersistence:
+    def test_store_survives_reopen(self, tmp_path):
+        path = tmp_path / "exp.sqlite"
+        store = ExperimentStore(path)
+        experiment_id = store.create_experiment("p", "run", quick_config(), 1)
+        run_id = store.record_run(experiment_id, 0, _result())
+        fingerprint = store.run(run_id).fingerprint
+        store.close()
+
+        reopened = ExperimentStore(path)
+        try:
+            assert reopened.run(run_id).fingerprint == fingerprint
+            assert reopened.experiment(experiment_id).name == "p"
+        finally:
+            reopened.close()
+
+
+class TestReadOnlyOpen:
+    def test_create_false_rejects_missing_path(self, tmp_path):
+        missing = tmp_path / "missing.sqlite"
+        with pytest.raises(StoreError, match="does not exist"):
+            ExperimentStore(missing, create=False)
+        assert not missing.exists()
+
+    def test_create_false_opens_existing_store(self, tmp_path):
+        path = tmp_path / "exp.sqlite"
+        ExperimentStore(path).close()
+        store = ExperimentStore(path, create=False)
+        assert store.experiments() == []
+        store.close()
+
+
+class TestSchemaVersioning:
+    def test_schema_version_recorded(self, tmp_path):
+        path = tmp_path / "exp.sqlite"
+        ExperimentStore(path).close()
+        conn = sqlite3.connect(path)
+        try:
+            value = conn.execute(
+                "SELECT value FROM store_meta WHERE key = 'schema_version'"
+            ).fetchone()[0]
+        finally:
+            conn.close()
+        assert int(value) == SCHEMA_VERSION
+
+    def test_future_schema_rejected(self, tmp_path):
+        path = tmp_path / "exp.sqlite"
+        ExperimentStore(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE store_meta SET value = ? WHERE key = 'schema_version'",
+            (str(SCHEMA_VERSION + 1),),
+        )
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreSchemaError):
+            ExperimentStore(path)
+
+    def test_non_store_database_rejected(self, tmp_path):
+        path = tmp_path / "other.sqlite"
+        conn = sqlite3.connect(path)
+        conn.execute("CREATE TABLE unrelated (x)")
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreSchemaError):
+            ExperimentStore(path)
+
+
+class TestDiff:
+    def test_identical_experiments_diff_clean(self, store):
+        a = store.create_experiment("a", "run", quick_config(), 2)
+        b = store.create_experiment("b", "run", quick_config(), 2)
+        for experiment_id in (a, b):
+            store.record_run(experiment_id, 0, _result(seed=1))
+            store.record_run(experiment_id, 1, _result(seed=2))
+        diff = store.diff(a, b)
+        assert diff.identical
+        assert diff.mismatches == []
+        assert "IDENTICAL" in diff.summary()
+
+    def test_differing_seed_shows_up(self, store):
+        a = store.create_experiment("a", "run", quick_config(), 1)
+        b = store.create_experiment("b", "run", quick_config(), 1)
+        store.record_run(a, 0, _result(seed=1))
+        store.record_run(b, 0, _result(seed=3))
+        diff = store.diff(a, b)
+        assert not diff.identical
+        assert len(diff.mismatches) == 1
+        assert diff.rows[0].a != diff.rows[0].b
+
+    def test_missing_slot_is_a_mismatch(self, store):
+        a = store.create_experiment("a", "run", quick_config(), 2)
+        b = store.create_experiment("b", "run", quick_config(), 2)
+        store.record_run(a, 0, _result(seed=1))
+        store.record_run(a, 1, _result(seed=2))
+        store.record_run(b, 0, _result(seed=1))
+        diff = store.diff(a, b)
+        assert not diff.identical
+        assert [row.run_index for row in diff.mismatches] == [1]
+
+    def test_failed_run_never_matches(self, store):
+        a = store.create_experiment("a", "run", quick_config(), 1)
+        b = store.create_experiment("b", "run", quick_config(), 1)
+        store.record_run(a, 0, _failure())
+        store.record_run(b, 0, _failure())
+        assert not store.diff(a, b).identical
