@@ -22,7 +22,10 @@ The package provides:
   :mod:`repro.analysis`;
 * a run telemetry layer (streaming trace sinks, hot-path profiler,
   structured simulated-time logging, trace forensics behind the
-  ``repro inspect`` CLI) — :mod:`repro.observability`.
+  ``repro inspect`` CLI) — :mod:`repro.observability`;
+* an open-loop client workload layer (Poisson/trace arrivals, leader
+  mempool with batch cut, throughput–latency saturation curves) —
+  :mod:`repro.workload`.
 
 Quickstart::
 
@@ -39,14 +42,17 @@ from .core.config import (
     FaultSpec,
     NetworkConfig,
     SimulationConfig,
+    WorkloadConfig,
 )
 from .core.controller import Controller
 from .core.message import Message
 from .core.node import Node
 from .core.results import (
+    RequestRecord,
     RunFailure,
     SimulationResult,
     StallReport,
+    ThroughputMetrics,
     result_fingerprint,
 )
 from .core.runner import repeat_simulation, run_simulation, sweep
@@ -66,6 +72,7 @@ from .observability import (
 from .parallel import ParallelRunner, ProgressUpdate
 from .protocols.registry import available_protocols, get_protocol, register_protocol
 from .attacks.registry import available_attacks, get_attack, register_attack
+from .workload import parse_workload_spec
 
 __version__ = "1.2.0"
 
@@ -84,12 +91,15 @@ __all__ = [
     "ParallelRunner",
     "Profiler",
     "ProgressUpdate",
+    "RequestRecord",
     "RunFailure",
     "RunProfile",
     "SimulationConfig",
     "SimulationResult",
     "StallReport",
+    "ThroughputMetrics",
     "TraceSink",
+    "WorkloadConfig",
     "analyze_trace",
     "available_attacks",
     "available_protocols",
@@ -97,6 +107,7 @@ __all__ = [
     "get_attack",
     "get_protocol",
     "parse_faults_spec",
+    "parse_workload_spec",
     "render_report",
     "register_attack",
     "register_protocol",

@@ -68,6 +68,14 @@ class RunSummary:
             watchdog is disabled or never fired).
         fault_events: mean number of environmental fault events per run
             (``FaultCounts.total()``; 0.0 for fault-free runs).
+        throughput: committed tx/s across workload runs, or ``None`` when
+            no successful run carried workload metrics (the pre-workload
+            summary shape is unchanged).
+        request_latency_p50 / request_latency_p99: per-request latency
+            percentiles (ms) across workload runs, or ``None`` likewise.
+        saturated_fraction: fraction of workload runs that ended with
+            undecided requests (offered load above the protocol's
+            capacity) — the saturation axis of a throughput-latency curve.
     """
 
     latency: SummaryStats
@@ -78,6 +86,10 @@ class RunSummary:
     failures: int = 0
     stalled_fraction: float = 0.0
     fault_events: float = 0.0
+    throughput: SummaryStats | None = None
+    request_latency_p50: SummaryStats | None = None
+    request_latency_p99: SummaryStats | None = None
+    saturated_fraction: float = 0.0
 
 
 def partition_results(
@@ -103,6 +115,9 @@ def summarize(entries: Iterable[SimulationResult | RunFailure]) -> RunSummary:
         raise ValueError(f"cannot summarize: all {len(failures)} runs failed")
     if not results:
         raise ValueError("cannot summarize zero results")
+    # Workload (throughput) statistics exist only for runs that carried an
+    # open-loop client workload; mixed batches aggregate over that subset.
+    workload = [r.workload for r in results if r.workload is not None]
     return RunSummary(
         latency=SummaryStats.of([r.latency for r in results]),
         latency_per_decision=SummaryStats.of([r.latency_per_decision for r in results]),
@@ -112,6 +127,18 @@ def summarize(entries: Iterable[SimulationResult | RunFailure]) -> RunSummary:
         failures=len(failures),
         stalled_fraction=sum(r.stalled for r in results) / len(results),
         fault_events=sum(r.fault_counts.total() for r in results) / len(results),
+        throughput=(
+            SummaryStats.of([w.committed_tx_s for w in workload]) if workload else None
+        ),
+        request_latency_p50=(
+            SummaryStats.of([w.latency_p50_ms for w in workload]) if workload else None
+        ),
+        request_latency_p99=(
+            SummaryStats.of([w.latency_p99_ms for w in workload]) if workload else None
+        ),
+        saturated_fraction=(
+            sum(w.saturated for w in workload) / len(workload) if workload else 0.0
+        ),
     )
 
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 from typing import Sequence
 
@@ -66,6 +67,7 @@ from .scenarios import (
     load_scenario,
     mine,
 )
+from .workload import parse_workload_spec
 
 
 def _add_run_options(parser: argparse.ArgumentParser) -> None:
@@ -107,6 +109,13 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
                              "compact grammar, e.g. 'targeted-delay="
                              "targets:relays,factor:4; loss=0.05' "
                              "(see docs/scenarios.md)")
+    parser.add_argument("--workload", default=None, metavar="SPEC",
+                        help="open-loop client workload, e.g. "
+                             "'rate:500,clients:100,batch:64' (keys: rate "
+                             "req/s, clients, batch, timeout ms, duration "
+                             "ms); proposals carry mempool batches and the "
+                             "result reports committed tx/s and per-request "
+                             "latency percentiles (see docs/workload.md)")
     parser.add_argument("--stall-timeout", type=float, default=None,
                         help="liveness watchdog window in simulated ms: runs "
                              "without honest progress for this long stop "
@@ -200,6 +209,11 @@ def _base_config_from_args(args: argparse.Namespace) -> SimulationConfig:
             if args.faults
             else FaultScheduleConfig()
         ),
+        workload=(
+            parse_workload_spec(args.workload)
+            if getattr(args, "workload", None)
+            else None
+        ),
         stall_timeout=args.stall_timeout,
         num_decisions=decisions,
         seed=args.seed,
@@ -227,6 +241,8 @@ def _result_dict(result) -> dict:
         data["fault_counts"] = dataclasses.asdict(result.fault_counts)
     if result.stalled:
         data["stall"] = dataclasses.asdict(result.stall)
+    if result.workload is not None:
+        data["workload"] = result.workload.to_dict()
     return data
 
 
@@ -358,6 +374,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(json.dumps(data, indent=2, sort_keys=True))
     else:
         print(result.summary())
+        if result.workload is not None:
+            print(result.workload.summary())
         if sink is not None:
             print(f"trace: {sink.count} events -> {args.trace_out}")
         if result.profile is not None:
@@ -412,6 +430,16 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             config = config.replace(faults=specs)
         elif args.param == "stall_timeout":
             config = config.replace(stall_timeout=value if value > 0 else None)
+        elif args.param == "rate":
+            # Sweep the workload arrival rate: the throughput-latency
+            # saturation curve (requires a --workload base spec).
+            if config.workload is None:
+                print("error: --param rate requires --workload "
+                      "(e.g. --workload rate:100,clients:10)", file=sys.stderr)
+                if recorder is not None:
+                    recorder.finish("failed")
+                return 1
+            config = config.replace(workload={"rate": value})
         else:
             print(f"unsupported sweep parameter: {args.param}", file=sys.stderr)
             if recorder is not None:
@@ -445,22 +473,37 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             if recorder is not None:
                 recorder.finish("failed")
             return 1
-        rows.append(
-            (
-                value,
-                summary.latency_per_decision.format(1 / 1000, "s"),
-                f"{summary.messages_per_decision.mean:.0f}",
-                f"{summary.terminated_fraction:.0%}",
-                f"{summary.stalled_fraction:.0%}",
-                f"{summary.fault_events:.0f}",
-                str(summary.failures),
+        row = [
+            value,
+            summary.latency_per_decision.format(1 / 1000, "s"),
+            f"{summary.messages_per_decision.mean:.0f}",
+            f"{summary.terminated_fraction:.0%}",
+            f"{summary.stalled_fraction:.0%}",
+            f"{summary.fault_events:.0f}",
+            str(summary.failures),
+        ]
+        if getattr(args, "workload", None):
+            # Throughput-latency columns: the saturation curve the sweep
+            # exists to draw when a workload is configured.
+            row.extend(
+                [
+                    f"{summary.throughput.mean:.1f}",
+                    f"{summary.request_latency_p50.mean:.0f}ms",
+                    f"{summary.request_latency_p99.mean:.0f}ms",
+                    f"{summary.saturated_fraction:.0%}",
+                ]
+                if summary.throughput is not None
+                else ["-", "-", "-", "-"]
             )
-        )
+        rows.append(tuple(row))
+    headers = [args.param, "latency/decision", "msgs/decision", "terminated",
+               "stalled", "faults/run", "failed"]
+    if getattr(args, "workload", None):
+        headers.extend(["tx/s", "req p50", "req p99", "saturated"])
     print(
         render_table(
             f"{args.protocol}: sweep over {args.param} ({args.reps} runs per point)",
-            [args.param, "latency/decision", "msgs/decision", "terminated",
-             "stalled", "faults/run", "failed"],
+            headers,
             rows,
         )
     )
@@ -480,6 +523,12 @@ def _resolve_trace(args: argparse.Namespace) -> str:
     ``store:<run_id>`` always reads the experiment store (``--store``, or
     the default path); a bare integer does too when ``--store`` was given
     explicitly.  Anything else is a filesystem path.
+
+    Both arms fail with a diagnosis instead of letting ``analyze_trace``
+    surface a raw ``FileNotFoundError``: a stored run whose trace pointer
+    names a deleted file says so (run id, pointer), and a bare run id
+    without ``--store`` explains the ``store:`` syntax rather than being
+    treated as a filesystem path.
     """
     trace = args.trace
     store_path = getattr(args, "store", None)
@@ -489,14 +538,28 @@ def _resolve_trace(args: argparse.Namespace) -> str:
     elif store_path is not None and trace.isdigit():
         run_id = int(trace)
     if run_id is None:
+        if not os.path.exists(trace):
+            hint = (
+                f" (to read stored run {trace}'s trace, use "
+                f"'store:{trace}' or pass --store)"
+                if trace.isdigit()
+                else ""
+            )
+            raise ValueError(f"trace file {trace!r} does not exist{hint}")
         return trace
-    from .store import ExperimentStore
+    from .store import ExperimentStore, StoreError
 
     store = ExperimentStore(store_path or DEFAULT_STORE, create=False)
     try:
-        return store.trace_path(run_id)
+        path = store.trace_path(run_id)
     finally:
         store.close()
+    if not os.path.exists(path):
+        raise StoreError(
+            f"run {run_id} has no stored trace on disk: recorded pointer "
+            f"{path!r} is missing (the trace file was moved or deleted)"
+        )
+    return path
 
 
 def cmd_inspect(args: argparse.Namespace) -> int:
@@ -831,7 +894,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_option(sweep_parser)
     sweep_parser.add_argument("--param", required=True,
                               help="lam | mean | std | max_delay | n | "
-                                   "loss | stall_timeout")
+                                   "loss | stall_timeout | rate (arrival "
+                                   "rate, requires --workload)")
     sweep_parser.add_argument("--values", required=True,
                               help="comma-separated values")
     sweep_parser.add_argument("--reps", type=int, default=3)

@@ -246,6 +246,99 @@ class FaultScheduleConfig:
         return "; ".join(spec.describe() for spec in self.specs) or "<none>"
 
 
+#: Arrival processes accepted by :class:`WorkloadConfig`.
+ARRIVAL_PROCESSES = ("poisson", "trace")
+
+
+@dataclass
+class WorkloadConfig:
+    """Open-loop client workload (see :mod:`repro.workload`).
+
+    ``SimulationConfig.workload`` is ``None`` by default: no clients, no
+    mempool, no extra RNG substream, and a serialized form byte-identical
+    to what older versions produced — attaching a workload is strictly
+    opt-in, exactly like the fault schedule.
+
+    Attributes:
+        arrival: ``"poisson"`` — each client submits requests as an
+            independent Poisson process at ``rate / clients`` requests per
+            second over ``duration`` ms; ``"trace"`` — requests are
+            submitted at exactly the times in :attr:`trace_times`
+            (assigned to clients round-robin), standing in for a recorded
+            production arrival trace.
+        rate: aggregate offered load across all clients, requests/second
+            (Poisson arrivals only).
+        clients: number of open-loop clients.  Each client draws its
+            arrivals on a dedicated ``workload.{client}`` substream, so
+            adding clients never perturbs another client's arrival times.
+        duration: arrival window in simulated ms — clients stop submitting
+            after this point, which makes the request population finite
+            and the run's termination well-defined (all submitted requests
+            decided).
+        batch: mempool batch size — a proposer cuts at most this many
+            requests into one proposal (the size trigger).
+        batch_timeout: mempool batch age trigger, ms — a proposer cuts a
+            partial batch once the oldest pending request has waited this
+            long (until then small young backlogs ride along with the
+            synthetic proposal path).
+        trace_times: explicit submit times in ms for ``arrival="trace"``.
+    """
+
+    arrival: str = "poisson"
+    rate: float = 100.0
+    clients: int = 1
+    duration: float = 1000.0
+    batch: int = 64
+    batch_timeout: float = 50.0
+    trace_times: list[float] | None = None
+
+    def validate(self) -> None:
+        if self.arrival not in ARRIVAL_PROCESSES:
+            raise ConfigurationError(
+                f"unknown arrival process {self.arrival!r}; "
+                f"available: {list(ARRIVAL_PROCESSES)}"
+            )
+        if self.clients < 1:
+            raise ConfigurationError(
+                f"workload clients must be >= 1, got {self.clients}"
+            )
+        if self.batch < 1:
+            raise ConfigurationError(
+                f"workload batch size must be >= 1, got {self.batch}"
+            )
+        if self.batch_timeout < 0:
+            raise ConfigurationError(
+                f"workload batch_timeout must be >= 0 ms, got {self.batch_timeout}"
+            )
+        if self.arrival == "poisson":
+            if self.rate <= 0:
+                raise ConfigurationError(
+                    f"workload rate must be > 0 requests/s, got {self.rate}"
+                )
+            if self.duration <= 0:
+                raise ConfigurationError(
+                    f"workload duration must be > 0 ms, got {self.duration}"
+                )
+        else:  # trace
+            if not self.trace_times:
+                raise ConfigurationError(
+                    "arrival='trace' requires a non-empty trace_times list"
+                )
+            if any(t < 0 for t in self.trace_times):
+                raise ConfigurationError("trace_times must all be >= 0 ms")
+
+    def describe(self) -> str:
+        if self.arrival == "trace":
+            return (
+                f"trace({len(self.trace_times or [])} requests, "
+                f"clients={self.clients}, batch={self.batch})"
+            )
+        return (
+            f"poisson(rate={self.rate:g}/s, clients={self.clients}, "
+            f"duration={self.duration:g}ms, batch={self.batch})"
+        )
+
+
 @dataclass
 class AttackConfig:
     """Selects and parameterizes an attack from :mod:`repro.attacks`.
@@ -283,6 +376,10 @@ class SimulationConfig:
             duplication, corruption, link churn, node crash/recovery) —
             applied by the environment, orthogonally to the attacker and
             never charged against its capabilities.  Empty by default.
+        workload: optional open-loop client workload (see
+            :mod:`repro.workload`): arrival process, mempool batching, and
+            a throughput/latency axis on the result.  ``None`` (default)
+            keeps runs workload-free and byte-identical to older versions.
         stall_timeout: liveness-watchdog window in simulated ms.  When set,
             a run in which no honest node makes progress (decision, view
             advance, or delivered message) for this long stops gracefully
@@ -314,6 +411,7 @@ class SimulationConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     attack: AttackConfig = field(default_factory=AttackConfig)
     faults: FaultScheduleConfig = field(default_factory=FaultScheduleConfig)
+    workload: WorkloadConfig | None = None
     stall_timeout: float | None = None
     num_decisions: int = 1
     seed: int = 0
@@ -348,6 +446,8 @@ class SimulationConfig:
             )
         self.network.validate()
         self.faults.validate(self.n)
+        if self.workload is not None:
+            self.workload.validate()
 
     # -- serialization -----------------------------------------------------
 
@@ -362,6 +462,10 @@ class SimulationConfig:
         data = asdict(self)
         if not self.faults.active():
             data.pop("faults")
+        if self.workload is None:
+            data.pop("workload")
+        elif data["workload"]["trace_times"] is None:
+            data["workload"].pop("trace_times")
         if self.stall_timeout is None:
             data.pop("stall_timeout")
         network = data["network"]
@@ -378,10 +482,20 @@ class SimulationConfig:
         network = data.pop("network", None)
         attack = data.pop("attack", None)
         faults = data.pop("faults", None)
+        workload = data.pop("workload", None)
         known = {f_.name for f_ in cls.__dataclass_fields__.values()}
         unknown = set(data) - known
         if unknown:
             raise ConfigurationError(f"unknown config keys: {sorted(unknown)}")
+        if isinstance(workload, dict):
+            workload_known = {
+                f_.name for f_ in WorkloadConfig.__dataclass_fields__.values()
+            }
+            workload_unknown = set(workload) - workload_known
+            if workload_unknown:
+                raise ConfigurationError(
+                    f"unknown workload keys: {sorted(workload_unknown)}"
+                )
         config = cls(
             network=NetworkConfig(**network) if isinstance(network, dict) else NetworkConfig(),
             attack=AttackConfig(**attack) if isinstance(attack, dict) else AttackConfig(),
@@ -389,6 +503,11 @@ class SimulationConfig:
                 FaultScheduleConfig.from_dict(faults)
                 if isinstance(faults, dict)
                 else FaultScheduleConfig()
+            ),
+            workload=(
+                workload if isinstance(workload, WorkloadConfig)
+                else WorkloadConfig(**workload) if isinstance(workload, dict)
+                else None
             ),
             **data,
         )
@@ -407,9 +526,12 @@ class SimulationConfig:
         network = data.pop("network")
         attack = data.pop("attack")
         faults = data.pop("faults", None)
+        workload = data.pop("workload", None)
         network_changes = changes.pop("network", None)
         attack_changes = changes.pop("attack", None)
         faults_changes = changes.pop("faults", None)
+        unset = object()
+        workload_changes = changes.pop("workload", unset)
         data.update(changes)
         if isinstance(network_changes, NetworkConfig):
             network = asdict(network_changes)
@@ -428,7 +550,23 @@ class SimulationConfig:
                 asdict(s) if isinstance(s, FaultSpec) else dict(s)
                 for s in faults_changes
             ]}
+        if workload_changes is not unset:
+            if workload_changes is None:
+                workload = None
+            elif isinstance(workload_changes, WorkloadConfig):
+                workload = asdict(workload_changes)
+            elif isinstance(workload_changes, dict):
+                # Merge into the current workload (or the defaults when the
+                # config had none), mirroring the network/attack semantics.
+                base_workload = workload if workload is not None else asdict(
+                    WorkloadConfig()
+                )
+                base_workload = dict(base_workload)
+                base_workload.update(workload_changes)
+                workload = base_workload
         merged = {**data, "network": network, "attack": attack}
         if faults is not None:
             merged["faults"] = faults
+        if workload is not None:
+            merged["workload"] = workload
         return SimulationConfig.from_dict(merged)

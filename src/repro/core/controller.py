@@ -44,6 +44,7 @@ from .tracing import Trace, TraceSink
 if TYPE_CHECKING:  # pragma: no cover
     from ..observability.metrics import MetricsRegistry
     from ..observability.profiler import Profiler
+    from ..workload.manager import WorkloadManager
 
 
 class Controller:
@@ -181,7 +182,17 @@ class Controller:
         #: re-evaluates it only when this flag is raised (one attribute load
         #: per event instead of a full predicate call).
         self._termination_dirty = True
+        #: Open-loop client workload (or None).  Built from its own
+        #: ``workload.{client}`` substreams, so benign runs draw nothing
+        #: extra and their fingerprints are untouched.
+        self._workload: "WorkloadManager | None" = None
+        if config.workload is not None:
+            from ..workload.manager import WorkloadManager
+
+            self._workload = WorkloadManager(config.workload, self.random_source)
         self._schedule_crash_events()
+        if self._workload is not None:
+            self._schedule_workload_events()
 
     # ------------------------------------------------------------------
     # NodeEnvironment facade
@@ -227,9 +238,27 @@ class Controller:
     def cancel_timer(self, handle: TimerHandle) -> None:
         self.queue.cancel(handle.queue_handle)
 
+    def cut_batch(self, proposer: int, slot: int, view: int | None = None) -> str | None:
+        """Cut a mempool batch for ``slot``, or ``None`` for synthetic.
+
+        The propose-from-mempool hook behind
+        :meth:`~repro.protocols.base.ProtocolNode.proposal_value`: returns a
+        batch tag string when a workload is configured and a cut trigger is
+        ready, else ``None`` so the synthetic-payload path stays the
+        default.
+        """
+        if self._workload is None:
+            return None
+        return self._workload.cut_batch(proposer, slot, view, self.clock.now)
+
     def report_decision(self, node_id: int, slot: int, value: Any) -> None:
         now = self.clock.now
         self.metrics.on_decision(node_id, slot, value, now)
+        if self._workload is not None and node_id not in self.metrics.faulty:
+            # First honest decision of a slot stamps decided-at on the
+            # winning batch's requests and requeues the losers (idempotent
+            # per slot inside the manager).
+            self._workload.on_decided(slot, value, now)
         self._termination_dirty = True
         self._last_progress = now
         self._node_activity[node_id] = now
@@ -328,11 +357,32 @@ class Controller:
                     name="env-recover", data=spec.node, timer_id=next(self._timer_ids),
                 ))
 
+    def _schedule_workload_events(self) -> None:
+        """Register one controller-owned submit event per client request."""
+        assert self._workload is not None
+        for request in self._workload.requests:
+            self.queue.push(TimeEvent(
+                time=request.submit_time, owner=CONTROLLER_OWNER,
+                name="workload-submit", data=request.index,
+                timer_id=next(self._timer_ids),
+            ))
+
     def _on_env_event(self, event: TimeEvent) -> None:
         """Handle a controller-owned environment lifecycle event."""
         # Crash/recovery may change the honest set (permanent crashes are
-        # marked faulty), which can flip the termination predicate.
+        # marked faulty), which can flip the termination predicate; the
+        # last workload submission arms the mempool's drain trigger.
         self._termination_dirty = True
+        if event.name == "workload-submit":
+            assert self._workload is not None
+            self._workload.submit(int(event.data))
+            if self.trace.enabled:
+                request = self._workload.requests[int(event.data)]
+                self.trace.record(
+                    event.time, "workload-submit", CONTROLLER_OWNER,
+                    request=request.id, client=request.client,
+                )
+            return
         node = int(event.data)
         if event.name == "env-crash":
             if node in self._down:
@@ -430,7 +480,11 @@ class Controller:
         # accurate count behind.
         queue = self.queue
         clock = self.clock
-        terminated_check = self.metrics.terminated
+        terminated_check = (
+            self.metrics.terminated
+            if self._workload is None
+            else self._workload_terminated
+        )
         peek_time = queue.peek_time
         pop_entry = queue.pop_entry
         advance_to = clock.advance_to
@@ -492,7 +546,7 @@ class Controller:
         finally:
             self._events_processed = events_processed
 
-        terminated = self.metrics.terminated()
+        terminated = terminated_check()
         if self._stall is not None:
             self.log.warning(
                 "liveness watchdog stopped the run",
@@ -636,6 +690,26 @@ class Controller:
         else:  # pragma: no cover - no other event kinds exist
             raise ConfigurationError(f"unknown event type {type(event).__name__}")
 
+    def _workload_terminated(self) -> bool:
+        """Termination predicate for workload runs.
+
+        Three conditions compose: the protocol floor
+        (``metrics.terminated()`` — every honest node decided
+        ``num_decisions`` slots, so an empty workload still runs the
+        protocol), the ledger (every request submitted and decided), and
+        full replication (every slot whose decided value carried requests
+        has been decided by *every* honest node — clients are only
+        answered once the fleet agrees, not just the first replica).
+        """
+        workload = self._workload
+        assert workload is not None
+        if not self.metrics.terminated():
+            return False
+        if not workload.complete():
+            return False
+        completed = self.metrics.slot_completion_times()
+        return all(slot in completed for slot in workload.slots_with_requests())
+
     def _build_stall(self, reason: str, detected_at: float) -> StallReport:
         """Snapshot the run state into a structured stall diagnosis."""
         census: Counter[str] = Counter()
@@ -695,4 +769,9 @@ class Controller:
             profile=profile,
             run_metrics=run_metrics,
             signals_summary=signals_summary,
+            workload=(
+                self._workload.build(self.clock.now)
+                if self._workload is not None
+                else None
+            ),
         )

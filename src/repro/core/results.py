@@ -75,6 +75,125 @@ class StallReport:
         )
 
 
+@dataclass(frozen=True)
+class RequestRecord:
+    """Final outcome of one client request in a workload run.
+
+    Part of the picklable result contract; carried on
+    ``SimulationResult.workload.requests`` as per-request detail for the
+    conservation tests and the analysis layer, but excluded from
+    :meth:`ThroughputMetrics.to_dict` (and therefore the fingerprint) the
+    same way the trace is — bulky determinism, guarded by the aggregate
+    counts instead.
+
+    Attributes:
+        id: stable request identifier (``"req{client}.{index}"``).
+        client: submitting client.
+        submitted_at: submission time (simulated ms).
+        decided_at: time the first honest node decided the slot carrying
+            this request, or ``None`` when the run ended with the request
+            still outstanding.
+        slot: the decided slot carrying the request (``None`` while
+            outstanding).
+        batch: tag of the decided batch carrying the request (``None``
+            while outstanding).
+        requeues: how many times the request was cut into a batch whose
+            slot decided a different value (view-change casualties that
+            went back to the mempool).
+    """
+
+    id: str
+    client: int
+    submitted_at: float
+    decided_at: float | None = None
+    slot: int | None = None
+    batch: str | None = None
+    requeues: int = 0
+
+    @property
+    def decided(self) -> bool:
+        return self.decided_at is not None
+
+    @property
+    def latency(self) -> float | None:
+        """Client-perceived latency (decide - submit), or ``None``."""
+        if self.decided_at is None:
+            return None
+        return self.decided_at - self.submitted_at
+
+
+@dataclass
+class ThroughputMetrics:
+    """Throughput/latency outcome of a workload run.
+
+    The aggregate fields (everything :meth:`to_dict` returns) are
+    deterministic functions of the configuration and participate in
+    :func:`result_fingerprint` for workload runs — the request counts are
+    the determinism guard the throughput benchmarks assert on.  Runs
+    without a workload carry ``SimulationResult.workload = None`` and
+    their fingerprints are byte-identical to older versions.
+
+    Attributes:
+        submitted: requests submitted by the arrival processes.
+        decided: requests carried by a decided batch at run end.
+        committed_tx_s: decided requests per second of simulated time.
+        latency_mean_ms / latency_p50_ms / latency_p90_ms /
+            latency_p99_ms / latency_max_ms: per-request latency
+            distribution (decide time minus submit time) over the decided
+            requests; all 0.0 when nothing was decided.
+        per_client: client id -> ``[submitted, decided, mean latency ms]``.
+        batches: decided batches.
+        max_batch: largest decided batch.
+        max_queue_depth: high-water mark of the mempool.
+        requeues: batch-cut casualties (requests returned to the mempool
+            because their slot decided a different value).
+        backlog_at_arrival_end: requests not yet decided when the arrival
+            window closed (the queue the protocol was left to drain).
+        saturated: the saturation flag of a throughput-latency curve —
+            True when the run ended with undecided requests, or when more
+            than half the load was still backlogged at the end of the
+            arrival window (drain rate below offered rate throughout).
+        requests: per-request detail (excluded from :meth:`to_dict`).
+    """
+
+    submitted: int
+    decided: int
+    committed_tx_s: float
+    latency_mean_ms: float
+    latency_p50_ms: float
+    latency_p90_ms: float
+    latency_p99_ms: float
+    latency_max_ms: float
+    per_client: dict[int, list[float]]
+    batches: int
+    max_batch: int
+    max_queue_depth: int
+    requeues: int
+    backlog_at_arrival_end: int
+    saturated: bool
+    requests: list[RequestRecord] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Deterministic aggregate form (per-request detail excluded)."""
+        data = asdict(self)
+        data.pop("requests")
+        data["per_client"] = {
+            str(client): stats for client, stats in self.per_client.items()
+        }
+        return data
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        flag = " SATURATED" if self.saturated else ""
+        return (
+            f"workload: {self.decided}/{self.submitted} requests decided "
+            f"({self.committed_tx_s:.1f} tx/s), latency p50="
+            f"{self.latency_p50_ms:.1f}ms p99={self.latency_p99_ms:.1f}ms "
+            f"over {self.batches} batches (max {self.max_batch}, "
+            f"queue<= {self.max_queue_depth}){flag}"
+        )
+
+
 @dataclass
 class SimulationResult:
     """Everything a run produced.
@@ -121,6 +240,10 @@ class SimulationResult:
             requested live signals, else ``None``.  What the adversary saw —
             persisted by the experiment store, excluded from the fingerprint
             like the other observability fields.
+        workload: :class:`ThroughputMetrics` when the run drove an open-loop
+            client workload, else ``None``.  The aggregate part participates
+            in the fingerprint (see :func:`deterministic_dict`); runs
+            without a workload are byte-identical to older versions.
     """
 
     config: SimulationConfig
@@ -142,6 +265,7 @@ class SimulationResult:
     profile: "RunProfile | None" = None
     run_metrics: "RunMetrics | None" = None
     signals_summary: dict | None = None
+    workload: ThroughputMetrics | None = None
 
     @property
     def stalled(self) -> bool:
@@ -226,6 +350,10 @@ def deterministic_dict(result: SimulationResult, include_trace: bool = False) ->
     requested, the trace
     (deterministic but bulky, and only recorded when ``record_trace`` is
     set).
+
+    Workload runs contribute their :meth:`ThroughputMetrics.to_dict`
+    aggregates under a ``"workload"`` key; runs without a workload omit the
+    key entirely so their fingerprints are unchanged from older versions.
     """
     data = {
         "config": result.config.to_dict(),
@@ -243,6 +371,8 @@ def deterministic_dict(result: SimulationResult, include_trace: bool = False) ->
         "events_processed": result.events_processed,
         "max_view": result.max_view,
     }
+    if result.workload is not None:
+        data["workload"] = result.workload.to_dict()
     if include_trace:
         data["trace"] = result.trace.to_jsonl()
     return data

@@ -83,7 +83,19 @@ class BFTProtocol(Node):
         recipient copy structurally copies the transaction list, while the
         ``tree``/``gossip`` overlays share it copy-on-write — without
         touching the default (``block_txns=0``) behaviour or its digests.
+
+        When the run carries an open-loop workload, the environment offers
+        a mempool batch first (``env.cut_batch`` — guarded with ``getattr``
+        like ``report_phase`` so bare test environments stay valid): a
+        ready batch is proposed as its plain string tag (hashable, so
+        vote-counter keys and digests work unchanged), and the synthetic
+        paths below remain the fallback for empty slots.
         """
+        cut = getattr(self.env, "cut_batch", None)
+        if cut is not None:
+            batch = cut(self.id, slot, view)
+            if batch is not None:
+                return batch
         suffix = f"/v{view}" if view is not None else ""
         tag = f"value(slot={slot}, proposer={self.id}{suffix})"
         txns = int(self.env.protocol_param("block_txns", 0) or 0)

@@ -58,7 +58,7 @@ from ..core.runner import run_simulation
 from .spec import AttackClause, ScenarioSpec
 
 #: Objectives accepted by :func:`mine` and ``repro mine``.
-OBJECTIVES = ("median-latency", "stall", "first-decision")
+OBJECTIVES = ("median-latency", "stall", "first-decision", "throughput")
 
 #: Artifact schema identifier.
 ARTIFACT_KIND = "repro-mining-artifact"
@@ -422,6 +422,22 @@ def _score_entries(
         rate = record.stalled / len(results) if results else 0.0
         tie = (record.median_latency or 0.0) / 1e9
         record.score = rate + min(tie, 0.999e-3)
+    elif objective == "throughput":
+        # The adversary MINIMIZES committed tx/s (worst case = slowest
+        # drain), so the maximized score is its negation.  Requires a
+        # workload on the base config; stalled runs are legitimate here —
+        # an attack that stops batches from committing is the worst case.
+        rates = [
+            r.workload.committed_tx_s for r in results
+            if r.workload is not None
+        ]
+        if not rates:
+            record.unfit_reason = (
+                "no workload metrics in any run; the throughput objective "
+                "requires a base config with workload="
+            )
+            return
+        record.score = -statistics.median(rates)
     else:  # first-decision (client starvation)
         record.score = record.first_decision
 

@@ -205,7 +205,40 @@ async function renderDetail() {
       <th class="num">latency/decision</th><th class="num">msgs/dec</th>
       <th class="num">events</th><th>fingerprint</th><th></th></tr></thead>
       <tbody>${data.runs.map(runRow).join("")}</tbody></table>
+    ${saturationView(data.runs)}
     <div id="runpanel"></div>`;
+}
+
+function saturationView(runs) {
+  // Throughput/saturation view: one bar per workload run (committed tx/s
+  // against the fleet maximum), with request counts, per-request latency
+  // percentiles, and the saturation flag.  Empty for non-workload fleets.
+  const wl = (runs || []).filter(r => r.committed_tx_s != null);
+  if (!wl.length) return "";
+  const tmax = Math.max(...wl.map(r => r.committed_tx_s)) || 1;
+  const rows = wl.map(r => {
+    const w = r.workload || {};
+    const sat = r.saturated ? ' <span class="status stalled">' +
+      '<span class="dot"></span>saturated</span>' : "";
+    return `<tr class="click" onclick="selectRun(${r.id})">
+      <td class="num">${r.run_index}</td>
+      <td>${esc(r.label || "seed " + r.seed)}</td>
+      <td style="min-width:200px"><div class="bar">
+        <i style="width:${100 * r.committed_tx_s / tmax}%"></i></div></td>
+      <td class="num">${fmt(r.committed_tx_s)}${sat}</td>
+      <td class="num">${fmt(r.requests_decided, 0)}/${fmt(r.requests_submitted, 0)}</td>
+      <td class="num">${fmt(w.latency_p50_ms, 0)} ms</td>
+      <td class="num">${fmt(w.latency_p99_ms, 0)} ms</td>
+      <td class="num">${fmt(w.max_queue_depth, 0)}</td>
+    </tr>`;
+  }).join("");
+  return `<h2>Throughput / saturation <span class="muted">(committed tx/s
+    per run; flagged runs could not drain the offered load)</span></h2>
+    <table><thead><tr><th class="num">#</th><th>run</th><th>tx/s</th>
+    <th class="num">committed</th><th class="num">requests</th>
+    <th class="num">req p50</th><th class="num">req p99</th>
+    <th class="num">queue max</th></tr></thead>
+    <tbody>${rows}</tbody></table>`;
 }
 
 function phaseChart(phases) {
@@ -288,6 +321,23 @@ async function selectRun(runId) {
       <div class="card"><b>${r.max_view == null ? "–" : r.max_view}</b>
         <span>max view</span></div>
     </div>`;
+  if (r.workload) {
+    const w = r.workload;
+    html += `<h2>Workload</h2><div class="cards">
+      <div class="card"><b>${fmt(w.committed_tx_s)}</b>
+        <span>committed tx/s</span></div>
+      <div class="card"><b>${fmt(w.decided, 0)}/${fmt(w.submitted, 0)}</b>
+        <span>requests decided</span></div>
+      <div class="card"><b>${fmt(w.latency_p50_ms, 0)} ms</b>
+        <span>request p50</span></div>
+      <div class="card"><b>${fmt(w.latency_p99_ms, 0)} ms</b>
+        <span>request p99</span></div>
+      <div class="card"><b>${fmt(w.max_queue_depth, 0)}</b>
+        <span>queue max</span></div>
+      <div class="card"><b>${w.saturated ? "yes" : "no"}</b>
+        <span>saturated</span></div>
+    </div>`;
+  }
   if (r.failure) html += `<pre>${esc(JSON.stringify(r.failure, null, 1))}</pre>`;
   if (r.stall) html += `<p class="status stalled"><span class="dot"></span>
     stalled: ${esc(r.stall.reason)} at ${fmt(r.stall.detected_at)} ms</p>`;

@@ -47,7 +47,9 @@ from ..core.results import (
 
 #: Current on-disk schema version.  Bump on any incompatible change; the
 #: store refuses files written by other versions instead of guessing.
-SCHEMA_VERSION = 1
+#: v2: throughput columns (committed_tx_s, requests_submitted,
+#: requests_decided, saturated, workload_json) for workload runs.
+SCHEMA_VERSION = 2
 
 #: Experiment lifecycle states.
 EXPERIMENT_STATUSES = ("running", "complete", "failed")
@@ -106,6 +108,11 @@ CREATE TABLE IF NOT EXISTS runs (
     signals_json         TEXT,
     failure_json         TEXT,
     trace_path           TEXT,
+    committed_tx_s       REAL,
+    requests_submitted   INTEGER,
+    requests_decided     INTEGER,
+    saturated            INTEGER,
+    workload_json        TEXT,
     UNIQUE (experiment_id, run_index)
 );
 CREATE INDEX IF NOT EXISTS idx_runs_experiment ON runs(experiment_id);
@@ -190,6 +197,11 @@ class RunRow:
     signals: dict[str, Any] | None = None
     failure: dict[str, Any] | None = None
     trace_path: str | None = None
+    committed_tx_s: float | None = None
+    requests_submitted: int | None = None
+    requests_decided: int | None = None
+    saturated: bool | None = None
+    workload: dict[str, Any] | None = None
 
     @property
     def failed(self) -> bool:
@@ -492,6 +504,21 @@ class ExperimentStore:
             ),
             "signals_json": _json(signals) if signals else None,
             "failure_json": None,
+            "committed_tx_s": (
+                result.workload.committed_tx_s if result.workload else None
+            ),
+            "requests_submitted": (
+                result.workload.submitted if result.workload else None
+            ),
+            "requests_decided": (
+                result.workload.decided if result.workload else None
+            ),
+            "saturated": (
+                int(result.workload.saturated) if result.workload else None
+            ),
+            "workload_json": (
+                _json(result.workload.to_dict()) if result.workload else None
+            ),
         }
 
     def _failure_row(self, failure: RunFailure) -> dict[str, Any]:
@@ -522,6 +549,11 @@ class ExperimentStore:
                 "attempts": failure.attempts,
                 "traceback": failure.traceback,
             }),
+            "committed_tx_s": None,
+            "requests_submitted": None,
+            "requests_decided": None,
+            "saturated": None,
+            "workload_json": None,
         }
 
     def finish_experiment(
@@ -714,4 +746,11 @@ class ExperimentStore:
             signals=_loads(row["signals_json"]),
             failure=_loads(row["failure_json"]),
             trace_path=row["trace_path"],
+            committed_tx_s=row["committed_tx_s"],
+            requests_submitted=row["requests_submitted"],
+            requests_decided=row["requests_decided"],
+            saturated=(
+                None if row["saturated"] is None else bool(row["saturated"])
+            ),
+            workload=_loads(row["workload_json"]),
         )

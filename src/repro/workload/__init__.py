@@ -1,0 +1,25 @@
+"""Open-loop client workload: arrivals, mempool, batching, bookkeeping.
+
+This package turns the simulator from "decide ``num_decisions`` synthetic
+blocks" into an open-loop transaction system: Poisson or trace-driven
+clients submit requests on dedicated ``workload.{client}`` RNG substreams,
+a leader-side mempool batches them (size- and timeout-triggered cuts), and
+proposers pull batches so protocols decide real payloads back-to-back.
+
+Everything is opt-in: when ``SimulationConfig.workload`` is ``None`` no
+substream is drawn, no event is scheduled and no result field is emitted,
+so benign no-client fingerprints are byte-identical to older versions.
+"""
+
+from .arrivals import Request, generate_requests
+from .manager import WorkloadManager
+from .mempool import Mempool
+from .spec import parse_workload_spec
+
+__all__ = [
+    "Mempool",
+    "Request",
+    "WorkloadManager",
+    "generate_requests",
+    "parse_workload_spec",
+]

@@ -1,0 +1,84 @@
+"""Arrival processes: turn a workload spec into a deterministic request list.
+
+Two processes are supported (see
+:data:`~repro.core.config.ARRIVAL_PROCESSES`):
+
+- ``poisson`` — each of ``clients`` open-loop clients submits on its own
+  Poisson process at ``rate / clients`` requests per second over
+  ``duration`` ms of simulated time.  Every client draws inter-arrival
+  gaps from a dedicated ``workload.{client}`` RNG substream, so adding a
+  workload never perturbs the protocol, network or fault streams — and
+  adding a client never perturbs the other clients.
+- ``trace`` — submission times are given explicitly (``trace_times``,
+  ms); requests are assigned to clients round-robin.  Deterministic by
+  construction, used for replayable stress shapes and tests.
+
+Requests are materialised up front (open-loop clients never wait for
+responses, so the full arrival schedule is a pure function of the config)
+and sorted into a single global order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import WorkloadConfig
+from ..core.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request, identified for its whole lifecycle.
+
+    Attributes:
+        id: stable identifier ``"req{client}.{k}"`` (k-th request of the
+            client).
+        client: submitting client.
+        submit_time: submission time (simulated ms).
+        index: position in the global arrival order — the deterministic
+            tie-break for mempool ordering.
+    """
+
+    id: str
+    client: int
+    submit_time: float
+    index: int
+
+
+def generate_requests(
+    workload: WorkloadConfig, random_source: RandomSource
+) -> list[Request]:
+    """Materialise the full arrival schedule for ``workload``.
+
+    Returns requests sorted by ``(submit_time, client, id)`` with
+    ``index`` assigned in that global order.  Only ``workload.{client}``
+    substreams are drawn; an unconfigured workload must never reach this
+    function (the controller gates on ``config.workload is None``).
+    """
+    arrivals: list[tuple[float, int, str]] = []
+    if workload.arrival == "trace":
+        times = workload.trace_times or []
+        per_client_count = [0] * workload.clients
+        for position, time in enumerate(times):
+            client = position % workload.clients
+            request_id = f"req{client}.{per_client_count[client]}"
+            per_client_count[client] += 1
+            arrivals.append((float(time), client, request_id))
+    else:  # poisson — validated upstream
+        # Per-client rate in requests per millisecond of simulated time.
+        per_client_rate = workload.rate / workload.clients / 1000.0
+        for client in range(workload.clients):
+            rng = random_source.python(f"workload.{client}")
+            now = 0.0
+            k = 0
+            while True:
+                now += rng.expovariate(per_client_rate)
+                if now >= workload.duration:
+                    break
+                arrivals.append((now, client, f"req{client}.{k}"))
+                k += 1
+    arrivals.sort()
+    return [
+        Request(id=request_id, client=client, submit_time=time, index=index)
+        for index, (time, client, request_id) in enumerate(arrivals)
+    ]

@@ -1,0 +1,204 @@
+"""Workload manager: request lifecycle from arrival to decided-at.
+
+One :class:`WorkloadManager` per run owns the arrival schedule, the
+mempool, and the batch ledger.  Proposers pull batches through the
+controller facade (``env.cut_batch``); the manager hands back a plain
+*string tag* — protocols order and vote on tags exactly like synthetic
+values (tags stay hashable, so vote-counter keys and block hashes are
+untouched) while the manager keeps the tag → requests mapping private.
+
+Lifecycle of a request:
+
+1. **submit** — a controller-owned ``workload-submit`` event fires at the
+   request's arrival time and pushes it into the mempool.
+2. **cut** — a proposer asks for a batch; ready requests leave the
+   mempool and become *in flight* for the proposed slot.  A request is in
+   at most one in-flight batch at a time, which is what makes
+   exactly-once decision a structural property rather than a protocol
+   one.
+3. **decide** — on the first honest decision of a slot, the in-flight
+   batch whose tag equals the decided value is committed (every request
+   gets its decided-at stamp); every other in-flight batch for the slot
+   lost a view-change race and its requests are requeued into the
+   mempool at their original position.
+"""
+
+from __future__ import annotations
+
+from ..core.config import WorkloadConfig
+from ..core.results import RequestRecord, ThroughputMetrics
+from ..core.rng import RandomSource
+from .arrivals import Request, generate_requests
+from .mempool import Mempool
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted non-empty list."""
+    rank = max(0, min(len(sorted_values) - 1, int(fraction * len(sorted_values))))
+    return sorted_values[rank]
+
+
+class WorkloadManager:
+    """Owns requests, mempool and batch ledger for one run."""
+
+    def __init__(self, workload: WorkloadConfig, random_source: RandomSource) -> None:
+        self.workload = workload
+        self.requests: list[Request] = generate_requests(workload, random_source)
+        self.mempool = Mempool(workload.batch, workload.batch_timeout)
+        self._submitted = 0
+        self._batch_seq = 0
+        # tag -> requests it carries (in flight until its slot decides).
+        self._batches: dict[str, list[Request]] = {}
+        # slot -> tags currently in flight for it (several across views).
+        self._inflight: dict[int, list[str]] = {}
+        # request index -> (decided_at, slot, batch tag)
+        self._decided: dict[int, tuple[float, int, str]] = {}
+        self._requeues: dict[int, int] = {}
+        self._decided_slots: set[int] = set()
+        self._slots_with_requests: set[int] = set()
+        self._decided_batch_sizes: list[int] = []
+
+    # ------------------------------------------------------------------
+    # submission
+
+    def submit(self, index: int) -> None:
+        """Deliver the ``index``-th request to the mempool (event hook)."""
+        self.mempool.push(self.requests[index])
+        self._submitted += 1
+        if self._submitted == len(self.requests):
+            self.mempool.mark_drained()
+
+    # ------------------------------------------------------------------
+    # batching
+
+    def cut_batch(
+        self, proposer: int, slot: int, view: int | None, now: float
+    ) -> str | None:
+        """Cut a batch for ``slot``, or ``None`` to fall back to synthetic.
+
+        Never cuts for an already-decided slot (a late view change must
+        not strand fresh requests in a batch that can no longer win), and
+        returns ``None`` while no cut trigger is ready so empty slots stay
+        cheap synthetic placeholders.
+        """
+        if slot in self._decided_slots:
+            return None
+        batch = self.mempool.cut(now)
+        if not batch:
+            return None
+        suffix = f"/v{view}" if view is not None else ""
+        tag = (
+            f"batch[b{self._batch_seq}](slot={slot}, "
+            f"proposer={proposer}{suffix}, reqs={len(batch)})"
+        )
+        self._batch_seq += 1
+        self._batches[tag] = batch
+        self._inflight.setdefault(slot, []).append(tag)
+        return tag
+
+    # ------------------------------------------------------------------
+    # decisions
+
+    def on_decided(self, slot: int, value: object, now: float) -> None:
+        """First-honest-decision hook: commit the winner, requeue losers.
+
+        Idempotent per slot — the controller reports every honest node's
+        decision, but request bookkeeping happens once, at the earliest.
+        """
+        if slot in self._decided_slots:
+            return
+        self._decided_slots.add(slot)
+        for tag in self._inflight.pop(slot, []):
+            requests = self._batches.pop(tag)
+            if tag == value:
+                for request in requests:
+                    self._decided[request.index] = (now, slot, tag)
+                self._slots_with_requests.add(slot)
+                self._decided_batch_sizes.append(len(requests))
+            else:
+                for request in requests:
+                    self._requeues[request.index] = (
+                        self._requeues.get(request.index, 0) + 1
+                    )
+                    self.mempool.push(request)
+
+    # ------------------------------------------------------------------
+    # run-level state
+
+    def complete(self) -> bool:
+        """True when every request has been submitted and decided."""
+        return (
+            self._submitted == len(self.requests)
+            and len(self._decided) == len(self.requests)
+        )
+
+    def slots_with_requests(self) -> set[int]:
+        """Slots whose decided value carried requests (termination gate)."""
+        return self._slots_with_requests
+
+    # ------------------------------------------------------------------
+    # results
+
+    def build(self, end_ms: float) -> ThroughputMetrics:
+        """Aggregate the ledger into :class:`ThroughputMetrics`."""
+        records = []
+        latencies: list[float] = []
+        per_client: dict[int, list[float]] = {
+            client: [0, 0, 0.0] for client in range(self.workload.clients)
+        }
+        for request in self.requests:
+            decided = self._decided.get(request.index)
+            record = RequestRecord(
+                id=request.id,
+                client=request.client,
+                submitted_at=request.submit_time,
+                decided_at=decided[0] if decided else None,
+                slot=decided[1] if decided else None,
+                batch=decided[2] if decided else None,
+                requeues=self._requeues.get(request.index, 0),
+            )
+            records.append(record)
+            stats = per_client[request.client]
+            stats[0] += 1
+            if record.latency is not None:
+                stats[1] += 1
+                stats[2] += record.latency
+                latencies.append(record.latency)
+        for stats in per_client.values():
+            stats[2] = stats[2] / stats[1] if stats[1] else 0.0
+        latencies.sort()
+        submitted = self._submitted
+        decided = len(self._decided)
+        # Saturation: either the run ended with undecided requests, or more
+        # than half the load was still backlogged when arrivals stopped —
+        # the drain rate fell behind the offered rate for the whole window.
+        if self.workload.arrival == "trace":
+            arrival_end = max(self.workload.trace_times or [0.0])
+        else:
+            arrival_end = self.workload.duration
+        backlog_at_arrival_end = submitted - sum(
+            1 for decided_at, _slot, _tag in self._decided.values()
+            if decided_at <= arrival_end
+        )
+        total = len(self.requests)
+        saturated = decided < total or (
+            total > 0 and backlog_at_arrival_end * 2 > total
+        )
+        return ThroughputMetrics(
+            submitted=submitted,
+            decided=decided,
+            committed_tx_s=decided / (end_ms / 1000.0) if end_ms > 0 else 0.0,
+            latency_mean_ms=sum(latencies) / len(latencies) if latencies else 0.0,
+            latency_p50_ms=_percentile(latencies, 0.50) if latencies else 0.0,
+            latency_p90_ms=_percentile(latencies, 0.90) if latencies else 0.0,
+            latency_p99_ms=_percentile(latencies, 0.99) if latencies else 0.0,
+            latency_max_ms=latencies[-1] if latencies else 0.0,
+            per_client=per_client,
+            batches=len(self._decided_batch_sizes),
+            max_batch=max(self._decided_batch_sizes, default=0),
+            max_queue_depth=self.mempool.max_depth,
+            requeues=sum(self._requeues.values()),
+            backlog_at_arrival_end=backlog_at_arrival_end,
+            saturated=saturated,
+            requests=records,
+        )

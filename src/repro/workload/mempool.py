@@ -1,0 +1,65 @@
+"""Leader-side mempool: pending requests, ordered, with batch-cut policy.
+
+The mempool is a single global pool (client→leader transmission is
+abstracted away, like client identity in the synthetic path): requests
+enter at their submit time and leave when a proposer cuts a batch.  A cut
+is *ready* when any of three triggers fires:
+
+- **size** — at least ``batch`` requests are pending;
+- **timeout** — the oldest pending request has waited at least
+  ``batch_timeout`` ms;
+- **drain** — every request of the run has been submitted (tail mode: no
+  future arrival can top the batch up, so waiting longer only adds
+  latency).
+
+Ordering is by ``(submit_time, arrival index)`` — requeued requests (cut
+into a batch whose slot decided a different proposal) re-enter at their
+original position, so batch contents stay sorted by submission time.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from .arrivals import Request
+
+
+class Mempool:
+    """Pending-request pool with deterministic ordering and cut triggers."""
+
+    def __init__(self, batch: int, batch_timeout: float) -> None:
+        self.batch = batch
+        self.batch_timeout = batch_timeout
+        self._heap: list[tuple[float, int, Request]] = []
+        self._drain = False
+        self.max_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, request: Request) -> None:
+        """Add ``request`` (new arrival or requeue) to the pool."""
+        heapq.heappush(self._heap, (request.submit_time, request.index, request))
+        if len(self._heap) > self.max_depth:
+            self.max_depth = len(self._heap)
+
+    def mark_drained(self) -> None:
+        """All requests of the run are submitted: enable tail cuts."""
+        self._drain = True
+
+    def ready(self, now: float) -> bool:
+        """True when a batch cut at ``now`` would fire a trigger."""
+        if not self._heap:
+            return False
+        if len(self._heap) >= self.batch:
+            return True
+        if now - self._heap[0][0] >= self.batch_timeout:
+            return True
+        return self._drain
+
+    def cut(self, now: float) -> list[Request]:
+        """Pop up to ``batch`` oldest requests, or ``[]`` when not ready."""
+        if not self.ready(now):
+            return []
+        take = min(self.batch, len(self._heap))
+        return [heapq.heappop(self._heap)[2] for _ in range(take)]

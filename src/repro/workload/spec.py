@@ -1,0 +1,61 @@
+"""CLI grammar for workload specs: ``rate:500,clients:100[,batch:64]``.
+
+Keys map onto :class:`~repro.core.config.WorkloadConfig` fields:
+
+========== =============== ==========================================
+key        field           meaning
+========== =============== ==========================================
+rate       rate            aggregate arrival rate (requests/second)
+clients    clients         number of open-loop clients
+batch      batch           size-trigger for the mempool batch cut
+timeout    batch_timeout   timeout-trigger (ms) for the batch cut
+duration   duration        arrival window (ms of simulated time)
+========== =============== ==========================================
+
+Values are validated by ``WorkloadConfig.validate()`` downstream; this
+module only parses the surface grammar.
+"""
+
+from __future__ import annotations
+
+from ..core.config import WorkloadConfig
+from ..core.errors import ConfigurationError
+
+_KEYS = {
+    "rate": ("rate", float),
+    "clients": ("clients", int),
+    "batch": ("batch", int),
+    "timeout": ("batch_timeout", float),
+    "duration": ("duration", float),
+}
+
+
+def parse_workload_spec(spec: str) -> WorkloadConfig:
+    """Parse ``"rate:500,clients:100,batch:64"`` into a WorkloadConfig."""
+    fields: dict[str, object] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, raw = part.partition(":")
+        key = key.strip()
+        if not sep or key not in _KEYS:
+            known = ", ".join(sorted(_KEYS))
+            raise ConfigurationError(
+                f"bad workload spec entry {part!r}: expected key:value "
+                f"with key one of {known}"
+            )
+        field, convert = _KEYS[key]
+        try:
+            fields[field] = convert(raw.strip())
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"bad workload spec value for {key!r}: {raw.strip()!r}"
+            ) from exc
+    if not fields:
+        raise ConfigurationError(
+            "empty workload spec: expected e.g. rate:500,clients:100"
+        )
+    config = WorkloadConfig(**fields)  # type: ignore[arg-type]
+    config.validate()
+    return config

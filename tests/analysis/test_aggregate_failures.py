@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro import RunFailure, repeat_simulation, run_simulation
+from repro import RunFailure, WorkloadConfig, repeat_simulation, run_simulation
 from repro.analysis.aggregate import partition_results, summarize, summarize_metric
+from repro.faults import parse_faults_spec
 
 from tests.conftest import quick_config
 
@@ -57,3 +58,84 @@ class TestSummarizeWithFailures:
         )
         assert stats.count == 1
         assert stats.mean == float(result.events_processed)
+
+
+class TestMixedFleet:
+    """One fleet mixing workload successes, a bare success, a stalled run,
+    and hard failures — the shape a real ``--store`` sweep batch can take.
+    Failure rows must never leak into any statistic, latency percentiles
+    included; workload statistics aggregate only the runs that carried
+    workload metrics."""
+
+    @pytest.fixture(scope="class")
+    def fleet(self):
+        workload = WorkloadConfig(
+            rate=20.0, clients=4, duration=1000.0, batch=8, batch_timeout=300.0
+        )
+        successes = [
+            run_simulation(
+                quick_config(
+                    seed=seed, lam=1000.0, mean=250.0, std=50.0,
+                    workload=workload,
+                )
+            )
+            for seed in (1, 2)
+        ]
+        bare = run_simulation(quick_config(seed=3))
+        stalled = run_simulation(
+            quick_config(
+                seed=4,
+                faults=parse_faults_spec("loss=1.0"),
+                stall_timeout=20_000.0,
+                max_time=600_000.0,
+                allow_horizon=True,
+            )
+        )
+        assert stalled.stalled and not stalled.terminated
+        return successes, bare, stalled
+
+    def test_failures_never_reach_latency_percentiles(self, fleet):
+        successes, bare, stalled = fleet
+        mixed = [successes[0], _failure(index=1), bare, stalled,
+                 successes[1], _failure(seed=9, index=5)]
+        summary = summarize(mixed)
+        clean = summarize([successes[0], bare, stalled, successes[1]])
+        assert summary.failures == 2
+        # Every statistic — aggregate and per-request percentiles alike —
+        # is identical with the failure rows removed.
+        assert summary.latency == clean.latency
+        assert summary.latency_per_decision == clean.latency_per_decision
+        assert summary.throughput == clean.throughput
+        assert summary.request_latency_p50 == clean.request_latency_p50
+        assert summary.request_latency_p99 == clean.request_latency_p99
+        assert summary.latency.count == 4  # successes + bare + stalled
+
+    def test_workload_stats_cover_only_workload_runs(self, fleet):
+        successes, bare, stalled = fleet
+        summary = summarize([successes[0], _failure(index=1), bare, stalled,
+                             successes[1]])
+        assert summary.throughput is not None
+        assert summary.throughput.count == 2
+        assert summary.request_latency_p50.count == 2
+        assert summary.request_latency_p99.count == 2
+        expected = {w.latency_p50_ms for w in
+                    (successes[0].workload, successes[1].workload)}
+        assert {summary.request_latency_p50.min,
+                summary.request_latency_p50.max} == expected
+
+    def test_stall_and_termination_accounting(self, fleet):
+        successes, bare, stalled = fleet
+        summary = summarize([successes[0], _failure(index=1), bare, stalled,
+                             successes[1]])
+        # Fractions are over successful rows only — failures are neither
+        # terminated nor stalled, they are absent.
+        assert summary.stalled_fraction == 0.25
+        assert summary.terminated_fraction == 0.75
+
+    def test_no_workload_runs_leave_throughput_unset(self, fleet):
+        _successes, bare, stalled = fleet
+        summary = summarize([bare, _failure(index=1), stalled])
+        assert summary.throughput is None
+        assert summary.request_latency_p50 is None
+        assert summary.request_latency_p99 is None
+        assert summary.saturated_fraction == 0.0

@@ -1,0 +1,142 @@
+"""Request-conservation battery: end-to-end workload invariants.
+
+Each hypothesis example draws a full workload setting — protocol, system
+size, offered arrival rate, batch size, and seed — runs the simulation to
+completion, and checks the invariants the open-loop layer must keep no
+matter how batches race through view changes:
+
+* **Conservation (exactly once)** — every submitted request is decided
+  exactly once: no request is lost, none is decided twice, and the run
+  only terminates once the workload drained.
+* **Causality** — per-request latency (decide − submit) is >= 0; a
+  request's decided-at stamp can never precede its arrival.
+* **Batch discipline** — decided batches are disjoint (each request in
+  exactly one), within the configured size cap, and internally ordered by
+  ``(submit time, arrival index)`` — the mempool's deterministic order.
+* **Accounting** — the ThroughputMetrics roll-up (counts, per-client
+  split, percentile bounds) agrees with the per-request records.
+
+Runs are fingerprint-deterministic: a separate test replays one drawn-at
+-random-looking config twice and through a JSON round-trip.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import SimulationConfig, WorkloadConfig, result_fingerprint, run_simulation
+
+from tests.conftest import quick_config
+
+PROTOCOLS = ["pbft", "tendermint", "hotstuff-ns", "librabft"]
+
+
+def _workload_config(
+    protocol: str, n: int, seed: int, rate: float, batch: int
+) -> SimulationConfig:
+    # Default-ish lambda/network keep view churn realistic; a short arrival
+    # window keeps each example fast while still spanning several slots.
+    return quick_config(
+        protocol=protocol,
+        n=n,
+        seed=seed,
+        lam=1000.0,
+        mean=250.0,
+        std=50.0,
+        workload=WorkloadConfig(
+            rate=rate,
+            clients=5,
+            duration=1500.0,
+            batch=batch,
+            batch_timeout=400.0,
+        ),
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    protocol=st.sampled_from(PROTOCOLS),
+    n=st.sampled_from([4, 7]),
+    seed=st.integers(min_value=0, max_value=10_000),
+    rate=st.sampled_from([10.0, 40.0, 120.0]),
+    batch=st.sampled_from([1, 4, 16]),
+)
+def test_every_request_decided_exactly_once(protocol, n, seed, rate, batch):
+    config = _workload_config(protocol, n, seed, rate, batch)
+    result = run_simulation(config)
+    assert result.terminated, "open-loop runs must drain and terminate"
+    wl = result.workload
+    assert wl is not None
+
+    # Conservation: all submitted, all decided, each exactly once.
+    records = wl.requests
+    assert wl.submitted == wl.decided == len(records)
+    assert len({record.id for record in records}) == len(records)
+    for record in records:
+        assert record.decided, f"{record.id} was lost"
+        assert record.latency is not None and record.latency >= 0.0, (
+            f"{record.id} decided before it was submitted"
+        )
+        assert record.slot is not None and record.batch is not None
+
+    # Batch discipline: disjoint, size-capped, ordered by submission.
+    by_batch: dict[str, list] = {}
+    for record in records:
+        by_batch.setdefault(record.batch, []).append(record)
+    assert wl.batches == len(by_batch)
+    for tag, members in by_batch.items():
+        assert len(members) <= batch, f"{tag} exceeds the batch cap"
+        slots = {record.slot for record in members}
+        assert len(slots) == 1, f"{tag} spans slots {slots}"
+        times = [record.submitted_at for record in members]
+        assert times == sorted(times), f"{tag} is not submission-ordered"
+        stamps = {record.decided_at for record in members}
+        assert len(stamps) == 1, f"{tag} decided at several times"
+    assert wl.max_batch == max(len(m) for m in by_batch.values())
+
+    # Accounting: the roll-up agrees with the records.
+    latencies = sorted(record.latency for record in records)
+    assert wl.latency_max_ms == latencies[-1]
+    assert latencies[0] <= wl.latency_p50_ms <= wl.latency_p99_ms <= latencies[-1]
+    per_client_counts = {client: 0 for client in range(5)}
+    for record in records:
+        per_client_counts[record.client] += 1
+    assert {c: s[0] for c, s in wl.per_client.items()} == per_client_counts
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_workload_runs_are_fingerprint_deterministic(protocol):
+    config = _workload_config(protocol, n=4, seed=3, rate=40.0, batch=16)
+    first = run_simulation(config)
+    second = run_simulation(config)
+    assert result_fingerprint(first) == result_fingerprint(second)
+    # The fingerprint covers the workload roll-up...
+    assert first.workload is not None
+    restored = SimulationConfig.from_dict(config.to_dict())
+    assert result_fingerprint(run_simulation(restored)) == result_fingerprint(first)
+    # ...and a workload-free run of the same base differs structurally.
+    bare = run_simulation(config.replace(workload=None))
+    assert bare.workload is None
+
+
+def test_trace_workload_end_to_end():
+    """A deterministic trace drives the same machinery: every listed time
+    becomes one request, decided exactly once."""
+    times = [100.0 * k for k in range(1, 13)]
+    config = quick_config(
+        protocol="pbft",
+        lam=1000.0,
+        mean=250.0,
+        std=50.0,
+        workload=WorkloadConfig(
+            arrival="trace", clients=3, batch=4, batch_timeout=300.0,
+            trace_times=times,
+        ),
+    )
+    result = run_simulation(config)
+    assert result.terminated
+    wl = result.workload
+    assert wl.submitted == wl.decided == len(times)
+    assert sorted(r.submitted_at for r in wl.requests) == times
+    assert all(r.latency >= 0 for r in wl.requests)

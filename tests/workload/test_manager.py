@@ -1,0 +1,137 @@
+"""Unit tests for the workload manager's batch ledger and metrics."""
+
+from __future__ import annotations
+
+from repro import WorkloadConfig
+from repro.core.rng import RandomSource
+from repro.workload import WorkloadManager
+
+
+def _manager(times: list[float], clients: int = 1, batch: int = 4,
+             batch_timeout: float = 50.0) -> WorkloadManager:
+    workload = WorkloadConfig(
+        arrival="trace", clients=clients, batch=batch,
+        batch_timeout=batch_timeout, trace_times=times,
+    )
+    return WorkloadManager(workload, RandomSource(1))
+
+
+def _submit_all(manager: WorkloadManager) -> None:
+    for request in manager.requests:
+        manager.submit(request.index)
+
+
+def test_happy_path_single_batch():
+    manager = _manager([10.0, 20.0, 30.0])
+    _submit_all(manager)
+    tag = manager.cut_batch(proposer=0, slot=0, view=None, now=30.0)
+    assert tag is not None and tag.startswith("batch[b0](slot=0")
+    manager.on_decided(0, tag, now=120.0)
+    assert manager.complete()
+    assert manager.slots_with_requests() == {0}
+    metrics = manager.build(end_ms=150.0)
+    assert metrics.submitted == metrics.decided == 3
+    assert metrics.batches == 1 and metrics.max_batch == 3
+    assert metrics.requeues == 0
+    assert all(r.decided_at == 120.0 and r.slot == 0 for r in metrics.requests)
+    assert metrics.latency_max_ms == 110.0  # the t=10 request
+    assert metrics.committed_tx_s == 3 / 0.150
+
+
+def test_cut_refuses_empty_and_unready_pool():
+    manager = _manager([10.0], batch=4, batch_timeout=100.0)
+    assert manager.cut_batch(0, 0, None, now=0.0) is None  # nothing submitted
+    manager.submit(0)
+    # Drain fired (single-request run), so the tail cut is immediate.
+    assert manager.cut_batch(0, 0, None, now=10.0) is not None
+
+
+def test_losing_batch_requeues_and_wins_later():
+    manager = _manager([10.0, 20.0], batch=2, batch_timeout=50.0)
+    _submit_all(manager)
+    lost = manager.cut_batch(proposer=0, slot=0, view=0, now=20.0)
+    # The slot decides a synthetic value (the batch lost a view change).
+    manager.on_decided(0, "value(slot=0, proposer=1)", now=80.0)
+    assert not manager.complete()
+    won = manager.cut_batch(proposer=1, slot=1, view=0, now=80.0)
+    assert won is not None and won != lost
+    manager.on_decided(1, won, now=140.0)
+    assert manager.complete()
+    metrics = manager.build(end_ms=150.0)
+    assert metrics.requeues == 2  # both requests rode the losing batch
+    assert all(r.requeues == 1 and r.slot == 1 for r in metrics.requests)
+    assert manager.slots_with_requests() == {1}
+
+
+def test_on_decided_is_idempotent_per_slot():
+    manager = _manager([10.0])
+    _submit_all(manager)
+    tag = manager.cut_batch(0, 0, None, now=10.0)
+    manager.on_decided(0, tag, now=50.0)
+    manager.on_decided(0, tag, now=90.0)  # a later node's decision report
+    [record] = manager.build(end_ms=100.0).requests
+    assert record.decided_at == 50.0  # first decision wins
+
+
+def test_cut_refuses_already_decided_slot():
+    manager = _manager([10.0, 20.0], batch=1)
+    _submit_all(manager)
+    tag = manager.cut_batch(0, 0, None, now=20.0)
+    manager.on_decided(0, tag, now=60.0)
+    # A straggling view change for slot 0 must not strand request 1.
+    assert manager.cut_batch(1, 0, 3, now=70.0) is None
+    assert manager.cut_batch(1, 1, None, now=70.0) is not None
+
+
+def test_batch_tags_are_unique_across_slots_and_views():
+    manager = _manager([float(t) for t in range(1, 9)], batch=2)
+    _submit_all(manager)
+    tags = [manager.cut_batch(p, slot, view, now=10.0)
+            for p, (slot, view) in enumerate([(0, None), (0, 1), (1, None), (1, 2)])]
+    assert len(set(tags)) == 4
+
+
+def test_metrics_per_client_and_percentiles():
+    manager = _manager([0.0, 0.0, 0.0, 0.0], clients=2, batch=4)
+    _submit_all(manager)
+    tag = manager.cut_batch(0, 0, None, now=0.0)
+    manager.on_decided(0, tag, now=40.0)
+    metrics = manager.build(end_ms=40.0)
+    assert set(metrics.per_client) == {0, 1}
+    assert metrics.per_client[0] == [2, 2, 40.0]  # submitted, decided, mean
+    assert metrics.latency_p50_ms == metrics.latency_p99_ms == 40.0
+
+
+def test_undecided_requests_mark_saturation():
+    manager = _manager([10.0, 20.0], batch=1)
+    _submit_all(manager)
+    tag = manager.cut_batch(0, 0, None, now=20.0)
+    manager.on_decided(0, tag, now=60.0)
+    metrics = manager.build(end_ms=100.0)
+    assert metrics.decided == 1 < metrics.submitted
+    assert metrics.saturated
+    undecided = [r for r in metrics.requests if not r.decided]
+    assert len(undecided) == 1 and undecided[0].latency is None
+
+
+def test_backlog_at_arrival_end_marks_saturation():
+    # All decided eventually, but both requests were still pending when
+    # arrivals stopped (trace end = 20 ms) — the drain lagged the load.
+    manager = _manager([10.0, 20.0], batch=2)
+    _submit_all(manager)
+    tag = manager.cut_batch(0, 0, None, now=20.0)
+    manager.on_decided(0, tag, now=500.0)
+    metrics = manager.build(end_ms=500.0)
+    assert metrics.decided == metrics.submitted == 2
+    assert metrics.backlog_at_arrival_end == 2
+    assert metrics.saturated
+
+
+def test_workload_dict_excludes_request_detail():
+    manager = _manager([10.0])
+    _submit_all(manager)
+    manager.on_decided(0, manager.cut_batch(0, 0, None, 10.0), now=50.0)
+    data = manager.build(end_ms=100.0).to_dict()
+    assert "requests" not in data
+    assert data["per_client"] == {"0": [1, 1, 40.0]}
+    assert data["decided"] == 1

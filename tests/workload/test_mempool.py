@@ -1,0 +1,156 @@
+"""Unit tests for the arrival processes and the mempool cut policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import WorkloadConfig
+from repro.core.rng import RandomSource
+from repro.workload import Mempool, Request, generate_requests
+
+
+def _request(index: int, time: float, client: int = 0) -> Request:
+    return Request(
+        id=f"req{client}.{index}", client=client, submit_time=time, index=index
+    )
+
+
+# -- arrivals ----------------------------------------------------------------
+
+
+def test_poisson_arrivals_are_deterministic_and_ordered():
+    workload = WorkloadConfig(rate=50.0, clients=5, duration=2000.0)
+    first = generate_requests(workload, RandomSource(7))
+    second = generate_requests(workload, RandomSource(7))
+    assert first == second
+    times = [r.submit_time for r in first]
+    assert times == sorted(times)
+    assert all(0.0 <= t < workload.duration for t in times)
+    assert [r.index for r in first] == list(range(len(first)))
+
+
+def test_poisson_arrivals_use_dedicated_substreams():
+    """Adding clients must not perturb existing clients' arrival times —
+    each client draws on its own ``workload.{client}`` substream."""
+    small = WorkloadConfig(rate=10.0, clients=2, duration=2000.0)
+    large = WorkloadConfig(rate=20.0, clients=4, duration=2000.0)
+    by_client_small = {
+        client: [r.submit_time for r in generate_requests(small, RandomSource(7))
+                 if r.client == client]
+        for client in range(2)
+    }
+    by_client_large = {
+        client: [r.submit_time for r in generate_requests(large, RandomSource(7))
+                 if r.client == client]
+        for client in range(2)
+    }
+    # Per-client rate (rate / clients) is identical, so clients 0 and 1
+    # must see exactly the same arrivals in both configurations.
+    assert by_client_small == by_client_large
+
+
+def test_poisson_seed_changes_arrivals():
+    workload = WorkloadConfig(rate=50.0, clients=2, duration=2000.0)
+    a = generate_requests(workload, RandomSource(1))
+    b = generate_requests(workload, RandomSource(2))
+    assert [r.submit_time for r in a] != [r.submit_time for r in b]
+
+
+def test_trace_arrivals_round_robin():
+    workload = WorkloadConfig(
+        arrival="trace", clients=2, trace_times=[5.0, 10.0, 15.0, 20.0]
+    )
+    requests = generate_requests(workload, RandomSource(1))
+    assert [r.submit_time for r in requests] == [5.0, 10.0, 15.0, 20.0]
+    assert [r.client for r in requests] == [0, 1, 0, 1]
+    assert [r.id for r in requests] == ["req0.0", "req1.0", "req0.1", "req1.1"]
+
+
+def test_trace_arrivals_draw_no_rng():
+    """Trace arrivals are deterministic by construction: the substream
+    registry must stay empty so the workload cannot perturb anything."""
+    source = RandomSource(7)
+    workload = WorkloadConfig(arrival="trace", trace_times=[1.0, 2.0])
+    generate_requests(workload, source)
+    probe = RandomSource(7).python("workload.0").random()
+    assert source.python("workload.0").random() == probe
+
+
+# -- mempool -----------------------------------------------------------------
+
+
+def test_cut_not_ready_below_all_triggers():
+    pool = Mempool(batch=4, batch_timeout=100.0)
+    pool.push(_request(0, 10.0))
+    pool.push(_request(1, 20.0))
+    assert not pool.ready(50.0)
+    assert pool.cut(50.0) == []
+    assert len(pool) == 2
+
+
+def test_cut_on_size_trigger():
+    pool = Mempool(batch=2, batch_timeout=1000.0)
+    pool.push(_request(1, 20.0))
+    pool.push(_request(0, 10.0))
+    batch = pool.cut(21.0)
+    assert [r.index for r in batch] == [0, 1]  # oldest first despite push order
+    assert len(pool) == 0
+
+
+def test_cut_on_timeout_trigger():
+    pool = Mempool(batch=100, batch_timeout=50.0)
+    pool.push(_request(0, 10.0))
+    assert not pool.ready(59.0)
+    assert [r.index for r in pool.cut(60.0)] == [0]
+
+
+def test_cut_on_drain_trigger():
+    pool = Mempool(batch=100, batch_timeout=1000.0)
+    pool.push(_request(0, 10.0))
+    assert not pool.ready(11.0)
+    pool.mark_drained()
+    assert [r.index for r in pool.cut(11.0)] == [0]
+    assert pool.cut(11.0) == []  # empty pool is never ready
+
+
+def test_cut_caps_at_batch_size():
+    pool = Mempool(batch=3, batch_timeout=10.0)
+    for i in range(7):
+        pool.push(_request(i, float(i)))
+    first = pool.cut(100.0)
+    second = pool.cut(100.0)
+    assert [r.index for r in first] == [0, 1, 2]
+    assert [r.index for r in second] == [3, 4, 5]
+    assert len(pool) == 1
+
+
+def test_requeued_request_returns_to_original_position():
+    pool = Mempool(batch=2, batch_timeout=1000.0)
+    early = _request(0, 10.0)
+    pool.push(early)
+    pool.push(_request(1, 20.0))
+    batch = pool.cut(21.0)
+    assert batch[0] is early
+    pool.push(_request(2, 30.0))
+    pool.push(early)  # requeue after a lost view-change race
+    assert [r.index for r in pool.cut(31.0)] == [0, 2]
+
+
+def test_max_depth_tracks_high_water_mark():
+    pool = Mempool(batch=2, batch_timeout=10.0)
+    for i in range(5):
+        pool.push(_request(i, float(i)))
+    pool.cut(100.0)
+    assert pool.max_depth == 5
+
+
+@pytest.mark.parametrize("batch", [1, 2, 16])
+def test_cut_contents_sorted_by_submit_time(batch):
+    pool = Mempool(batch=batch, batch_timeout=0.0)
+    for i, t in enumerate([30.0, 10.0, 20.0, 10.0]):
+        pool.push(_request(i, t))
+    seen: list[Request] = []
+    while len(pool):
+        seen.extend(pool.cut(1000.0))
+    keys = [(r.submit_time, r.index) for r in seen]
+    assert keys == sorted(keys)
