@@ -76,6 +76,14 @@ class RunSummary:
         saturated_fraction: fraction of workload runs that ended with
             undecided requests (offered load above the protocol's
             capacity) — the saturation axis of a throughput-latency curve.
+        anomaly_total: total streaming-health anomalies across runs that
+            carried a :class:`~repro.observability.health.HealthReport`
+            (0 when health monitoring was off).
+        min_fairness / mean_fairness: extremum and mean of the per-run
+            minimum Jain fairness index across health-monitored workload
+            runs, or ``None`` when no run recorded a fairness series.
+        starved_clients: count of distinct (run, client) starvation
+            implications across health-monitored runs.
     """
 
     latency: SummaryStats
@@ -90,6 +98,10 @@ class RunSummary:
     request_latency_p50: SummaryStats | None = None
     request_latency_p99: SummaryStats | None = None
     saturated_fraction: float = 0.0
+    anomaly_total: int = 0
+    min_fairness: float | None = None
+    mean_fairness: float | None = None
+    starved_clients: int = 0
 
 
 def partition_results(
@@ -118,6 +130,9 @@ def summarize(entries: Iterable[SimulationResult | RunFailure]) -> RunSummary:
     # Workload (throughput) statistics exist only for runs that carried an
     # open-loop client workload; mixed batches aggregate over that subset.
     workload = [r.workload for r in results if r.workload is not None]
+    # Health statistics likewise aggregate over the health-monitored subset.
+    health = [r.health for r in results if r.health is not None]
+    fairness = [h.min_fairness for h in health if h.min_fairness is not None]
     return RunSummary(
         latency=SummaryStats.of([r.latency for r in results]),
         latency_per_decision=SummaryStats.of([r.latency_per_decision for r in results]),
@@ -139,6 +154,10 @@ def summarize(entries: Iterable[SimulationResult | RunFailure]) -> RunSummary:
         saturated_fraction=(
             sum(w.saturated for w in workload) / len(workload) if workload else 0.0
         ),
+        anomaly_total=sum(h.anomaly_count for h in health),
+        min_fairness=min(fairness) if fairness else None,
+        mean_fairness=sum(fairness) / len(fairness) if fairness else None,
+        starved_clients=sum(len(h.starved_clients) for h in health),
     )
 
 

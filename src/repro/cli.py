@@ -17,6 +17,8 @@ scenario" (§III-A); the CLI makes that workflow shell-scriptable:
     python -m repro experiments list
     python -m repro experiments diff 1 2
     python -m repro serve --port 8008
+    python -m repro run --protocol pbft --health --store experiments.sqlite
+    python -m repro watch experiments.sqlite
     python -m repro mine --check artifacts/mining/worst-case-pbft-n32.json
 
 Every command is a thin shell over the library; anything it can do, the
@@ -55,6 +57,7 @@ from .observability.causality import (
     render_critical_paths,
     render_quorum_timelines,
 )
+from .observability.health import analyze_trace_health, render_health
 from .observability.inspect import analyze_trace, render_report
 from .observability.logging import LOG_LEVELS, configure_logging
 from .observability.metrics import RunMetrics
@@ -173,6 +176,20 @@ def _add_telemetry_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--metrics-out", default=None, metavar="PATH",
                         help="write the sampled metrics as JSON (implies "
                              "--metrics); feed it to 'repro metrics'")
+    _add_health_options(parser)
+
+
+def _add_health_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--health", action="store_true",
+                        help="stream rolling-window run-health detectors "
+                             "(view storms, stragglers, backlog growth, "
+                             "fan-in spikes, client starvation) and report "
+                             "anomalies; fingerprint-neutral "
+                             "(see docs/health.md)")
+    parser.add_argument("--health-window", type=float, default=None,
+                        metavar="MS",
+                        help="health detector window in simulated ms "
+                             "(implies --health; default 500)")
 
 
 def _config_from_args(args: argparse.Namespace) -> SimulationConfig:
@@ -306,6 +323,13 @@ def _metrics_option(args: argparse.Namespace) -> bool | float:
     return args.metrics or args.metrics_out is not None
 
 
+def _health_option(args: argparse.Namespace) -> bool | float:
+    """The ``health`` run option implied by the CLI flags."""
+    if getattr(args, "health_window", None) is not None:
+        return args.health_window
+    return bool(getattr(args, "health", False))
+
+
 def _open_recorder(args: argparse.Namespace, kind: str, config, total_runs: int,
                    *, params: dict | None = None, labels=None,
                    trace_paths=None):
@@ -329,6 +353,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     profile = args.profile or args.profile_out is not None
     metrics = _metrics_option(args)
+    health = _health_option(args)
     sink = _run_sink(args)
     recorder = _open_recorder(
         args, "run", config, 1,
@@ -339,6 +364,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         entry = repeat_simulation(
             config, 1, timeout=args.timeout, retries=args.retries,
             on_error="record", profile=profile, metrics=metrics,
+            health=health,
         )[0]
         if isinstance(entry, RunFailure):
             failure = entry
@@ -349,7 +375,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             print("note: --trace-out streams from this process; "
                   "--timeout is ignored", file=sys.stderr)
         result = run_simulation(config, sink=sink, profile=profile,
-                                metrics=metrics)
+                                metrics=metrics, health=health)
     if recorder is not None:
         recorder(0, failure if failure is not None else result)
         recorder.finish()
@@ -371,11 +397,15 @@ def cmd_run(args: argparse.Namespace) -> int:
             data["profile"] = result.profile.to_dict()
         if result.run_metrics is not None:
             data["metrics"] = result.run_metrics.to_dict()
+        if result.health is not None:
+            data["health"] = result.health.to_dict()
         print(json.dumps(data, indent=2, sort_keys=True))
     else:
         print(result.summary())
         if result.workload is not None:
             print(result.workload.summary())
+        if result.health is not None:
+            print(f"health: {result.health.summary()}")
         if sink is not None:
             print(f"trace: {sink.count} events -> {args.trace_out}")
         if result.profile is not None:
@@ -400,6 +430,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     values = [float(v) for v in args.values.split(",")]
+    health = _health_option(args)
     rows = []
     fleet_profiles: list[RunProfile] = []
     recorder = _open_recorder(
@@ -454,6 +485,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             on_error="record",
             progress=_progress_printer(args),
             profile=args.profile,
+            health=health,
             recorder=(
                 offset_recorder(recorder, v_index * args.reps)
                 if recorder is not None else None
@@ -495,11 +527,21 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 if summary.throughput is not None
                 else ["-", "-", "-", "-"]
             )
+        if health:
+            # Run-health columns: total anomalies and the worst Jain
+            # fairness observed across the cell's runs.
+            row.extend([
+                str(summary.anomaly_total),
+                f"{summary.min_fairness:.2f}"
+                if summary.min_fairness is not None else "-",
+            ])
         rows.append(tuple(row))
     headers = [args.param, "latency/decision", "msgs/decision", "terminated",
                "stalled", "faults/run", "failed"]
     if getattr(args, "workload", None):
         headers.extend(["tx/s", "req p50", "req p99", "saturated"])
+    if health:
+        headers.extend(["anomalies", "min fairness"])
     print(
         render_table(
             f"{args.protocol}: sweep over {args.param} ({args.reps} runs per point)",
@@ -584,6 +626,7 @@ def cmd_inspect(args: argparse.Namespace) -> int:
             timelines = quorum_timelines(graph)
     if args.phases:
         phase_report = analyze_phases(args.trace)
+    health_analysis = analyze_trace_health(args.trace) if args.health else None
     if args.json:
         data = report.to_dict()
         if profile is not None:
@@ -594,6 +637,8 @@ def cmd_inspect(args: argparse.Namespace) -> int:
             data["quorums"] = [timeline.to_dict() for timeline in timelines]
         if phase_report is not None:
             data["phases"] = phase_report.to_dict()
+        if health_analysis is not None:
+            data["health"] = health_analysis
         print(json.dumps(data, indent=2, sort_keys=True))
     else:
         print(render_report(report, top=args.top, profile=profile))
@@ -606,6 +651,9 @@ def cmd_inspect(args: argparse.Namespace) -> int:
         if phase_report is not None:
             print()
             print(render_phase_report(phase_report, top=args.top))
+        if health_analysis is not None:
+            print()
+            print(render_health(health_analysis, top=args.top))
     return 0
 
 
@@ -854,6 +902,105 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _watch_run_line(row) -> str:
+    """One ``repro watch`` line for a freshly-recorded run row."""
+    parts = [f"run {row.run_index}"]
+    if row.label:
+        parts.append(f"[{row.label}]")
+    if row.failed:
+        parts.append("FAILED")
+        return " ".join(parts)
+    parts.append("stalled" if row.stalled else "ok")
+    if row.latency_per_decision is not None:
+        parts.append(f"{row.latency_per_decision:.1f}ms/dec")
+    if row.committed_tx_s is not None:
+        parts.append(f"{row.committed_tx_s:.1f}tx/s")
+    if row.anomaly_count is not None:
+        parts.append(
+            f"{row.anomaly_count} anomalies" if row.anomaly_count
+            else "healthy"
+        )
+    if row.min_fairness is not None:
+        parts.append(f"min-fairness {row.min_fairness:.2f}")
+    return " ".join(parts)
+
+
+def _watch_anomaly_lines(row, top: int) -> list[str]:
+    """Detection lines for one run's stored health report (capped)."""
+    events = (row.health or {}).get("events") or []
+    lines = []
+    for event in events[:top]:
+        who = ""
+        if event.get("nodes"):
+            who = " nodes=" + ",".join(str(n) for n in event["nodes"])
+        if event.get("clients"):
+            who += " clients=" + ",".join(str(c) for c in event["clients"])
+        lines.append(
+            f"{float(event.get('time', 0.0)):.0f}ms "
+            f"{event.get('detector', '?')} ({event.get('severity', '?')})"
+            f"{who}"
+        )
+    if len(events) > top:
+        lines.append(f"... {len(events) - top} more anomalies")
+    return lines
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Tail an experiment store: stream run rows and health anomalies.
+
+    Polls the sqlite store the same way the dashboard does (short-lived
+    read transactions against the WAL), so it can follow a fleet that is
+    still recording from another process; exits when the tailed
+    experiment reaches a terminal status.
+    """
+    import time as wall
+
+    from .store import ExperimentStore, StoreError
+
+    experiment_id: int | None = args.experiment
+    seen: set[int] = set()
+    last_progress: tuple | None = None
+    try:
+        while True:
+            store = ExperimentStore(args.store, create=False)
+            try:
+                if experiment_id is None:
+                    experiments = store.experiments()
+                    if not experiments:
+                        raise StoreError(
+                            f"no experiments in {args.store} "
+                            "(record one: repro run/sweep --store PATH)"
+                        )
+                    experiment_id = experiments[0].id
+                experiment = store.experiment(experiment_id)
+                runs = store.runs(experiment_id)
+            finally:
+                store.close()
+            progress = (
+                experiment.status, experiment.done_runs, experiment.total_runs
+            )
+            if progress != last_progress:
+                last_progress = progress
+                print(
+                    f"experiment {experiment.id} ({experiment.name}) "
+                    f"[{experiment.kind}]: {experiment.status} "
+                    f"{experiment.done_runs}/{experiment.total_runs} runs, "
+                    f"{experiment.failed_runs} failed"
+                )
+            for row in runs:
+                if row.id in seen:
+                    continue
+                seen.add(row.id)
+                print(f"  {_watch_run_line(row)}")
+                for line in _watch_anomaly_lines(row, args.anomalies):
+                    print(f"    {line}")
+            if experiment.status != "running" or args.once:
+                return 0
+            wall.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     from .baseline import run_baseline_simulation
     from .validator import compare_decisions, replay_simulation
@@ -902,6 +1049,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--profile", action="store_true",
                               help="profile every run and print the merged "
                                    "fleet profile after the sweep table")
+    _add_health_options(sweep_parser)
 
     mine_parser = sub.add_parser(
         "mine",
@@ -974,6 +1122,10 @@ def build_parser() -> argparse.ArgumentParser:
     inspect_parser.add_argument("--phases", action="store_true",
                                 help="per-view time-in-phase breakdown from "
                                      "the protocols' phase annotations")
+    inspect_parser.add_argument("--health", action="store_true",
+                                help="health timeline and anomaly census "
+                                     "from the trace's recorded health "
+                                     "events (runs made with --health)")
 
     metrics_parser = sub.add_parser(
         "metrics",
@@ -1031,6 +1183,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--port", type=int, default=8008,
                               help="port (default 8008; 0 = ephemeral)")
 
+    watch_parser = sub.add_parser(
+        "watch",
+        help="tail an experiment store: print runs and health anomalies "
+             "as they are recorded (live view of an in-flight fleet)",
+    )
+    watch_parser.add_argument("store", nargs="?", default=DEFAULT_STORE,
+                              help="sqlite experiment store "
+                                   f"(default: {DEFAULT_STORE})")
+    watch_parser.add_argument("--experiment", type=int, default=None,
+                              metavar="ID",
+                              help="experiment id to tail (default: newest)")
+    watch_parser.add_argument("--interval", type=float, default=2.0,
+                              metavar="SECONDS",
+                              help="poll interval in wall-clock seconds "
+                                   "(default 2)")
+    watch_parser.add_argument("--once", action="store_true",
+                              help="print the current state once and exit "
+                                   "(scripting/CI probe)")
+    watch_parser.add_argument("--anomalies", type=int, default=5,
+                              metavar="N",
+                              help="anomaly lines shown per run (default 5)")
+
     return parser
 
 
@@ -1050,6 +1224,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "metrics": cmd_metrics,
         "experiments": cmd_experiments,
         "serve": cmd_serve,
+        "watch": cmd_watch,
     }[args.command]
     try:
         return handler(args)

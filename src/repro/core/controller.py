@@ -12,6 +12,7 @@ the only surface protocol code can touch.
 
 from __future__ import annotations
 
+import math
 import random
 import time as _time
 from collections import Counter
@@ -42,6 +43,7 @@ from .rng import RandomSource
 from .tracing import Trace, TraceSink
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..observability.health import HealthMonitor
     from ..observability.metrics import MetricsRegistry
     from ..observability.profiler import Profiler
     from ..workload.manager import WorkloadManager
@@ -79,6 +81,12 @@ class Controller:
             ``cause``.  Pure bookkeeping outside the RNG path — digests are
             byte-identical either way; disable to shave the last f-string
             per event off untraced hot loops.
+        health: optional :class:`~repro.observability.health.HealthMonitor`;
+            when set, the dispatch loop feeds its O(1) anomaly detectors
+            and the result carries a
+            :class:`~repro.observability.health.HealthReport` (outside the
+            fingerprint).  OBSERVE-only and RNG-free, like the other
+            telemetry arguments.
     """
 
     def __init__(
@@ -89,6 +97,7 @@ class Controller:
         profiler: "Profiler | None" = None,
         metrics: "MetricsRegistry | None" = None,
         lineage: bool = True,
+        health: "HealthMonitor | None" = None,
     ) -> None:
         config.validate()
         self.config = config
@@ -119,6 +128,9 @@ class Controller:
         #: the NetworkModule below is built: the network binds it once at
         #: construction for its send hook.
         self.obs_metrics = metrics
+        #: Streaming run-health monitor (or None); bound at the end of
+        #: construction, once the workload ledger it samples exists.
+        self.health = health
         self._lineage = lineage
         #: Causal id of the event currently being dispatched ("m<msg_id>",
         #: "t<timer_id>", "s<node>" during on_start, "a" during attacker
@@ -193,6 +205,14 @@ class Controller:
         self._schedule_crash_events()
         if self._workload is not None:
             self._schedule_workload_events()
+        if health is not None:
+            health.bind_engine(self)
+        #: Fast-path binding (same idiom as MetricsRegistry's bound
+        #: instruments): deliveries bump the monitor's per-kind counter
+        #: dict directly instead of paying a method call per message.
+        #: ``close_window`` resets it with ``clear()``, so the shared
+        #: reference stays live across windows.
+        self._health_kinds = None if health is None else health._kind_in_window
 
     # ------------------------------------------------------------------
     # NodeEnvironment facade
@@ -266,6 +286,8 @@ class Controller:
             self.signals.on_decide(node_id, now)
         if self.obs_metrics is not None:
             self.obs_metrics.on_decide()
+        if self.health is not None:
+            self.health.on_decide(node_id, now)
         if self.trace.enabled:
             self.trace.record(
                 now, "decide", node_id,
@@ -299,6 +321,8 @@ class Controller:
                 self._max_view = view
             # A view advance counts as liveness progress for the watchdog.
             self._last_progress = self.clock.now
+            if self.health is not None:
+                self.health.on_view(node_id, view, self.clock.now)
         self._node_activity[node_id] = self.clock.now
         if self.trace.enabled:
             self.trace.record(self.clock.now, kind, node_id, **fields)
@@ -439,6 +463,7 @@ class Controller:
         stall_timeout = config.stall_timeout
         prof = self.profiler
         obs = self.obs_metrics
+        health = self.health
         lineage = self._lineage
 
         self.log.debug(
@@ -447,7 +472,7 @@ class Controller:
         )
         try:
             return self._run_to_completion(
-                started, config, stall_timeout, prof, obs, lineage
+                started, config, stall_timeout, prof, obs, health, lineage
             )
         finally:
             # Closed on *every* exit path (safety violations, liveness
@@ -462,6 +487,7 @@ class Controller:
         stall_timeout: float | None,
         prof: "Profiler | None",
         obs: "MetricsRegistry | None",
+        health: "HealthMonitor | None",
         lineage: bool,
     ) -> SimulationResult:
         if lineage:
@@ -492,6 +518,10 @@ class Controller:
         max_time = config.max_time
         max_events = config.max_events
         events_processed = self._events_processed
+        # The monitor's next window boundary, hoisted to a local float: the
+        # common iteration pays one compare instead of a method call into
+        # the monitor (its ``advance`` would just fail the same check).
+        health_boundary = math.inf if health is None else health._next_boundary
         try:
             while True:
                 # The termination predicate can only change when a decision
@@ -540,6 +570,12 @@ class Controller:
                 event_time = entry[0]
                 advance_to(event_time)
                 events_processed += 1
+                # Window closes happen *before* the boundary-crossing
+                # event's own trace lines — the ordering contract behind
+                # online == offline health replay.
+                if event_time >= health_boundary:
+                    health.advance(event_time)
+                    health_boundary = health._next_boundary
                 if obs is not None:
                     obs.advance(event_time)
                 dispatch(entry[2], event_time, entry[3])
@@ -561,6 +597,8 @@ class Controller:
                 f"(decisions: { {i: self.metrics.decisions_of(i) for i in range(self.n)} })"
             )
         self.metrics.finish(self.clock.now)
+        if health is not None:
+            health.finish(self.clock.now)
         if obs is not None:
             obs.finish(self.clock.now)
         wall = _time.perf_counter() - started
@@ -633,6 +671,9 @@ class Controller:
                 )
             if self.obs_metrics is not None:
                 self.obs_metrics.on_deliver(event_time - message.sent_at)
+            health_kinds = self._health_kinds
+            if health_kinds is not None:
+                health_kinds[message.type] += 1
             trace = self.trace
             if trace.enabled:
                 # Deliveries carry the message's own cause plus its slot/view
@@ -774,4 +815,5 @@ class Controller:
                 if self._workload is not None
                 else None
             ),
+            health=self.health.report() if self.health is not None else None,
         )

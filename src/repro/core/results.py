@@ -23,6 +23,7 @@ from .metrics import Decision, FaultCounts, MessageCounts
 from .tracing import Trace
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..observability.health import HealthReport
     from ..observability.metrics import RunMetrics
     from ..observability.profiler import RunProfile
 
@@ -244,6 +245,10 @@ class SimulationResult:
             client workload, else ``None``.  The aggregate part participates
             in the fingerprint (see :func:`deterministic_dict`); runs
             without a workload are byte-identical to older versions.
+        health: :class:`~repro.observability.health.HealthReport` when the
+            run carried a health monitor, else ``None``.  Observability
+            output — excluded from the fingerprint like ``profile`` and
+            ``run_metrics``.
     """
 
     config: SimulationConfig
@@ -266,6 +271,7 @@ class SimulationResult:
     run_metrics: "RunMetrics | None" = None
     signals_summary: dict | None = None
     workload: ThroughputMetrics | None = None
+    health: "HealthReport | None" = None
 
     @property
     def stalled(self) -> bool:

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable
 
+from ..observability.health import DEFAULT_WINDOW_MS, HealthMonitor
 from ..observability.metrics import DEFAULT_INTERVAL_MS, MetricsRegistry
 from ..observability.profiler import Profiler
 from .config import SimulationConfig
@@ -39,6 +40,7 @@ def run_simulation(
     profile: bool = False,
     metrics: bool | float = False,
     lineage: bool = True,
+    health: bool | float = False,
 ) -> SimulationResult:
     """Build a controller for ``config``, run it, return the result.
 
@@ -66,11 +68,19 @@ def run_simulation(
             being handled when it was created, so traces carry the causal
             DAG behind :mod:`repro.observability.causality`.  On by default
             (zero RNG cost; adds trace fields only).
+        health: run the streaming anomaly detectors
+            (:class:`~repro.observability.health.HealthMonitor`) and attach
+            a :class:`~repro.observability.health.HealthReport` to
+            ``result.health``.  ``True`` evaluates every
+            ``DEFAULT_WINDOW_MS``; a float sets the window width in
+            simulated milliseconds.
     """
     profiler = Profiler() if profile else None
     registry = _metrics_registry(metrics)
+    monitor = _health_monitor(health)
     return Controller(
-        config, sink=sink, profiler=profiler, metrics=registry, lineage=lineage
+        config, sink=sink, profiler=profiler, metrics=registry,
+        lineage=lineage, health=monitor,
     ).run()
 
 
@@ -81,6 +91,15 @@ def _metrics_registry(metrics: bool | float) -> MetricsRegistry | None:
     if metrics is True:
         return MetricsRegistry(interval=DEFAULT_INTERVAL_MS)
     return MetricsRegistry(interval=float(metrics))
+
+
+def _health_monitor(health: bool | float) -> HealthMonitor | None:
+    """Resolve the ``health`` run option into a monitor (or ``None``)."""
+    if health is False:
+        return None
+    if health is True:
+        return HealthMonitor(window_ms=DEFAULT_WINDOW_MS)
+    return HealthMonitor(window_ms=float(health))
 
 
 def seed_window(
@@ -150,6 +169,7 @@ def repeat_simulation(
     progress: Callable[..., None] | None = None,
     profile: bool = False,
     metrics: bool | float = False,
+    health: bool | float = False,
     recorder: Callable[[int, "SimulationResult | RunFailure"], None] | None = None,
 ) -> list[SimulationResult | RunFailure]:
     """Run ``config`` under ``repetitions`` consecutive seeds.
@@ -189,6 +209,9 @@ def repeat_simulation(
             :func:`run_simulation`); each result carries its own
             :class:`~repro.observability.metrics.RunMetrics`, mergeable
             with :meth:`RunMetrics.merge`.
+        health: run the streaming anomaly detectors in every run (see
+            :func:`run_simulation`); each result carries its own
+            :class:`~repro.observability.health.HealthReport`.
         recorder: optional run recorder ``recorder(run_index, entry)``
             (e.g. a :class:`repro.store.StoreRecorder`) invoked once per
             terminal run — streamed as runs finish, so a persistent store
@@ -207,12 +230,13 @@ def repeat_simulation(
         for index, run_config in enumerate(configs):
             if on_error == "raise":
                 result: SimulationResult | RunFailure = run_simulation(
-                    run_config, profile=profile, metrics=metrics
+                    run_config, profile=profile, metrics=metrics, health=health
                 )
             else:
                 try:
                     result = run_simulation(
-                        run_config, profile=profile, metrics=metrics
+                        run_config, profile=profile, metrics=metrics,
+                        health=health,
                     )
                 except Exception as exc:
                     result = RunFailure(
@@ -233,7 +257,7 @@ def repeat_simulation(
 
     runner = ParallelRunner(
         jobs=jobs, timeout=timeout, retries=retries, progress=progress,
-        profile=profile, metrics=metrics, recorder=recorder,
+        profile=profile, metrics=metrics, health=health, recorder=recorder,
     )
     entries = runner.map(configs)
     if on_error == "raise":
@@ -256,6 +280,7 @@ def sweep(
     progress: Callable[..., None] | None = None,
     profile: bool = False,
     metrics: bool | float = False,
+    health: bool | float = False,
     recorder: Callable[[int, "SimulationResult | RunFailure"], None] | None = None,
 ) -> list[list[SimulationResult | RunFailure]]:
     """Run ``base`` once per variation, each repeated ``repetitions`` times.
@@ -288,7 +313,7 @@ def sweep(
             groups.append(
                 repeat_simulation(
                     base.replace(**variation), repetitions, on_error=on_error,
-                    profile=profile, metrics=metrics,
+                    profile=profile, metrics=metrics, health=health,
                     recorder=group_recorder,
                 )
             )
@@ -298,7 +323,7 @@ def sweep(
 
     runner = ParallelRunner(
         jobs=jobs, timeout=timeout, retries=retries, progress=progress,
-        profile=profile, metrics=metrics, recorder=recorder,
+        profile=profile, metrics=metrics, health=health, recorder=recorder,
     )
     groups = runner.run_sweep(base, variations, repetitions)
     if on_error == "raise":

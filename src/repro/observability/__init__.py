@@ -18,6 +18,11 @@ Four pillars:
 * **trace forensics** (:mod:`repro.observability.inspect`) — the streaming
   analysis behind the ``repro inspect`` CLI: message-usage accounting,
   per-view timelines, stall forensics, top-N profile tables.
+* **streaming run health** (:mod:`repro.observability.health`) — O(1)
+  rolling-window anomaly detectors fed from the dispatch loop (view
+  storms, stragglers, backlog growth, fan-in spikes, client starvation),
+  reported live through the store/dashboard/`repro watch` and replayable
+  offline from a finished trace with identical state.
 
 Telemetry never influences simulation behavior: with everything enabled or
 everything disabled, ``result_fingerprint`` is byte-identical.
@@ -33,6 +38,14 @@ from .causality import (
     quorum_timelines,
     render_critical_paths,
     render_quorum_timelines,
+)
+from .health import (
+    HealthEvent,
+    HealthMonitor,
+    HealthReport,
+    analyze_trace_health,
+    render_health,
+    replay_health,
 )
 from .inspect import (
     TraceReport,
@@ -65,6 +78,9 @@ __all__ = [
     "Counter",
     "CriticalPath",
     "EventFilter",
+    "HealthEvent",
+    "HealthMonitor",
+    "HealthReport",
     "Histogram",
     "HistogramData",
     "JsonlSink",
@@ -84,6 +100,7 @@ __all__ = [
     "TraceSink",
     "analyze_phases",
     "analyze_trace",
+    "analyze_trace_health",
     "configure_logging",
     "critical_path",
     "critical_paths",
@@ -93,6 +110,8 @@ __all__ = [
     "quorum_timeline",
     "quorum_timelines",
     "render_critical_paths",
+    "render_health",
+    "replay_health",
     "render_phase_report",
     "render_quorum_timelines",
     "render_report",

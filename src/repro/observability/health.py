@@ -1,0 +1,765 @@
+"""Streaming run-health: online anomaly detectors over rolling windows.
+
+Every analyzer the repo had before this module (causality DAG, phase
+breakdowns, quorum timelines) runs *post-hoc* on a finished trace; a
+million-event fleet run gives no signal until it ends.  The
+:class:`HealthMonitor` closes that gap: O(1)-per-event rolling-window
+detectors fed straight from the controller dispatch loop, reusing the
+same hook plumbing as :class:`~repro.observability.signals.LiveSignals`
+and the :class:`~repro.observability.metrics.MetricsRegistry`.
+
+Determinism contract
+--------------------
+The monitor is OBSERVE-only: it never draws randomness, never schedules
+events, and never touches protocol or network state, so enabling it
+leaves every golden digest byte-identical.  Its :class:`HealthReport`
+lives on :class:`~repro.core.results.SimulationResult` *outside* the
+deterministic field set (like ``profile`` and ``run_metrics``), so
+``result_fingerprint`` is unchanged by construction.
+
+Online == offline
+-----------------
+Detector inputs split in two:
+
+* **hook counters** (deliveries per message kind, decisions per node,
+  view entries) accumulate from the same events that produce ``deliver``
+  / ``decide`` / ``view`` trace records;
+* **engine samples** (in-flight message count, mempool depth, per-client
+  fairness) are read from live engine state at each window boundary —
+  state a raw trace does not contain.
+
+At every window close the online monitor therefore records a
+``health-sample`` trace event carrying exactly the engine-state values
+the detectors consumed, *before* the boundary-crossing event's own trace
+lines (``advance`` runs in the dispatch loop ahead of the dispatch).
+:func:`replay_health` rebuilds a monitor from a finished trace by
+feeding hook counters from the raw events and closing windows from the
+recorded samples — producing *identical* detector state, which the
+property suite asserts field by field.  Detection events (kind
+``"health"``) are outputs, not inputs: replay ignores them and
+re-derives them from the same inputs.
+
+Detectors
+---------
+``view-storm``
+    honest nodes entered at least ``view_storm_threshold`` (default 4)
+    *distinct* views within one window in which **no decision landed** —
+    views are churning without progress.  Counting distinct views (not
+    entries) keeps one fleet-wide view advance (n entries of the same
+    view) from reading as a storm, and the no-decision gate keeps
+    view-per-slot protocols (chained HotStuff) from reading their normal
+    rotation as one.
+``straggler``
+    some node's total decision count lags the fleet maximum by at least
+    ``straggler_lag``; re-reported every window while the lag persists
+    (a crashed replica *is* unhealthy for the rest of the run).
+``backlog``
+    in-flight messages + mempool depth strictly grew across
+    ``backlog_windows`` consecutive windows and ended at or above
+    ``backlog_min`` — the drain rate fell behind the offered rate.
+``fanin-spike``
+    one message kind's window delivery count exceeded
+    ``fanin_factor`` x its EWMA baseline (warm-up guarded by
+    ``fanin_min``).
+``starvation``
+    Jain's fairness index over per-client decided counts fell below
+    ``fairness_threshold``, or the oldest outstanding request waited
+    longer than ``starvation_wait_ms`` (default ``10 x window_ms``);
+    implicates the lagging clients.  Only fires on workload runs.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.controller import Controller
+    from ..core.tracing import Trace
+
+__all__ = [
+    "DEFAULT_WINDOW_MS",
+    "HealthEvent",
+    "HealthMonitor",
+    "HealthReport",
+    "analyze_trace_health",
+    "render_health",
+    "replay_health",
+]
+
+DEFAULT_WINDOW_MS = 500.0
+
+#: Keys a ``health-sample`` trace event may carry besides time/kind/node.
+SAMPLE_KEYS = (
+    "queue", "mempool", "fairness", "max_wait", "wait_client",
+    "lagging", "decided",
+)
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One anomaly detection: what fired, when, and who is implicated.
+
+    Attributes:
+        time: window-close time the detection was evaluated at (ms).
+        detector: detector name (``view-storm``, ``straggler``,
+            ``backlog``, ``fanin-spike``, ``starvation``).
+        severity: ``"warn"`` or ``"critical"``.
+        window_start: start of the evaluated window (ms).
+        window_end: end of the evaluated window (== ``time``).
+        nodes: implicated node ids (sorted, possibly empty).
+        clients: implicated client ids (sorted, possibly empty).
+        evidence: detector-specific counters behind the call.
+    """
+
+    time: float
+    detector: str
+    severity: str
+    window_start: float
+    window_end: float
+    nodes: tuple[int, ...] = ()
+    clients: tuple[int, ...] = ()
+    evidence: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "time": self.time,
+            "detector": self.detector,
+            "severity": self.severity,
+            "window_start": self.window_start,
+            "window_end": self.window_end,
+            "nodes": list(self.nodes),
+            "clients": list(self.clients),
+            "evidence": dict(self.evidence),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "HealthEvent":
+        return cls(
+            time=float(data["time"]),
+            detector=str(data["detector"]),
+            severity=str(data["severity"]),
+            window_start=float(data["window_start"]),
+            window_end=float(data["window_end"]),
+            nodes=tuple(int(n) for n in data.get("nodes", ())),
+            clients=tuple(int(c) for c in data.get("clients", ())),
+            evidence=dict(data.get("evidence", {})),
+        )
+
+
+@dataclass
+class HealthReport:
+    """Everything the monitor established over one run.
+
+    Attributes:
+        window_ms: rolling-window width the detectors evaluated at.
+        windows: number of windows closed (including the final partial).
+        events: every detection, in evaluation order.
+        anomaly_count: ``len(events)``.
+        min_fairness: lowest Jain index observed at any window close
+            (``None`` on runs without a workload).
+        detectors: detection count per detector name.
+    """
+
+    window_ms: float
+    windows: int
+    events: list[HealthEvent] = field(default_factory=list)
+    anomaly_count: int = 0
+    min_fairness: float | None = None
+    detectors: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def starved_clients(self) -> tuple[int, ...]:
+        """Distinct clients implicated by any starvation detection."""
+        clients: set[int] = set()
+        for event in self.events:
+            if event.detector == "starvation":
+                clients.update(event.clients)
+        return tuple(sorted(clients))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "window_ms": self.window_ms,
+            "windows": self.windows,
+            "anomaly_count": self.anomaly_count,
+            "min_fairness": self.min_fairness,
+            "detectors": dict(self.detectors),
+            "starved_clients": list(self.starved_clients),
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "HealthReport":
+        events = [HealthEvent.from_dict(e) for e in data.get("events", ())]
+        return cls(
+            window_ms=float(data["window_ms"]),
+            windows=int(data["windows"]),
+            events=events,
+            anomaly_count=int(data.get("anomaly_count", len(events))),
+            min_fairness=(
+                float(data["min_fairness"])
+                if data.get("min_fairness") is not None
+                else None
+            ),
+            detectors={str(k): int(v) for k, v in data.get("detectors", {}).items()},
+        )
+
+    def summary(self) -> str:
+        """One line for CLI output: counts per detector plus fairness."""
+        if not self.events and self.min_fairness is None:
+            return f"healthy ({self.windows} windows, no anomalies)"
+        parts = [f"{self.anomaly_count} anomalies in {self.windows} windows"]
+        if self.detectors:
+            parts.append(
+                ", ".join(f"{name}={count}" for name, count in sorted(self.detectors.items()))
+            )
+        if self.min_fairness is not None:
+            parts.append(f"min fairness {self.min_fairness:.3f}")
+        return "; ".join(parts)
+
+
+class HealthMonitor:
+    """Online rolling-window anomaly detectors (see module docstring).
+
+    Construct, then either :meth:`bind_engine` (live run — the controller
+    does this) or :meth:`bind` + event feeding (offline replay, via
+    :func:`replay_health`).  All thresholds are keyword-only so a
+    monitor's configuration is always explicit at the call site.
+    """
+
+    __slots__ = (
+        "window_ms", "view_storm_threshold", "straggler_lag",
+        "backlog_windows", "backlog_min", "fanin_factor", "fanin_min",
+        "fanin_alpha", "fairness_threshold", "starvation_wait_ms",
+        "n", "windows", "events",
+        "_decided_per_node", "_decides_in_window",
+        "_views_in_window", "_views_entered", "_view_nodes",
+        "_kind_in_window", "_kind_ewma", "_depths", "_counts",
+        "_min_fairness", "_last_fairness",
+        "_window_start", "_next_boundary",
+        "_queue", "_workload", "_trace", "_message_event_type",
+    )
+
+    def __init__(
+        self,
+        window_ms: float = DEFAULT_WINDOW_MS,
+        *,
+        view_storm_threshold: int = 4,
+        straggler_lag: int = 2,
+        backlog_windows: int = 3,
+        backlog_min: int = 8,
+        fanin_factor: float = 4.0,
+        fanin_min: int = 16,
+        fanin_alpha: float = 0.25,
+        fairness_threshold: float = 0.5,
+        starvation_wait_ms: float | None = None,
+    ) -> None:
+        if window_ms <= 0:
+            raise ValueError(f"window_ms must be > 0, got {window_ms}")
+        self.window_ms = float(window_ms)
+        self.view_storm_threshold = view_storm_threshold
+        self.straggler_lag = straggler_lag
+        self.backlog_windows = backlog_windows
+        self.backlog_min = backlog_min
+        self.fanin_factor = fanin_factor
+        self.fanin_min = fanin_min
+        self.fanin_alpha = fanin_alpha
+        self.fairness_threshold = fairness_threshold
+        self.starvation_wait_ms = (
+            float(starvation_wait_ms)
+            if starvation_wait_ms is not None
+            else 10.0 * self.window_ms
+        )
+
+        self.n = 0
+        self.windows = 0
+        self.events: list[HealthEvent] = []
+        self._decided_per_node: list[int] = []
+        self._decides_in_window = 0
+        self._views_in_window = 0
+        self._views_entered: set[int] = set()
+        self._view_nodes: dict[int, int] = {}
+        # defaultdict so the engine's fast-path binding (and on_deliver)
+        # count with one C-level ``counts[kind] += 1``.
+        self._kind_in_window: dict[str, int] = defaultdict(int)
+        self._kind_ewma: dict[str, float] = {}
+        self._depths: list[float] = []
+        self._counts: dict[str, int] = {}
+        self._min_fairness: float | None = None
+        self._last_fairness = 1.0
+        self._window_start = 0.0
+        self._next_boundary = self.window_ms
+        self._queue = None
+        self._workload = None
+        self._trace: "Trace | None" = None
+        self._message_event_type: type | None = None
+
+    # ------------------------------------------------------------------
+    # binding
+
+    def bind(self, n: int) -> None:
+        """Allocate per-node state for an ``n``-replica run."""
+        self.n = n
+        self._decided_per_node = [0] * n
+
+    def bind_engine(self, controller: "Controller") -> None:
+        """Attach to a live controller: engine sampling + trace emission.
+
+        When a :class:`~repro.observability.metrics.MetricsRegistry` is
+        also active, registers ``health_anomalies`` and (on workload
+        runs) ``workload_fairness`` gauges so anomaly and fairness
+        series land in every metrics export, Prometheus included.
+        """
+        from ..core.events import MessageEvent
+
+        self.bind(controller.n)
+        self._queue = controller.queue
+        self._workload = controller._workload
+        self._trace = controller.trace
+        self._message_event_type = MessageEvent
+        registry = controller.obs_metrics
+        if registry is not None:
+            registry.gauge("health_anomalies", lambda: float(len(self.events)))
+            if self._workload is not None:
+                registry.gauge("workload_fairness", lambda: self._last_fairness)
+
+    # ------------------------------------------------------------------
+    # O(1) per-event hooks (controller dispatch loop)
+
+    def on_deliver(self, dest: int, source: int, kind: str, now: float) -> None:
+        # The live engine inlines this body via a fast-path binding to
+        # ``_kind_in_window`` (see Controller.__init__); the hook itself
+        # is the replay entry point and must stay equivalent.
+        self._kind_in_window[kind] += 1
+
+    def on_decide(self, node: int, now: float) -> None:
+        self._decided_per_node[node] += 1
+        self._decides_in_window += 1
+
+    def on_view(self, node: int, view: int, now: float) -> None:
+        self._views_in_window += 1
+        self._views_entered.add(view)
+        nodes = self._view_nodes
+        nodes[node] = nodes.get(node, 0) + 1
+
+    # ------------------------------------------------------------------
+    # window lifecycle
+
+    def advance(self, now: float) -> None:
+        """Close every window boundary at or before ``now`` (live path)."""
+        while now >= self._next_boundary:
+            end = self._next_boundary
+            self._sample_and_close(end)
+
+    def finish(self, now: float) -> None:
+        """End of run: flush boundaries, then close the final partial window."""
+        self.advance(now)
+        if now > self._window_start:
+            self._sample_and_close(now)
+
+    def _sample_and_close(self, end: float) -> None:
+        sample = self._engine_sample(end)
+        trace = self._trace
+        if trace is not None and trace.enabled:
+            trace.record(end, "health-sample", -1, **sample)
+        self.close_window(end, sample)
+
+    def _engine_sample(self, end: float) -> dict[str, Any]:
+        """Read the engine state a raw trace cannot reconstruct."""
+        queue = self._queue
+        if queue is not None and self._message_event_type is not None:
+            sample: dict[str, Any] = {
+                "queue": queue.live_count(self._message_event_type)
+            }
+        else:
+            sample = {"queue": 0}
+        workload = self._workload
+        if workload is not None:
+            sample.update(workload.health_snapshot(end))
+        return sample
+
+    def close_window(self, end: float, sample: Mapping[str, Any]) -> None:
+        """Evaluate every detector for the window ending at ``end``.
+
+        The single entry point for both the live path (``sample`` freshly
+        read from the engine) and offline replay (``sample`` parsed from
+        the recorded ``health-sample`` event) — identical inputs through
+        identical code is what makes online == offline a structural
+        property rather than a testing aspiration.
+        """
+        start = self._window_start
+        self.windows += 1
+        self._check_view_storm(start, end)
+        self._check_stragglers(start, end)
+        self._check_backlog(start, end, sample)
+        self._check_fanin(start, end)
+        self._check_starvation(start, end, sample)
+        self._decides_in_window = 0
+        self._views_in_window = 0
+        self._views_entered.clear()
+        self._view_nodes.clear()
+        self._kind_in_window.clear()
+        self._window_start = end
+        self._next_boundary = end + self.window_ms
+
+    # ------------------------------------------------------------------
+    # detectors (each runs once per window close)
+
+    def _check_view_storm(self, start: float, end: float) -> None:
+        distinct = len(self._views_entered)
+        threshold = self.view_storm_threshold
+        if distinct >= threshold and self._decides_in_window == 0:
+            self._emit(
+                end, "view-storm",
+                "critical" if distinct >= 2 * threshold else "warn",
+                start,
+                nodes=tuple(sorted(self._view_nodes)),
+                evidence={
+                    "views": sorted(self._views_entered),
+                    "entries": self._views_in_window,
+                    "threshold": threshold,
+                },
+            )
+
+    def _check_stragglers(self, start: float, end: float) -> None:
+        decided = self._decided_per_node
+        if not decided:
+            return
+        top = max(decided)
+        if top == 0:
+            return
+        lag = self.straggler_lag
+        lagging = tuple(
+            node for node, count in enumerate(decided) if top - count >= lag
+        )
+        if lagging:
+            worst = top - min(decided)
+            self._emit(
+                end, "straggler",
+                "critical" if worst >= 2 * lag else "warn",
+                start,
+                nodes=lagging,
+                evidence={"fleet_max": top, "max_lag": worst, "threshold": lag},
+            )
+
+    def _check_backlog(
+        self, start: float, end: float, sample: Mapping[str, Any]
+    ) -> None:
+        depth = float(sample.get("queue") or 0) + float(sample.get("mempool") or 0)
+        depths = self._depths
+        depths.append(depth)
+        if len(depths) > self.backlog_windows + 1:
+            del depths[0]
+        if (
+            len(depths) == self.backlog_windows + 1
+            and depths[-1] >= self.backlog_min
+            and all(a < b for a, b in zip(depths, depths[1:]))
+        ):
+            self._emit(
+                end, "backlog",
+                "critical" if depths[-1] >= 4 * self.backlog_min else "warn",
+                start,
+                evidence={
+                    "depths": list(depths),
+                    "queue": int(sample.get("queue") or 0),
+                    "mempool": int(sample.get("mempool") or 0),
+                },
+            )
+
+    def _check_fanin(self, start: float, end: float) -> None:
+        window = self._kind_in_window
+        ewma = self._kind_ewma
+        factor = self.fanin_factor
+        alpha = self.fanin_alpha
+        for kind in sorted(set(ewma) | set(window)):
+            count = window.get(kind, 0)
+            baseline = ewma.get(kind)
+            # A baseline below fanin_min / factor is not yet established —
+            # typically seeded from a near-empty warm-up window before the
+            # first deliveries land — and would flag steady-state traffic
+            # as a spike.  Keep folding such windows into the EWMA but do
+            # not compare against them.
+            if (
+                baseline is not None
+                and baseline * factor >= self.fanin_min
+                and count >= self.fanin_min
+                and count > factor * baseline
+            ):
+                self._emit(
+                    end, "fanin-spike",
+                    "critical" if count > 2 * factor * baseline else "warn",
+                    start,
+                    evidence={
+                        "msg_type": kind, "count": count, "baseline": baseline,
+                        "factor": factor,
+                    },
+                )
+            ewma[kind] = (
+                float(count)
+                if baseline is None
+                else alpha * count + (1.0 - alpha) * baseline
+            )
+
+    def _check_starvation(
+        self, start: float, end: float, sample: Mapping[str, Any]
+    ) -> None:
+        fairness = sample.get("fairness")
+        if fairness is None:
+            return
+        fairness = float(fairness)
+        self._last_fairness = fairness
+        if self._min_fairness is None or fairness < self._min_fairness:
+            self._min_fairness = fairness
+        decided = int(sample.get("decided") or 0)
+        if decided > 0 and fairness < self.fairness_threshold:
+            self._emit(
+                end, "starvation",
+                "critical" if fairness < self.fairness_threshold / 2 else "warn",
+                start,
+                clients=tuple(int(c) for c in sample.get("lagging") or ()),
+                evidence={
+                    "fairness": fairness, "decided": decided,
+                    "threshold": self.fairness_threshold,
+                },
+            )
+        max_wait = float(sample.get("max_wait") or 0.0)
+        if max_wait >= self.starvation_wait_ms:
+            wait_client = sample.get("wait_client")
+            self._emit(
+                end, "starvation",
+                "critical" if max_wait >= 2 * self.starvation_wait_ms else "warn",
+                start,
+                clients=(int(wait_client),) if wait_client is not None else (),
+                evidence={
+                    "max_wait_ms": max_wait,
+                    "threshold_ms": self.starvation_wait_ms,
+                },
+            )
+
+    def _emit(
+        self,
+        time: float,
+        detector: str,
+        severity: str,
+        window_start: float,
+        *,
+        nodes: tuple[int, ...] = (),
+        clients: tuple[int, ...] = (),
+        evidence: dict[str, Any] | None = None,
+    ) -> None:
+        event = HealthEvent(
+            time=time,
+            detector=detector,
+            severity=severity,
+            window_start=window_start,
+            window_end=time,
+            nodes=nodes,
+            clients=clients,
+            evidence=evidence or {},
+        )
+        self.events.append(event)
+        self._counts[detector] = self._counts.get(detector, 0) + 1
+        trace = self._trace
+        if trace is not None and trace.enabled:
+            trace.record(
+                time, "health", nodes[0] if nodes else -1,
+                detector=detector, severity=severity,
+                window_start=window_start,
+                nodes=list(nodes), clients=list(clients),
+                evidence=evidence or {},
+            )
+
+    # ------------------------------------------------------------------
+    # results
+
+    def report(self) -> HealthReport:
+        return HealthReport(
+            window_ms=self.window_ms,
+            windows=self.windows,
+            events=list(self.events),
+            anomaly_count=len(self.events),
+            min_fairness=self._min_fairness,
+            detectors=dict(sorted(self._counts.items())),
+        )
+
+    def state_dict(self) -> dict[str, Any]:
+        """Full detector state, for the online == offline property suite."""
+        return {
+            "window_start": self._window_start,
+            "next_boundary": self._next_boundary,
+            "windows": self.windows,
+            "decided_per_node": list(self._decided_per_node),
+            "decides_in_window": self._decides_in_window,
+            "views_in_window": self._views_in_window,
+            "views_entered": sorted(self._views_entered),
+            "view_nodes": dict(self._view_nodes),
+            "kind_in_window": dict(self._kind_in_window),
+            "kind_ewma": dict(self._kind_ewma),
+            "depths": list(self._depths),
+            "min_fairness": self._min_fairness,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+
+def _sample_fields(event: Mapping[str, Any]) -> dict[str, Any]:
+    """The engine-state payload of a recorded ``health-sample`` event."""
+    return {key: event[key] for key in SAMPLE_KEYS if key in event}
+
+
+def replay_health(
+    source: "str | os.PathLike[str] | Trace | Iterable[Mapping[str, Any]]",
+    n: int,
+    **kwargs: Any,
+) -> HealthMonitor:
+    """Rebuild a :class:`HealthMonitor` from a finished trace.
+
+    Hook counters replay from the raw ``deliver``/``decide``/``view``
+    events; windows close from the recorded ``health-sample`` events
+    (see module docstring).  Pass the same ``n`` and threshold kwargs as
+    the online monitor to get byte-identical detector state.  A trace
+    recorded *without* health enabled has no samples, so no windows
+    close — replay is only meaningful against health-enabled traces.
+    """
+    from .inspect import iter_events
+
+    monitor = HealthMonitor(**kwargs)
+    monitor.bind(n)
+    for event in iter_events(source):
+        kind = event.get("kind")
+        if kind == "health-sample":
+            monitor.close_window(float(event["time"]), _sample_fields(event))
+        elif kind == "deliver":
+            monitor.on_deliver(
+                int(event.get("node", -1)),
+                int(event.get("source", -1)),
+                str(event.get("msg_type", "")),
+                float(event["time"]),
+            )
+        elif kind == "decide":
+            node = int(event.get("node", -1))
+            if 0 <= node < monitor.n:
+                monitor.on_decide(node, float(event["time"]))
+        elif kind == "view" and "view" in event:
+            monitor.on_view(
+                int(event.get("node", -1)),
+                int(event["view"]),
+                float(event["time"]),
+            )
+    return monitor
+
+
+def analyze_trace_health(
+    source: "str | os.PathLike[str] | Trace | Iterable[Mapping[str, Any]]",
+) -> dict[str, Any]:
+    """Health census of a recorded trace: what the online monitor saw.
+
+    One streaming pass collecting the recorded ``health`` detections and
+    ``health-sample`` fairness series — the analysis behind ``repro
+    inspect --health``.  Unlike :func:`replay_health` this never
+    re-evaluates detectors: it reports exactly what the run emitted.
+    """
+    from .inspect import iter_events
+
+    detectors: dict[str, int] = {}
+    severities: dict[str, int] = {}
+    anomalies: list[dict[str, Any]] = []
+    samples = 0
+    min_fairness: float | None = None
+    last_fairness: float | None = None
+    for event in iter_events(source):
+        kind = event.get("kind")
+        if kind == "health-sample":
+            samples += 1
+            fairness = event.get("fairness")
+            if fairness is not None:
+                last_fairness = float(fairness)
+                if min_fairness is None or last_fairness < min_fairness:
+                    min_fairness = last_fairness
+        elif kind == "health":
+            anomalies.append(dict(event))
+            detector = str(event.get("detector", "?"))
+            detectors[detector] = detectors.get(detector, 0) + 1
+            severity = str(event.get("severity", "?"))
+            severities[severity] = severities.get(severity, 0) + 1
+    return {
+        "samples": samples,
+        "anomaly_count": len(anomalies),
+        "detectors": dict(sorted(detectors.items())),
+        "severities": dict(sorted(severities.items())),
+        "min_fairness": min_fairness,
+        "last_fairness": last_fairness,
+        "anomalies": anomalies,
+    }
+
+
+def _evidence_text(evidence: Mapping[str, Any]) -> str:
+    parts = []
+    for key in sorted(evidence):
+        value = evidence[key]
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.1f}")
+        else:
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def render_health(analysis: Mapping[str, Any], top: int = 20) -> str:
+    """Human-readable health timeline + census for ``repro inspect``."""
+    from ..analysis.report import render_table
+
+    sections: list[str] = []
+    anomalies = analysis.get("anomalies") or []
+    summary = (
+        f"health: {analysis.get('anomaly_count', 0)} anomalies over "
+        f"{analysis.get('samples', 0)} window samples"
+    )
+    min_fairness = analysis.get("min_fairness")
+    if min_fairness is not None:
+        summary += f"; min fairness {min_fairness:.3f}"
+    if not anomalies and not analysis.get("samples"):
+        summary += " (no health telemetry recorded — run with --health)"
+    sections.append(summary)
+
+    if analysis.get("detectors"):
+        rows = [
+            (detector, count)
+            for detector, count in sorted(analysis["detectors"].items())
+        ]
+        sections.append(
+            render_table("anomaly census", ["detector", "count"], rows)
+        )
+
+    if anomalies:
+        rows = []
+        for event in anomalies[:top]:
+            evidence = event.get("evidence") or {}
+            who = ""
+            if event.get("nodes"):
+                who = "n" + ",".join(str(n) for n in event["nodes"])
+            if event.get("clients"):
+                who += (" " if who else "") + "c" + ",".join(
+                    str(c) for c in event["clients"]
+                )
+            rows.append(
+                (
+                    f"{float(event.get('time', 0.0)):.1f}",
+                    str(event.get("detector", "?")),
+                    str(event.get("severity", "?")),
+                    who or "—",
+                    _evidence_text(evidence),
+                )
+            )
+        note = ""
+        if len(anomalies) > top:
+            note = f"showing first {top} of {len(anomalies)} anomalies"
+        sections.append(
+            render_table(
+                "anomaly timeline",
+                ["time (ms)", "detector", "severity", "implicated", "evidence"],
+                rows,
+                note=note,
+            )
+        )
+    return "\n\n".join(sections)

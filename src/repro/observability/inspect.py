@@ -29,7 +29,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping
 
-from ..core.tracing import Trace
+from ..core.tracing import Trace, open_trace_text
 
 #: Event kinds the controller counts as honest progress (liveness watchdog).
 PROGRESS_KINDS = ("decide", "view", "deliver")
@@ -37,10 +37,17 @@ PROGRESS_KINDS = ("decide", "view", "deliver")
 #: Event kinds that mean "a message was removed before protocol logic".
 DROP_KINDS = ("drop", "env-drop", "env-crash-drop", "env-reject", "suppress")
 
+#: Passive annotation kinds excluded from the silent-tail census.
+PASSIVE_KINDS = ("phase", "health", "health-sample")
+
 
 def iter_trace_file(path: str | os.PathLike[str]) -> Iterator[dict[str, Any]]:
-    """Stream the raw event dicts of a JSONL trace file, one at a time."""
-    with open(path, encoding="utf-8") as handle:
+    """Stream the raw event dicts of a JSONL trace file, one at a time.
+
+    Paths ending in ``.gz`` (gzip-compressed sinks) decompress
+    transparently — see :func:`~repro.core.tracing.open_trace_text`.
+    """
+    with open_trace_text(path) as handle:
         for line in handle:
             line = line.strip()
             if line:
@@ -248,10 +255,11 @@ def analyze_trace(
             report.last_progress_kind = kind
             report.last_progress_node = node
             tail = {}
-        elif kind != "phase":
-            # Phase events are passive annotations of progress already made
-            # (a protocol tags the stage it just entered); counting them as
-            # silent-tail work would misreport a healthy terminating run.
+        elif kind not in PASSIVE_KINDS:
+            # Phase and health events are passive annotations (a protocol
+            # tagging the stage it entered, the health monitor sampling a
+            # window); counting them as silent-tail work would misreport a
+            # healthy terminating run.
             label = _census_label(kind, event)
             tail[label] = tail.get(label, 0) + 1
 

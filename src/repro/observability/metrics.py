@@ -37,11 +37,23 @@ DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
 )
 
 
+def _escape_label_value(value: Any) -> str:
+    """Prometheus exposition-format label escaping (backslash, quote, LF)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def series_name(name: str, labels: dict[str, Any]) -> str:
     """Canonical series key: ``name`` or ``name{k="v",...}`` (sorted keys)."""
     if not labels:
         return name
-    inner = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    inner = ",".join(
+        f'{key}="{_escape_label_value(labels[key])}"' for key in sorted(labels)
+    )
     return f"{name}{{{inner}}}"
 
 
@@ -262,10 +274,11 @@ def _base_name(series: str) -> str:
 
 def _with_label(series: str, key: str, value: str) -> str:
     """``series`` with one more label (Prometheus rendering helper)."""
+    escaped = _escape_label_value(value)
     base, brace, rest = series.partition("{")
     if not brace:
-        return f'{base}{{{key}="{value}"}}'
-    return f'{base}{{{rest[:-1]},{key}="{value}"}}'
+        return f'{base}{{{key}="{escaped}"}}'
+    return f'{base}{{{rest[:-1]},{key}="{escaped}"}}'
 
 
 @dataclass(frozen=True)

@@ -72,7 +72,8 @@ def _start_method() -> str:
 def _worker_main(conn: connection.Connection) -> None:
     """Worker-process loop: receive configs, run them, reply with results.
 
-    Tasks arrive as ``(task_index, config, profile_flag, metrics_option)``;
+    Tasks arrive as ``(task_index, config, profile_flag, metrics_option,
+    health_option)``;
     replies are ``(task_index, "ok", SimulationResult)`` or
     ``(task_index, "error", exc_type_name, message, traceback_text)``.  A
     ``None`` task is the shutdown sentinel.
@@ -87,11 +88,13 @@ def _worker_main(conn: connection.Connection) -> None:
             return
         if item is None:
             return
-        index, config, profile, metrics = item
+        index, config, profile, metrics, health = item
         try:
             reply = (
                 index, "ok",
-                run_simulation(config, profile=profile, metrics=metrics),
+                run_simulation(
+                    config, profile=profile, metrics=metrics, health=health
+                ),
             )
         except KeyboardInterrupt:
             return
@@ -177,10 +180,11 @@ class _Worker:
         timeout: float | None,
         profile: bool = False,
         metrics: bool | float = False,
+        health: bool | float = False,
     ) -> None:
         self.task = task
         self.deadline = (time.monotonic() + timeout) if timeout else None
-        self.conn.send((task.index, task.config, profile, metrics))
+        self.conn.send((task.index, task.config, profile, metrics, health))
 
     def timed_out(self, now: float) -> bool:
         return self.deadline is not None and now > self.deadline
@@ -234,6 +238,10 @@ class ParallelRunner:
             :class:`~repro.observability.metrics.RunMetrics` and the runner
             exposes the merged fleet view as :attr:`fleet_metrics` after
             each batch.
+        health: run the streaming anomaly detectors in every run (``True``
+            for the default window, a float for a custom window in
+            simulated milliseconds); each result carries a
+            :class:`~repro.observability.health.HealthReport`.
         recorder: optional run recorder ``recorder(task_index, entry)``
             (e.g. a :class:`repro.store.StoreRecorder`), invoked in the
             parent process the moment a run reaches a terminal outcome —
@@ -254,6 +262,7 @@ class ParallelRunner:
         progress: Callable[[ProgressUpdate], None] | None = None,
         profile: bool = False,
         metrics: bool | float = False,
+        health: bool | float = False,
         recorder: Callable[[int, SimulationResult | RunFailure], None] | None = None,
     ) -> None:
         if jobs is not None and jobs < 1:
@@ -268,6 +277,7 @@ class ParallelRunner:
         self.progress = progress
         self.profile = profile
         self.metrics = metrics
+        self.health = health
         self.recorder = recorder
         #: Merged :class:`~repro.observability.profiler.RunProfile` of the
         #: most recent batch (``None`` until a profiled batch completes).
@@ -393,7 +403,7 @@ class ParallelRunner:
                     if worker.task is None and queue:
                         worker.assign(
                             queue.popleft(), self.timeout, self.profile,
-                            self.metrics,
+                            self.metrics, self.health,
                         )
                 busy = {w.conn: w for w in workers if w.task is not None}
                 if not busy:  # pragma: no cover - defensive

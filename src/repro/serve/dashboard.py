@@ -158,6 +158,18 @@ function renderList() {
     (rows ? "" : '<p class="muted">No experiments recorded yet.</p>');
 }
 
+function healthCell(r) {
+  // Per-run anomaly strip: "–" when the run was not health-monitored,
+  // green "healthy" at zero anomalies, warn/crit count otherwise.
+  if (r.anomaly_count == null) return '<span class="muted">–</span>';
+  if (!r.anomaly_count)
+    return '<span class="status complete"><span class="dot"></span>healthy</span>';
+  const crit = ((r.health || {}).events || [])
+    .some(e => e.severity === "critical");
+  return `<span class="status ${crit ? "failed" : "stalled"}">` +
+    `<span class="dot"></span>${r.anomaly_count}</span>`;
+}
+
 function runRow(r) {
   const lat = r.status === "failed"
     ? `<span class="status failed"><span class="dot"></span>failed</span>`
@@ -170,6 +182,7 @@ function runRow(r) {
     <td class="num">${lat}${flag}</td>
     <td class="num">${fmt(r.messages_per_decision)}</td>
     <td class="num">${fmt(r.events_processed, 0)}</td>
+    <td>${healthCell(r)}</td>
     <td class="fp">${r.fingerprint ? esc(r.fingerprint.slice(0, 12)) : "–"}</td>
     <td>${r.trace_path ? "trace" : ""}</td>
   </tr>`;
@@ -178,6 +191,9 @@ function runRow(r) {
 async function renderDetail() {
   if (state.selected == null) return;
   const data = await api("/api/experiments/" + state.selected);
+  let health = null;
+  try { health = await api("/api/experiments/" + state.selected + "/health"); }
+  catch (err) { /* health rollup is best-effort */ }
   const e = data.experiment;
   const others = state.experiments.filter(x => x.id !== e.id);
   const diffSel = others.length ? `<span class="controls">
@@ -203,10 +219,47 @@ async function renderDetail() {
     <h2>Runs</h2>
     <table><thead><tr><th class="num">#</th><th>run</th>
       <th class="num">latency/decision</th><th class="num">msgs/dec</th>
-      <th class="num">events</th><th>fingerprint</th><th></th></tr></thead>
+      <th class="num">events</th><th>health</th><th>fingerprint</th>
+      <th></th></tr></thead>
       <tbody>${data.runs.map(runRow).join("")}</tbody></table>
+    ${healthView(health)}
     ${saturationView(data.runs)}
     <div id="runpanel"></div>`;
+}
+
+function anomalyRows(anomalies, withRun) {
+  return (anomalies || []).slice(0, 40).map(a => {
+    const who = [(a.nodes || []).length ? "n" + a.nodes.join(",") : "",
+                 (a.clients || []).length ? "c" + a.clients.join(",") : ""]
+      .filter(Boolean).join(" ") || "–";
+    const sev = `<span class="status ${a.severity === "critical"
+      ? "failed" : "stalled"}"><span class="dot"></span>${esc(a.severity)}</span>`;
+    return `<tr><td class="num">${fmt(a.time, 0)} ms</td>` +
+      (withRun ? `<td class="num">${a.run_index}</td>` : "") +
+      `<td>${esc(a.detector)}</td><td>${sev}</td><td>${esc(who)}</td></tr>`;
+  }).join("");
+}
+
+function healthView(h) {
+  // Fleet health panel: live anomaly timeline merged across the
+  // experiment's health-monitored runs.  Empty for unmonitored fleets.
+  if (!h || !h.monitored_runs) return "";
+  const dets = Object.entries(h.detectors || {}).map(([k, v]) =>
+    `<span class="status"><span class="dot" style="background:var(--warn)">` +
+    `</span>${esc(k)}: ${v}</span>`).join("");
+  const rows = anomalyRows(h.anomalies, true);
+  return `<h2>Run health <span class="muted">(streaming anomaly detectors
+    across ${h.monitored_runs} monitored runs)</span></h2>
+    <div class="cards">
+      <div class="card"><b>${h.anomaly_total}</b><span>anomalies</span></div>
+      <div class="card"><b>${h.min_fairness == null ? "–"
+        : fmt(h.min_fairness, 2)}</b><span>min fairness</span></div>
+    </div>
+    ${dets ? `<div class="legend">${dets}</div>` : ""}
+    ${rows ? `<table><thead><tr><th class="num">time</th>
+      <th class="num">run</th><th>detector</th><th>severity</th>
+      <th>implicated</th></tr></thead><tbody>${rows}</tbody></table>`
+      : '<p class="muted">No anomalies detected.</p>'}`;
 }
 
 function saturationView(runs) {
@@ -337,6 +390,21 @@ async function selectRun(runId) {
       <div class="card"><b>${w.saturated ? "yes" : "no"}</b>
         <span>saturated</span></div>
     </div>`;
+  }
+  if (r.health) {
+    const h = r.health;
+    const rows = anomalyRows(h.events, false);
+    html += `<h2>Health <span class="muted">(${fmt(h.window_ms, 0)} ms
+      detector windows)</span></h2>
+      <div class="cards">
+        <div class="card"><b>${h.anomaly_count}</b><span>anomalies</span></div>
+        <div class="card"><b>${h.windows}</b><span>windows</span></div>
+        <div class="card"><b>${h.min_fairness == null ? "–"
+          : fmt(h.min_fairness, 2)}</b><span>min fairness</span></div>
+      </div>` +
+      (rows ? `<table><thead><tr><th class="num">time</th><th>detector</th>
+        <th>severity</th><th>implicated</th></tr></thead>
+        <tbody>${rows}</tbody></table>` : "");
   }
   if (r.failure) html += `<pre>${esc(JSON.stringify(r.failure, null, 1))}</pre>`;
   if (r.stall) html += `<p class="status stalled"><span class="dot"></span>

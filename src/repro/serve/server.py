@@ -14,6 +14,7 @@ Routes (all JSON except ``/``):
 ``GET /api/experiments``                        all experiments, newest first
 ``GET /api/experiments/<id>``                   experiment + runs + artifacts
 ``GET /api/experiments/<a>/diff/<b>``           fingerprint diff of two batches
+``GET /api/experiments/<id>/health``            fleet health: anomaly timeline
 ``GET /api/runs/<id>``                          one run row
 ``GET /api/runs/<id>/analysis``                 quorums/phases/critical paths
 ==============================================  ================================
@@ -135,6 +136,7 @@ class DashboardHandler(BaseHTTPRequestHandler):
         (re.compile(r"^/api/experiments$"), "experiments"),
         (re.compile(r"^/api/experiments/(\d+)$"), "experiment"),
         (re.compile(r"^/api/experiments/(\d+)/diff/(\d+)$"), "diff"),
+        (re.compile(r"^/api/experiments/(\d+)/health$"), "health"),
         (re.compile(r"^/api/runs/(\d+)$"), "run"),
         (re.compile(r"^/api/runs/(\d+)/analysis$"), "analysis"),
     )
@@ -223,6 +225,40 @@ class DashboardHandler(BaseHTTPRequestHandler):
         finally:
             store.close()
         self._json(diff.to_dict())
+
+    def _get_health(self, experiment_id: int) -> None:
+        """Fleet health rollup: every monitored run's stored anomalies,
+        merged into one timeline (ordered by simulated time, then run)."""
+        store = self._open()
+        try:
+            # Raises StoreError -> 404 for an unknown experiment id.
+            store.experiment(experiment_id)
+            runs = store.runs(experiment_id)
+        finally:
+            store.close()
+        monitored = [row for row in runs if row.anomaly_count is not None]
+        anomalies: list[dict[str, Any]] = []
+        detectors: dict[str, int] = {}
+        for row in monitored:
+            for event in (row.health or {}).get("events", []):
+                entry = dict(event)
+                entry["run_index"] = row.run_index
+                entry["run_id"] = row.id
+                anomalies.append(entry)
+                detector = str(event.get("detector", "?"))
+                detectors[detector] = detectors.get(detector, 0) + 1
+        anomalies.sort(key=lambda e: (e.get("time", 0.0), e["run_index"]))
+        fairness = [
+            row.min_fairness for row in monitored
+            if row.min_fairness is not None
+        ]
+        self._json({
+            "monitored_runs": len(monitored),
+            "anomaly_total": sum(row.anomaly_count or 0 for row in monitored),
+            "min_fairness": min(fairness) if fairness else None,
+            "detectors": dict(sorted(detectors.items())),
+            "anomalies": anomalies[:_RUN_ANALYSIS_LIMIT],
+        })
 
     def _get_run(self, run_id: int) -> None:
         store = self._open()

@@ -49,7 +49,9 @@ from ..core.results import (
 #: store refuses files written by other versions instead of guessing.
 #: v2: throughput columns (committed_tx_s, requests_submitted,
 #: requests_decided, saturated, workload_json) for workload runs.
-SCHEMA_VERSION = 2
+#: v3: run-health columns (health_json, anomaly_count, min_fairness) for
+#: runs recorded with the streaming HealthMonitor enabled.
+SCHEMA_VERSION = 3
 
 #: Experiment lifecycle states.
 EXPERIMENT_STATUSES = ("running", "complete", "failed")
@@ -113,6 +115,9 @@ CREATE TABLE IF NOT EXISTS runs (
     requests_decided     INTEGER,
     saturated            INTEGER,
     workload_json        TEXT,
+    health_json          TEXT,
+    anomaly_count        INTEGER,
+    min_fairness         REAL,
     UNIQUE (experiment_id, run_index)
 );
 CREATE INDEX IF NOT EXISTS idx_runs_experiment ON runs(experiment_id);
@@ -202,6 +207,9 @@ class RunRow:
     requests_decided: int | None = None
     saturated: bool | None = None
     workload: dict[str, Any] | None = None
+    health: dict[str, Any] | None = None
+    anomaly_count: int | None = None
+    min_fairness: float | None = None
 
     @property
     def failed(self) -> bool:
@@ -519,6 +527,15 @@ class ExperimentStore:
             "workload_json": (
                 _json(result.workload.to_dict()) if result.workload else None
             ),
+            "health_json": (
+                _json(result.health.to_dict()) if result.health else None
+            ),
+            "anomaly_count": (
+                result.health.anomaly_count if result.health else None
+            ),
+            "min_fairness": (
+                result.health.min_fairness if result.health else None
+            ),
         }
 
     def _failure_row(self, failure: RunFailure) -> dict[str, Any]:
@@ -554,6 +571,9 @@ class ExperimentStore:
             "requests_decided": None,
             "saturated": None,
             "workload_json": None,
+            "health_json": None,
+            "anomaly_count": None,
+            "min_fairness": None,
         }
 
     def finish_experiment(
@@ -753,4 +773,7 @@ class ExperimentStore:
                 None if row["saturated"] is None else bool(row["saturated"])
             ),
             workload=_loads(row["workload_json"]),
+            health=_loads(row["health_json"]),
+            anomaly_count=row["anomaly_count"],
+            min_fairness=row["min_fairness"],
         )

@@ -57,6 +57,13 @@ class WorkloadManager:
         self._decided_slots: set[int] = set()
         self._slots_with_requests: set[int] = set()
         self._decided_batch_sizes: list[int] = []
+        # Per-client tallies + a lazy pointer over the (submit-ordered)
+        # request list, so the health monitor's per-window fairness /
+        # oldest-outstanding-wait snapshot is O(clients) amortized, not
+        # O(requests) per window.
+        self._client_submitted = [0] * workload.clients
+        self._client_decided = [0] * workload.clients
+        self._health_ptr = 0
 
     # ------------------------------------------------------------------
     # submission
@@ -65,6 +72,7 @@ class WorkloadManager:
         """Deliver the ``index``-th request to the mempool (event hook)."""
         self.mempool.push(self.requests[index])
         self._submitted += 1
+        self._client_submitted[self.requests[index].client] += 1
         if self._submitted == len(self.requests):
             self.mempool.mark_drained()
 
@@ -113,6 +121,7 @@ class WorkloadManager:
             if tag == value:
                 for request in requests:
                     self._decided[request.index] = (now, slot, tag)
+                    self._client_decided[request.client] += 1
                 self._slots_with_requests.add(slot)
                 self._decided_batch_sizes.append(len(requests))
             else:
@@ -135,6 +144,58 @@ class WorkloadManager:
     def slots_with_requests(self) -> set[int]:
         """Slots whose decided value carried requests (termination gate)."""
         return self._slots_with_requests
+
+    def health_snapshot(self, now: float) -> dict:
+        """Per-client fairness inputs for the health monitor, at ``now``.
+
+        Called once per window close (never per event).  Returns the
+        mempool depth, Jain's fairness index over per-client decided
+        counts (clients that have submitted nothing are excluded; an
+        all-zero ledger is perfectly fair), the oldest outstanding wait
+        plus its client, and the clients lagging below half the mean
+        decided count — everything the starvation detector consumes and
+        exactly what the ``health-sample`` trace event records.
+        """
+        # Requests are globally sorted by submit time with index == list
+        # position, and submission happens in that order, so a forward
+        # pointer over decided prefixes finds the oldest outstanding
+        # request in amortized O(1).
+        decided_map = self._decided
+        submitted = self._submitted
+        ptr = self._health_ptr
+        while ptr < submitted and ptr in decided_map:
+            ptr += 1
+        self._health_ptr = ptr
+        if ptr < submitted:
+            oldest = self.requests[ptr]
+            max_wait = now - oldest.submit_time
+            wait_client: int | None = oldest.client
+        else:
+            max_wait = 0.0
+            wait_client = None
+
+        counts = self._client_decided
+        active = [
+            client for client, subs in enumerate(self._client_submitted) if subs
+        ]
+        total = sum(counts[client] for client in active)
+        square_sum = sum(counts[client] ** 2 for client in active)
+        fairness = (
+            (total * total) / (len(active) * square_sum) if square_sum else 1.0
+        )
+        lagging = [
+            client
+            for client in active
+            if counts[client] * 2 * len(active) < total
+        ]
+        return {
+            "mempool": len(self.mempool),
+            "fairness": fairness,
+            "max_wait": max_wait,
+            "wait_client": wait_client,
+            "lagging": lagging,
+            "decided": total,
+        }
 
     # ------------------------------------------------------------------
     # results

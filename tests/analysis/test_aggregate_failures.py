@@ -139,3 +139,58 @@ class TestMixedFleet:
         assert summary.request_latency_p50 is None
         assert summary.request_latency_p99 is None
         assert summary.saturated_fraction == 0.0
+
+
+class TestHealthAggregation:
+    """Fleet fairness summary over health-monitored batches."""
+
+    def _workload_config(self, *, attacked: bool):
+        from repro.workload import parse_workload_spec
+
+        config = quick_config(num_decisions=1).replace(
+            workload=parse_workload_spec("rate:60,clients:6,batch:8,duration:2000"),
+            allow_horizon=True,
+        )
+        if attacked:
+            config = config.replace(faults=parse_faults_spec("delay=0.7x6"))
+        return config
+
+    def test_unmonitored_batch_has_empty_health_summary(self):
+        summary = summarize(repeat_simulation(quick_config(), 2))
+        assert summary.anomaly_total == 0
+        assert summary.min_fairness is None
+        assert summary.mean_fairness is None
+        assert summary.starved_clients == 0
+
+    def test_fleet_fairness_rollup(self):
+        results = repeat_simulation(
+            self._workload_config(attacked=True), 3, health=250.0
+        )
+        summary = summarize(results)
+        assert summary.anomaly_total == sum(r.health.anomaly_count for r in results)
+        assert summary.min_fairness == min(r.health.min_fairness for r in results)
+        assert summary.mean_fairness == pytest.approx(
+            sum(r.health.min_fairness for r in results) / 3
+        )
+        assert summary.starved_clients == sum(
+            len(r.health.starved_clients) for r in results
+        )
+        assert summary.starved_clients > 0
+
+    def test_healthy_monitored_batch(self):
+        summary = summarize(
+            repeat_simulation(self._workload_config(attacked=False), 2, health=250.0)
+        )
+        assert summary.anomaly_total == 0
+        assert summary.starved_clients == 0
+        assert summary.min_fairness is not None
+        assert summary.min_fairness <= summary.mean_fairness
+
+    def test_failures_excluded_from_health_stats(self):
+        monitored = repeat_simulation(
+            self._workload_config(attacked=True), 2, health=250.0
+        )
+        mixed = [monitored[0], _failure(index=1), monitored[1]]
+        summary = summarize(mixed)
+        assert summary.failures == 1
+        assert summary.anomaly_total == summarize(monitored).anomaly_total

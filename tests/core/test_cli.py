@@ -441,3 +441,96 @@ class TestMineCommand:
                      "--population", "2", "--refine"])
         assert code == 1
         assert "refine mode" in capsys.readouterr().err
+
+
+class TestHealthOptions:
+    ARGS = ["run", "--protocol", "pbft", "-n", "4",
+            "--mean", "50", "--std", "10", "--lam", "500"]
+
+    def test_run_health_summary_line(self, capsys):
+        assert main([*self.ARGS, "--health"]) == 0
+        assert "health: healthy" in capsys.readouterr().out
+
+    def test_run_health_json(self, capsys):
+        assert main([*self.ARGS, "--health", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["health"]["anomaly_count"] == 0
+        assert data["health"]["windows"] > 0
+
+    def test_health_window_implies_health(self, capsys):
+        assert main([*self.ARGS, "--health-window", "100", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["health"]["window_ms"] == 100.0
+
+    def test_run_without_flag_reports_no_health(self, capsys):
+        assert main([*self.ARGS, "--json"]) == 0
+        assert "health" not in json.loads(capsys.readouterr().out)
+
+    def test_sweep_health_columns(self, capsys):
+        code = main(["sweep", "--protocol", "pbft", "-n", "4", "--mean", "50",
+                     "--std", "10", "--param", "lam", "--values", "400,800",
+                     "--reps", "2", "--health"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "anomalies" in out and "min fairness" in out
+
+    def test_inspect_health_text_and_json(self, tmp_path, capsys):
+        trace = str(tmp_path / "run.jsonl.gz")
+        assert main([*self.ARGS, "--health", "--trace-out", trace]) == 0
+        capsys.readouterr()
+        assert main(["inspect", trace, "--health"]) == 0
+        assert "health:" in capsys.readouterr().out
+        assert main(["inspect", trace, "--health", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["health"]["anomaly_count"] == 0
+        assert data["health"]["samples"] > 0
+
+    def test_inspect_without_flag_omits_health(self, tmp_path, capsys):
+        trace = str(tmp_path / "run.jsonl")
+        assert main([*self.ARGS, "--health", "--trace-out", trace]) == 0
+        capsys.readouterr()
+        assert main(["inspect", trace, "--json"]) == 0
+        assert "health" not in json.loads(capsys.readouterr().out)
+
+
+class TestWatchCommand:
+    def _store_with_run(self, tmp_path, *, health=True) -> str:
+        store = str(tmp_path / "watch.sqlite")
+        args = ["run", "--protocol", "pbft", "-n", "4", "--mean", "50",
+                "--std", "10", "--lam", "500", "--store", store]
+        if health:
+            args.append("--health")
+        assert main(args) == 0
+        return store
+
+    def test_watch_once_tails_the_latest_experiment(self, tmp_path, capsys):
+        store = self._store_with_run(tmp_path)
+        capsys.readouterr()
+        assert main(["watch", store, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "experiment 1" in out
+        assert "run 0" in out and "ok" in out
+        assert "healthy" in out
+
+    def test_watch_unmonitored_run_shows_no_health(self, tmp_path, capsys):
+        store = self._store_with_run(tmp_path, health=False)
+        capsys.readouterr()
+        assert main(["watch", store, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "run 0" in out and "healthy" not in out
+
+    def test_watch_explicit_experiment_id(self, tmp_path, capsys):
+        store = self._store_with_run(tmp_path)
+        capsys.readouterr()
+        assert main(["watch", store, "--experiment", "1", "--once"]) == 0
+        assert "experiment 1" in capsys.readouterr().out
+
+    def test_watch_missing_store_fails_cleanly(self, tmp_path, capsys):
+        assert main(["watch", str(tmp_path / "nope.sqlite"), "--once"]) != 0
+
+    def test_watch_empty_store_fails_cleanly(self, tmp_path, capsys):
+        from repro.store import ExperimentStore
+
+        store = str(tmp_path / "empty.sqlite")
+        ExperimentStore(store).close()
+        assert main(["watch", store, "--once"]) != 0

@@ -231,3 +231,25 @@ class TestHistogramData:
         data = HistogramData(bounds=(1.0, 2.0), bucket_counts=(1, 2, 3),
                              total=9.0, count=6)
         assert HistogramData.from_dict(data.to_dict()) == data
+
+
+class TestLabelEscaping:
+    """Prometheus exposition-format escaping of label values."""
+
+    def test_series_name_escapes_specials(self):
+        name = series_name("m", {"path": 'a"b\\c\nd'})
+        assert name == 'm{path="a\\"b\\\\c\\nd"}'
+
+    def test_escaped_series_survive_prometheus_export(self):
+        registry = MetricsRegistry(interval=100.0)
+        registry.counter("odd", label='quote " back \\ slash').inc()
+        registry.finish(100.0)
+        text = registry.build(sim_time_ms=100.0).prometheus_text()
+        line = next(l for l in text.splitlines() if l.startswith("repro_odd{"))
+        assert '\\"' in line and "\\\\" in line
+        assert "\n" not in line[:-1].replace("\\n", "")  # no raw newlines
+
+    def test_health_gauges_reach_the_export(self):
+        result = run_simulation(golden_config("pbft"), metrics=True, health=True)
+        text = result.run_metrics.prometheus_text()
+        assert "repro_health_anomalies" in text

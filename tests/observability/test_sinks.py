@@ -303,3 +303,43 @@ class TestCrashSafeClose:
         assert len(lines) == sink.count
         kinds = {json_module.loads(line)["kind"] for line in lines}
         assert "send" in kinds  # the pre-crash traffic made it to disk
+
+
+class TestGzipSink:
+    """``.jsonl.gz`` traces: written compressed, read transparently."""
+
+    def _run_to(self, path):
+        from repro.core.runner import run_simulation
+        from tests.conftest import quick_config
+
+        sink = JsonlSink(path)
+        result = run_simulation(quick_config(record_trace=True), sink=sink)
+        return sink, result
+
+    def test_gz_suffix_writes_real_gzip(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "run.jsonl.gz"
+        sink, _ = self._run_to(path)
+        raw = path.read_bytes()
+        assert raw[:2] == b"\x1f\x8b"  # gzip magic: actually compressed
+        lines = gzip.decompress(raw).decode().splitlines()
+        assert len(lines) == sink.count
+
+    def test_gz_trace_reads_like_plain_jsonl(self, tmp_path):
+        from repro.observability.inspect import analyze_trace, iter_events
+
+        gz_path = tmp_path / "run.jsonl.gz"
+        plain_path = tmp_path / "run.jsonl"
+        self._run_to(gz_path)
+        self._run_to(plain_path)
+        gz_events = list(iter_events(gz_path))
+        assert gz_events == list(iter_events(plain_path))
+        gz_report = analyze_trace(gz_path)
+        assert gz_report.to_dict() == analyze_trace(plain_path).to_dict()
+
+    def test_plain_suffix_stays_plain_text(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        self._run_to(path)
+        text = path.read_text()  # would raise UnicodeDecodeError on gzip
+        assert text.startswith("{")

@@ -158,3 +158,77 @@ class TestCreateServer:
         conn.close()
         with pytest.raises(StoreSchemaError):
             create_server(path, port=0)
+
+
+@pytest.fixture(scope="module")
+def served_health(tmp_path_factory):
+    """A store whose runs carry health reports, behind a live server."""
+    from repro.faults import parse_faults_spec
+    from repro.workload import parse_workload_spec
+
+    tmp = tmp_path_factory.mktemp("serve_health")
+    store_path = str(tmp / "health.sqlite")
+    config = quick_config(num_decisions=1).replace(
+        workload=parse_workload_spec("rate:60,clients:6,batch:8,duration:2000"),
+        faults=parse_faults_spec("delay=0.7x6"),
+        allow_horizon=True,
+    )
+    store = ExperimentStore(store_path)
+    recorder = StoreRecorder.open(store, "monitored", "run", config, 2)
+    recorder(0, run_simulation(config, health=250.0))
+    recorder(1, run_simulation(config.replace(seed=config.seed + 1), health=250.0))
+    recorder.finish()
+    plain = StoreRecorder.open(store, "unmonitored", "run", config, 1)
+    plain(0, run_simulation(quick_config()))
+    plain.finish()
+    store.close()
+
+    server = create_server(store_path, port=0)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+class TestHealthEndpoint:
+    def test_schema_and_timeline(self, served_health):
+        data = get_json(served_health, "/api/experiments/1/health")
+        assert set(data) == {"monitored_runs", "anomaly_total", "min_fairness",
+                             "detectors", "anomalies"}
+        assert data["monitored_runs"] == 2
+        assert data["anomaly_total"] > 0
+        assert 0.0 <= data["min_fairness"] <= 1.0
+        assert "starvation" in data["detectors"]
+        assert sum(data["detectors"].values()) == data["anomaly_total"]
+        times = [a["time"] for a in data["anomalies"]]
+        assert times == sorted(times)  # one merged fleet timeline
+        for anomaly in data["anomalies"]:
+            assert {"time", "detector", "severity", "nodes", "clients",
+                    "evidence", "run_index", "run_id"} <= set(anomaly)
+
+    def test_unmonitored_experiment_reports_empty(self, served_health):
+        data = get_json(served_health, "/api/experiments/2/health")
+        assert data["monitored_runs"] == 0
+        assert data["anomaly_total"] == 0
+        assert data["min_fairness"] is None
+        assert data["anomalies"] == []
+
+    def test_run_rows_carry_health_columns(self, served_health):
+        data = get_json(served_health, "/api/experiments/1")
+        for run in data["runs"]:
+            assert run["anomaly_count"] > 0
+            assert run["health"]["anomaly_count"] == run["anomaly_count"]
+
+    def test_unknown_experiment_is_404(self, served_health):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            get_json(served_health, "/api/experiments/99/health")
+        assert excinfo.value.code == 404
+
+    def test_page_renders_health_panel(self, served_health):
+        with urllib.request.urlopen(served_health + "/") as response:
+            page = response.read().decode()
+        assert "healthView" in page  # dashboard wires the health endpoint
+        assert "/health" in page

@@ -266,3 +266,54 @@ class TestDiff:
         store.record_run(a, 0, _failure())
         store.record_run(b, 0, _failure())
         assert not store.diff(a, b).identical
+
+
+class TestHealthColumns:
+    """Schema v3: run-health report persisted alongside each run."""
+
+    def test_health_report_round_trips(self, store):
+        result = run_simulation(quick_config(), health=True)
+        assert result.health is not None
+        experiment_id = store.create_experiment("health", "run", quick_config(), 1)
+        run_id = store.record_run(experiment_id, 0, result)
+
+        row = store.run(run_id)
+        assert row.health == result.health.to_dict()
+        assert row.anomaly_count == result.health.anomaly_count
+        assert row.min_fairness == result.health.min_fairness
+
+    def test_unmonitored_run_stores_nulls(self, store):
+        result = _result()
+        assert result.health is None
+        experiment_id = store.create_experiment("plain", "run", quick_config(), 1)
+        run_id = store.record_run(experiment_id, 0, result)
+
+        row = store.run(run_id)
+        assert row.health is None
+        assert row.anomaly_count is None
+        assert row.min_fairness is None
+
+    def test_failure_row_has_no_health(self, store):
+        experiment_id = store.create_experiment("fail", "run", quick_config(), 1)
+        run_id = store.record_run(experiment_id, 0, _failure())
+        row = store.run(run_id)
+        assert row.health is None
+        assert row.anomaly_count is None
+        assert row.min_fairness is None
+
+    def test_anomalous_run_round_trips_events(self, store):
+        from repro.faults import parse_faults_spec
+        from repro.workload import parse_workload_spec
+
+        config = quick_config(num_decisions=1).replace(
+            workload=parse_workload_spec("rate:60,clients:6,batch:8,duration:2000"),
+            faults=parse_faults_spec("delay=0.7x6"),
+            allow_horizon=True,
+        )
+        result = run_simulation(config, health=250.0)
+        assert result.health.anomaly_count > 0
+        experiment_id = store.create_experiment("anomalous", "run", config, 1)
+        row = store.run(store.record_run(experiment_id, 0, result))
+        assert row.anomaly_count == result.health.anomaly_count
+        assert row.min_fairness == pytest.approx(result.health.min_fairness)
+        assert row.health["events"] == [e.to_dict() for e in result.health.events]
